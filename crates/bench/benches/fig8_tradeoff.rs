@@ -1,0 +1,34 @@
+//! Criterion sweep of the Figure 8 tradeoff, plus a one-shot print of the
+//! simulated latency/message series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcl_bench::scenarios;
+
+fn print_series_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!("--- Figure 8 tradeoff (simulated) ---");
+        for row in gcl_bench::fig8_rows(&[1, 2, 4, 5, 8, 10, 20]) {
+            eprintln!(
+                "m={:<3} measured={}us predicted={}us messages={}",
+                row.m, row.measured_us, row.predicted_us, row.messages
+            );
+        }
+        eprintln!("--------------------------------------");
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    print_series_once();
+    let mut g = c.benchmark_group("fig8_tradeoff");
+    g.sample_size(10);
+    for m in [1u64, 5, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| scenarios::run_unsync(5, 2, m))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches over every Table 1 scenario, plus a one-shot print of
+//! the simulated-latency reproduction itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcl_bench::scenarios;
+
+fn print_reproduction_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!("--- Table 1 reproduction (simulated latencies) ---");
+        for row in gcl_bench::table1_rows() {
+            eprintln!(
+                "{:<36} {:<32} n={:<2} f={:<2} paper={:<22} measured={}us rounds={:?} ok={}",
+                row.problem,
+                row.protocol,
+                row.n,
+                row.f,
+                row.paper,
+                row.measured_us,
+                row.rounds,
+                row.matches()
+            );
+        }
+        eprintln!("---------------------------------------------------");
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_reproduction_once();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("brb2_async", "n4f1"), |b| {
+        b.iter(|| scenarios::run_brb2(4, 1))
+    });
+    g.bench_function(BenchmarkId::new("bracha_async", "n4f1"), |b| {
+        b.iter(|| scenarios::run_bracha(4, 1))
+    });
+    g.bench_function(BenchmarkId::new("vbb_5f_minus_1", "n4f1"), |b| {
+        b.iter(|| scenarios::run_vbb(4, 1))
+    });
+    g.bench_function(BenchmarkId::new("vbb_5f_minus_1", "n9f2"), |b| {
+        b.iter(|| scenarios::run_vbb(9, 2))
+    });
+    g.bench_function(BenchmarkId::new("pbft3", "n8f2"), |b| {
+        b.iter(|| scenarios::run_pbft(8, 2))
+    });
+    g.bench_function(BenchmarkId::new("bb_2delta", "n4f1"), |b| {
+        b.iter(|| scenarios::run_2delta(4, 1))
+    });
+    g.bench_function(BenchmarkId::new("bb_third", "n3f1"), |b| {
+        b.iter(|| scenarios::run_third(3, 1))
+    });
+    g.bench_function(BenchmarkId::new("bb_sync_start", "n5f2"), |b| {
+        b.iter(|| scenarios::run_sync_start(5, 2))
+    });
+    g.bench_function(BenchmarkId::new("bb_unsync_m10", "n5f2"), |b| {
+        b.iter(|| scenarios::run_unsync(5, 2, 10))
+    });
+    g.bench_function(BenchmarkId::new("bb_majority", "n4f2"), |b| {
+        b.iter(|| scenarios::run_majority(4, 2))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates the Figure 8 tradeoff: latency `(1 + 1/2m)Δ + 1.5δ` vs
+//! message cost `O(mn²)` as the early-vote grid `m` refines.
+//!
+//! `cargo run -p gcl-bench --release --bin fig8`
+
+use gcl_bench::fig8_rows;
+
+fn main() {
+    println!("Figure 8 tradeoff: (Delta+1.5delta)-BB early-vote grid sweep");
+    println!("(n = 5, f = 2, delta = 100us, Delta = 1000us, synchronized start)");
+    println!();
+    println!("|   m | measured    | predicted (1+1/2m)D+1.5d | messages |");
+    println!("|-----|-------------|--------------------------|----------|");
+    for row in fig8_rows(&[1, 2, 4, 5, 8, 10, 20, 50]) {
+        println!(
+            "| {:>3} | {:>9}us | {:>22}us | {:>8} |",
+            row.m, row.measured_us, row.predicted_us, row.messages
+        );
+    }
+    println!();
+    println!("optimal (m -> inf): 1150us = Delta + 1.5*delta");
+}

@@ -1,0 +1,69 @@
+//! Replays the paper's lower-bound executions:
+//! `cargo run -p gcl-bench --release --bin lower_bounds`
+
+use gcl_core::lower_bounds::{theorem10, theorem19, theorem4, theorem7, theorem9};
+use gcl_types::{Config, Duration};
+
+fn verdict(broken: bool) -> &'static str {
+    if broken {
+        "AGREEMENT VIOLATED (as the theorem predicts)"
+    } else {
+        "agreement preserved"
+    }
+}
+
+fn main() {
+    println!("Lower-bound executions, replayed\n");
+
+    let o = theorem4::split_one_round_brb(4, 1, 1);
+    println!(
+        "Theorem 4  vs 1-round-BRB strawman      : {}",
+        verdict(!o.agreement_holds())
+    );
+    let o = theorem4::split_two_round_brb(4, 1, 1);
+    println!(
+        "Theorem 4  vs 2-round-BRB (Fig 1)       : {}",
+        verdict(!o.agreement_holds())
+    );
+
+    let o = theorem7::split_fab_at_5f_minus_2();
+    println!(
+        "Theorem 7  vs FaB-style 2-round, n=5f-2 : {}",
+        verdict(!o.agreement_holds())
+    );
+
+    let o = theorem9::split_early_commit();
+    println!(
+        "Theorem 9  vs early-commit BB strawman  : {}",
+        verdict(!o.agreement_holds())
+    );
+    let o = theorem9::same_adversary_against_fig5();
+    println!(
+        "Theorem 9  vs (Delta+delta)-n/3 (Fig 5) : {}",
+        verdict(!o.agreement_holds())
+    );
+
+    let o = theorem10::tightness_execution(5, 2);
+    println!(
+        "Theorem 10 tightness (Fig 9, E1)        : latency {} (bound Delta+1.5delta+skew)",
+        o.good_case_latency().expect("commits")
+    );
+    let o = theorem10::adversarial_execution();
+    println!(
+        "Theorem 10 adversarial (E2/E3 shape)    : {}",
+        verdict(!o.agreement_holds())
+    );
+
+    println!("\nTheorem 19 dishonest-majority band ((floor(n/(n-f))-1)Delta <= measured <= O(n/(n-f))Delta):");
+    let big_delta = Duration::from_micros(1_000);
+    for (n, f) in [(4usize, 2usize), (6, 4), (8, 6), (10, 8)] {
+        let cfg = Config::new(n, f).expect("config");
+        let o = theorem19::good_case(n, f, big_delta);
+        println!(
+            "  n={n:>2} f={f:>2}: lower {:>6}  measured {:>6}  upper {:>6}",
+            theorem19::lower_bound(cfg, big_delta),
+            o.good_case_latency().expect("commits"),
+            theorem19::upper_bound(cfg, big_delta),
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table 1 of the paper: `cargo run -p gcl-bench --release --bin table1`.
+
+use gcl_bench::table1_rows;
+
+fn main() {
+    println!("Table 1 reproduction (delta = 100us actual, Delta = 1000us conservative)");
+    println!();
+    println!(
+        "| {:<38} | {:<20} | {:<34} | n,f   | paper bound          | measured   | rounds | ok |",
+        "problem", "resilience", "protocol"
+    );
+    println!("|{}|{}|{}|-------|----------------------|------------|--------|----|",
+        "-".repeat(40), "-".repeat(22), "-".repeat(36));
+    for row in table1_rows() {
+        println!(
+            "| {:<38} | {:<20} | {:<34} | {:>2},{:<2} | {:<20} | {:>7}us | {:<6} | {}  |",
+            row.problem,
+            row.resilience,
+            row.protocol,
+            row.n,
+            row.f,
+            row.paper,
+            row.measured_us,
+            row.rounds.map_or("-".to_string(), |r| r.to_string()),
+            if row.matches() { "y" } else { "N" },
+        );
+    }
+}

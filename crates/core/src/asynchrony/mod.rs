@@ -1,0 +1,17 @@
+//! Asynchronous Byzantine reliable broadcast (paper Section 3).
+//!
+//! The tight good-case latency for asynchronous BRB is **2 rounds** with
+//! `n ≥ 3f + 1` (Theorems 4–5):
+//!
+//! * [`TwoRoundBrb`] — the paper's Figure 1 protocol, committing in 2
+//!   asynchronous rounds when the broadcaster is honest.
+//! * [`BrachaBrb`] — Bracha's classical unauthenticated reliable broadcast,
+//!   the 3-round baseline the paper compares against (its good case is one
+//!   round slower; the paper's conclusion notes the open 2-vs-3 gap in the
+//!   *unauthenticated* setting which Bracha upper-bounds).
+
+mod bracha;
+mod brb2;
+
+pub use bracha::{BrachaBrb, BrachaMsg};
+pub use brb2::{Brb2Msg, EquivocatingBroadcaster, SignedVote, TwoRoundBrb};

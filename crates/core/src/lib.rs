@@ -1,0 +1,28 @@
+//! The broadcast protocols of *"Good-case Latency of Byzantine Broadcast:
+//! A Complete Categorization"* (Abraham, Nayak, Ren, Xiang — PODC 2021),
+//! plus the baselines and strawmen needed to reproduce every bound.
+//!
+//! # Layout
+//!
+//! | Module | Contents | Paper reference |
+//! |---|---|---|
+//! | [`asynchrony`] | 2-round BRB; Bracha's BRB baseline | Fig 1, Thm 4–5 |
+//! | [`psync`] | (5f−1)-psync-VBB (2-round); PBFT-style 3-round baseline | Fig 2–3, Thm 6–7 |
+//! | [`sync`] | 2δ-BB, (Δ+δ)-n/3-BB, (Δ+δ)-BB, (Δ+1.5δ)-BB, Dolev–Strong, lock-step BA | Fig 5–6, 9–10, Thm 8–11, 16–18 |
+//! | [`dishonest`] | trust-graph TrustCast BB for n/2 ≤ f < n | §5.5, Thm 19 |
+//! | [`strawman`] | deliberately latency-overclaiming protocols the lower bounds break | Thm 4, 7, 9 |
+//! | [`lower_bounds`] | the paper's adversarial executions as runnable schedules | Fig 4, 7/11, 12 |
+//!
+//! All protocols implement [`gcl_sim::Protocol`] and run unmodified on the
+//! discrete-event simulator (`gcl-sim`) and the threaded runtime
+//! (`gcl-net`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asynchrony;
+pub mod dishonest;
+pub mod lower_bounds;
+pub mod psync;
+pub mod strawman;
+pub mod sync;

@@ -1,0 +1,24 @@
+//! The paper's lower-bound constructions as runnable adversarial
+//! executions.
+//!
+//! Each theorem's proof builds a handful of executions that are
+//! indistinguishable to some honest party; run against a protocol that
+//! *overclaims* latency (the [`crate::strawman`] module) they produce the
+//! very agreement violation the proof derives, and run against the paper's
+//! matching protocols they leave safety intact. Each module returns
+//! [`gcl_sim::Outcome`]s so tests, examples and the bench harness can all
+//! replay them.
+//!
+//! | Module | Paper | Breaks | Spares |
+//! |---|---|---|---|
+//! | [`theorem4`] | Thm 4 (1-round BRB impossible) | `OneRoundBrb` | `TwoRoundBrb` |
+//! | [`theorem7`] | Thm 7 / Fig 4 (2-round psync needs `n ≥ 5f−1`) | `FabTwoRound` at `n = 5f−2` | `VbbFiveFMinusOne` at `n = 5f−1` |
+//! | [`theorem9`] | Thm 9 (sync commit < Δ+δ unsafe at `f = n/3`) | `EarlyCommitBb` | `ThirdBb` |
+//! | [`theorem10`] | Thm 10 / Fig 7+11 (Δ+1.5δ with unsync start) | — (tightness + safety) | `UnsyncBb` |
+//! | [`theorem19`] | Thm 19 / Fig 12 (`(⌊n/(n−f)⌋−1)Δ` majority LB) | — (bound check) | `BbMajority` |
+
+pub mod theorem10;
+pub mod theorem19;
+pub mod theorem4;
+pub mod theorem7;
+pub mod theorem9;

@@ -1,0 +1,86 @@
+//! Theorem 19 / Figure 12: dishonest-majority good-case latency is at
+//! least `(⌊n/(n−f)⌋ − 1)Δ`.
+//!
+//! The proof chains `2⌊n/h⌋` groups so that information crosses one Δ-hop
+//! per round. Operationally we check both sides of Table 1's last row: the
+//! measured good case of [`crate::dishonest::BbMajority`] (with the
+//! Byzantine budget spent on silence, the worst good-case adversary) always
+//! sits **between** the lower bound and the `O(n/(n−f))Δ` upper bound.
+
+use crate::dishonest::BbMajority;
+use gcl_crypto::Keychain;
+use gcl_sim::{FixedDelay, Outcome, Silent, Simulation, TimingModel};
+use gcl_types::{Config, Duration, PartyId, Value};
+
+/// `(⌊n/(n−f)⌋ − 1)Δ`.
+pub fn lower_bound(config: Config, big_delta: Duration) -> Duration {
+    big_delta * config.majority_lower_bound_factor() as u64
+}
+
+/// The implementation's deadline-driven upper bound:
+/// `Δ + (⌊n/(n−f)⌋ + 1)Δ`.
+pub fn upper_bound(config: Config, big_delta: Duration) -> Duration {
+    big_delta + BbMajority::vote_deadline(config, big_delta)
+}
+
+/// Good case with all `f` Byzantine parties silent.
+pub fn good_case(n: usize, f: usize, big_delta: Duration) -> Outcome {
+    let cfg = Config::new(n, f).expect("valid config");
+    let chain = Keychain::generate(n, 126);
+    let mut b = Simulation::build(cfg)
+        .timing(TimingModel::lockstep(big_delta))
+        .oracle(FixedDelay::new(big_delta));
+    for i in (n - f) as u32..n as u32 {
+        b = b.byzantine(PartyId::new(i), Silent::new());
+    }
+    b.spawn_honest(|p| {
+        BbMajority::new(
+            cfg,
+            chain.signer(p),
+            chain.pki(),
+            big_delta,
+            PartyId::new(0),
+            (p == PartyId::new(0)).then_some(Value::new(6)),
+        )
+    })
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DELTA: Duration = Duration::from_micros(100);
+
+    #[test]
+    fn measured_latency_between_bounds() {
+        for (n, f) in [(4, 2), (6, 4), (8, 6), (10, 8)] {
+            let cfg = Config::new(n, f).unwrap();
+            let o = good_case(n, f, DELTA);
+            assert!(o.validity_holds(Value::new(6)), "n={n} f={f}");
+            let lat = o.good_case_latency().unwrap();
+            assert!(
+                lat >= lower_bound(cfg, DELTA),
+                "n={n} f={f}: {lat} below the Theorem 19 bound"
+            );
+            assert!(
+                lat <= upper_bound(cfg, DELTA),
+                "n={n} f={f}: {lat} above the O(n/(n−f))Δ bound"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_factors() {
+        let d = Duration::from_micros(100);
+        assert_eq!(
+            lower_bound(Config::new(4, 2).unwrap(), d),
+            Duration::from_micros(100)
+        );
+        assert_eq!(
+            lower_bound(Config::new(10, 8).unwrap(), d),
+            Duration::from_micros(400)
+        );
+        assert!(upper_bound(Config::new(10, 8).unwrap(), d) > lower_bound(Config::new(10, 8).unwrap(), d));
+    }
+}

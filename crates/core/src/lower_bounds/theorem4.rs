@@ -1,0 +1,82 @@
+//! Theorem 4: no BRB commits in 1 asynchronous round.
+//!
+//! Execution 3 of the proof: the Byzantine broadcaster sends 0 to group A
+//! and 1 to group B. A 1-round protocol commits on the proposal alone, so A
+//! commits 0 and B commits 1 — before any round-1 message could warn them.
+
+use crate::asynchrony::TwoRoundBrb;
+use crate::strawman::{OneRoundBrb, OneRoundMsg};
+use gcl_crypto::Keychain;
+use gcl_sim::{FixedDelay, Outcome, Scripted, ScriptedAction, Simulation, TimingModel};
+use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
+
+/// The equivocation schedule against the 1-round strawman: group A =
+/// parties `1..=split`, group B = the rest. Returns the outcome — agreement
+/// is violated.
+pub fn split_one_round_brb(n: usize, f: usize, split: u32) -> Outcome {
+    let cfg = Config::new(n, f).expect("valid config");
+    let mut actions = Vec::new();
+    for p in 1..n as u32 {
+        let v = if p <= split { Value::ZERO } else { Value::ONE };
+        actions.push(ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(p),
+            msg: OneRoundMsg(v),
+        });
+    }
+    Simulation::build(cfg)
+        .timing(TimingModel::Asynchrony)
+        .oracle(FixedDelay::new(Duration::from_micros(100)))
+        .byzantine(PartyId::new(0), Scripted::new(actions))
+        .spawn_honest(|p| OneRoundBrb::new(cfg, p, PartyId::new(0), None))
+        .run()
+}
+
+/// The same schedule against the real 2-round BRB (Figure 1): the vote
+/// round saves agreement.
+pub fn split_two_round_brb(n: usize, f: usize, split: u32) -> Outcome {
+    let cfg = Config::new(n, f).expect("valid config");
+    let chain = Keychain::generate(n, 120);
+    let group_a: Vec<PartyId> = (1..=split).map(PartyId::new).collect();
+    Simulation::build(cfg)
+        .timing(TimingModel::Asynchrony)
+        .oracle(FixedDelay::new(Duration::from_micros(100)))
+        .byzantine(
+            PartyId::new(0),
+            crate::asynchrony::EquivocatingBroadcaster {
+                group_a,
+                value_a: Value::ZERO,
+                value_b: Value::ONE,
+            },
+        )
+        .spawn_honest(|p| TwoRoundBrb::new(cfg, chain.signer(p), chain.pki(), PartyId::new(0), None))
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_round_brb_violates_agreement() {
+        let o = split_one_round_brb(4, 1, 1);
+        assert!(!o.agreement_holds(), "Theorem 4's violation materializes");
+        // Both sides committed within 1 round.
+        for c in o.honest_commits() {
+            assert_eq!(c.round, 1);
+        }
+    }
+
+    #[test]
+    fn violation_scales() {
+        for (n, f, split) in [(4, 1, 2), (7, 2, 3), (10, 3, 5)] {
+            assert!(!split_one_round_brb(n, f, split).agreement_holds(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn two_round_brb_survives_same_adversary() {
+        let o = split_two_round_brb(4, 1, 1);
+        o.assert_agreement();
+    }
+}

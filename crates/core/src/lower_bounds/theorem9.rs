@@ -1,0 +1,126 @@
+//! Theorem 9: under synchrony with `f ≥ n/3`, no BRB commits before
+//! `Δ + δ`.
+//!
+//! Execution 3 of the proof at `n = 3, f = 1`: the Byzantine broadcaster
+//! proposes 0 to one honest party and 1 to the other and double-votes both
+//! ways. A protocol that commits on `n − f` votes *without* waiting the Δ
+//! equivocation window splits within `2δ < Δ + δ`; Figure 5's protocol
+//! ([`crate::sync::ThirdBb`]) survives because the conflicting forwarded
+//! proposals land inside every honest party's window.
+
+use crate::strawman::{EarlyCommitBb, EarlyMsg, EarlyVote};
+use crate::sync::{ThirdBb, ThirdMsg};
+use gcl_crypto::Keychain;
+use gcl_sim::{FixedDelay, Outcome, Scripted, ScriptedAction, Simulation, TimingModel};
+use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
+
+const DELTA: Duration = Duration::from_micros(100);
+const BIG_DELTA: Duration = Duration::from_micros(1_000);
+
+fn model() -> TimingModel {
+    TimingModel::Synchrony {
+        delta: DELTA,
+        big_delta: BIG_DELTA,
+    }
+}
+
+/// Runs the equivocate-and-double-vote schedule against the early-commit
+/// strawman (`n = 3, f = 1`). Agreement is violated below `Δ + δ`.
+pub fn split_early_commit() -> Outcome {
+    let cfg = Config::new(3, 1).expect("valid config");
+    let chain = Keychain::generate(3, 122);
+    let s = chain.signer(PartyId::new(0));
+    let actions = vec![
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(1),
+            msg: EarlyMsg::Propose(Value::ZERO),
+        },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(2),
+            msg: EarlyMsg::Propose(Value::ONE),
+        },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(1),
+            msg: EarlyMsg::Vote(EarlyVote::new(&s, Value::ZERO)),
+        },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(2),
+            msg: EarlyMsg::Vote(EarlyVote::new(&s, Value::ONE)),
+        },
+    ];
+    Simulation::build(cfg)
+        .timing(model())
+        .oracle(FixedDelay::new(DELTA))
+        .byzantine(PartyId::new(0), Scripted::new(actions))
+        .spawn_honest(|p| EarlyCommitBb::new(cfg, chain.signer(p), chain.pki(), PartyId::new(0), None))
+        .run()
+}
+
+/// The same adversary against Figure 5's protocol: the Δ window catches
+/// the equivocation and agreement survives.
+pub fn same_adversary_against_fig5() -> Outcome {
+    let cfg = Config::new(3, 1).expect("valid config");
+    let chain = Keychain::generate(3, 123);
+    let s = chain.signer(PartyId::new(0));
+    let p0 = crate::sync::fig5_proposal(&s, Value::ZERO);
+    let p1 = crate::sync::fig5_proposal(&s, Value::ONE);
+    let actions = vec![
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(1),
+            msg: ThirdMsg::Propose(p0),
+        },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(2),
+            msg: ThirdMsg::Propose(p1),
+        },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(1),
+            msg: ThirdMsg::Vote(crate::sync::fig5_vote(&s, p0)),
+        },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(2),
+            msg: ThirdMsg::Vote(crate::sync::fig5_vote(&s, p1)),
+        },
+    ];
+    Simulation::build(cfg)
+        .timing(model())
+        .oracle(FixedDelay::new(DELTA))
+        .byzantine(PartyId::new(0), Scripted::new(actions))
+        .spawn_honest(|p| {
+            ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+        })
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_commit_splits_below_delta_plus_delta() {
+        let o = split_early_commit();
+        assert!(!o.agreement_holds(), "Theorem 9 violation materializes");
+        // Both commits happened strictly before Δ + δ.
+        for c in o.honest_commits() {
+            assert!(
+                c.local.as_micros() < (BIG_DELTA + DELTA).as_micros(),
+                "the overclaimed commit is below the bound"
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_survives_same_adversary() {
+        let o = same_adversary_against_fig5();
+        o.assert_agreement();
+        assert!(o.all_honest_committed(), "BA fallback terminates");
+    }
+}

@@ -1,0 +1,20 @@
+//! Partially synchronous Byzantine broadcast (paper Section 4).
+//!
+//! The paper's headline result: in the authenticated setting, 2-round
+//! good-case partially synchronous Byzantine broadcast is possible **iff
+//! `n ≥ 5f − 1`** — beating FaB's long-standing `5f + 1` and showing PBFT's
+//! 3 rounds are not optimal at `n = 4, f = 1`.
+//!
+//! * [`Certificate`], [`TimeoutMsg`] — the Figure 2 certificate check.
+//! * [`VbbFiveFMinusOne`] — the Figure 3 `(5f−1)`-psync-VBB protocol with
+//!   2-round good case and full view change.
+//! * [`PbftPsyncVbb`] — the PBFT-style 3-round baseline, `n ≥ 3f + 1`
+//!   (tight for `3f + 1 ≤ n ≤ 5f − 2` by Theorem 7).
+
+mod cert;
+mod pbft3;
+mod vbb5f1;
+
+pub use cert::{Certificate, LeaderSigned, Lock, TimeoutMsg, VoteMsg};
+pub use pbft3::{PbftMsg, PbftPsyncVbb, PreparedCert};
+pub use vbb5f1::{EquivocatingLeader, Proof, StatusMsg, VbbFiveFMinusOne, VbbMsg};

@@ -1,0 +1,343 @@
+//! The FaB-style 2-round psync strawman broken by Theorem 7 at
+//! `n ≤ 5f − 2`.
+//!
+//! Identical fast path to the `(5f−1)`-psync-VBB (propose, vote, commit on
+//! `n − f` votes) but with FaB's *plain-majority* view change: the next
+//! leader re-proposes the majority value among the `n − f` view-change
+//! messages. The paper shows this tie-break is exactly what fails below
+//! `n = 5f − 1`: with `n = 5f − 2`, the adversary can commit `v` at one
+//! honest party and then steer the view-change majority to `v'`.
+//!
+//! Only two views are modeled — enough to realize the Figure 4 violation.
+
+use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_sim::{Context, Protocol};
+use gcl_types::{Config, Duration, PartyId, Value, View};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Leader-signed proposal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabProposal {
+    /// Proposed value.
+    pub value: Value,
+    /// View.
+    pub view: View,
+    /// Leader signature.
+    pub sig: Signature,
+    /// View ≥ 2: the view-change quorum justifying the value.
+    pub proof: Vec<FabViewChange>,
+}
+
+impl FabProposal {
+    fn digest(value: Value, view: View) -> Digest {
+        Digest::of(&("fab-prop", value, view))
+    }
+
+    /// Signs a proposal.
+    pub fn new(signer: &Signer, value: Value, view: View, proof: Vec<FabViewChange>) -> Self {
+        FabProposal {
+            value,
+            view,
+            sig: signer.sign(Self::digest(value, view)),
+            proof,
+        }
+    }
+}
+
+/// Signed vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabVote {
+    /// Voted value.
+    pub value: Value,
+    /// View.
+    pub view: View,
+    /// Voter signature.
+    pub sig: Signature,
+}
+
+impl FabVote {
+    fn digest(value: Value, view: View) -> Digest {
+        Digest::of(&("fab-vote", value, view))
+    }
+
+    /// Signs a vote.
+    pub fn new(signer: &Signer, value: Value, view: View) -> Self {
+        FabVote {
+            value,
+            view,
+            sig: signer.sign(Self::digest(value, view)),
+        }
+    }
+
+    fn verify(&self, pki: &Pki) -> bool {
+        pki.verify_embedded(Self::digest(self.value, self.view), &self.sig)
+    }
+}
+
+/// View-change message: what (if anything) the sender voted in view 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabViewChange {
+    /// The abandoned view.
+    pub view: View,
+    /// The value the sender voted, if any.
+    pub voted: Option<Value>,
+    /// Sender signature.
+    pub sig: Signature,
+}
+
+impl FabViewChange {
+    fn digest(view: View, voted: Option<Value>) -> Digest {
+        Digest::of(&("fab-vc", view, voted))
+    }
+
+    /// Signs a view change.
+    pub fn new(signer: &Signer, view: View, voted: Option<Value>) -> Self {
+        FabViewChange {
+            view,
+            voted,
+            sig: signer.sign(Self::digest(view, voted)),
+        }
+    }
+
+    fn verify(&self, pki: &Pki) -> bool {
+        pki.verify_embedded(Self::digest(self.view, self.voted), &self.sig)
+    }
+
+    /// The sender.
+    pub fn sender(&self) -> PartyId {
+        self.sig.signer()
+    }
+}
+
+/// Convenience for adversarial scripts: a proposal with an empty proof.
+pub fn fab_proposal(signer: &Signer, value: Value, view: View) -> FabProposal {
+    FabProposal::new(signer, value, view, Vec::new())
+}
+
+/// Convenience for adversarial scripts: a signed vote.
+pub fn fab_vote(signer: &Signer, value: Value, view: View) -> FabVote {
+    FabVote::new(signer, value, view)
+}
+
+/// Wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabMsg {
+    /// Leader proposal (view 1 or 2).
+    Propose(FabProposal),
+    /// Vote.
+    Vote(FabVote),
+    /// View change (sent on timeout of view 1).
+    ViewChange(FabViewChange),
+}
+
+const TAG_TIMEOUT: u64 = 1;
+
+/// One party of the FaB-style strawman.
+#[derive(Debug)]
+pub struct FabTwoRound {
+    config: Config,
+    signer: Signer,
+    pki: Arc<Pki>,
+    big_delta: Duration,
+    input: Option<Value>,
+    view: View,
+    voted_v1: Option<Value>,
+    voted_v2: bool,
+    committed: bool,
+    proposed_v2: bool,
+    votes: BTreeMap<(View, Value), BTreeSet<PartyId>>,
+    vcs: BTreeMap<PartyId, FabViewChange>,
+}
+
+impl FabTwoRound {
+    /// Creates the party-side state; `input` only at the view-1 leader
+    /// (party 0). View 2's leader is party 1.
+    pub fn new(
+        config: Config,
+        signer: Signer,
+        pki: Arc<Pki>,
+        big_delta: Duration,
+        input: Option<Value>,
+    ) -> Self {
+        assert_eq!(input.is_some(), signer.id() == PartyId::new(0));
+        FabTwoRound {
+            config,
+            signer,
+            pki,
+            big_delta,
+            input,
+            view: View::FIRST,
+            voted_v1: None,
+            voted_v2: false,
+            committed: false,
+            proposed_v2: false,
+            votes: BTreeMap::new(),
+            vcs: BTreeMap::new(),
+        }
+    }
+
+    fn q(&self) -> usize {
+        self.config.quorum()
+    }
+
+    /// FaB's rule: the majority `voted` value among the quorum (ties and
+    /// all-`None` fall back to the leader's discretion — here `None`).
+    pub fn majority_of(vcs: &[FabViewChange]) -> Option<Value> {
+        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+        for vc in vcs {
+            if let Some(v) = vc.voted {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then(vb.cmp(va)))
+            .map(|(v, _)| v)
+    }
+
+    fn record_vote(&mut self, vote: FabVote, ctx: &mut dyn Context<FabMsg>) {
+        if !vote.verify(&self.pki) {
+            return;
+        }
+        let q = self.q();
+        let set = self.votes.entry((vote.view, vote.value)).or_default();
+        set.insert(vote.sig.signer());
+        if set.len() >= q && !self.committed {
+            self.committed = true;
+            ctx.commit(vote.value);
+            ctx.terminate();
+        }
+    }
+
+    fn try_propose_v2(&mut self, ctx: &mut dyn Context<FabMsg>) {
+        if self.proposed_v2 || self.signer.id() != PartyId::new(1) || self.vcs.len() < self.q() {
+            return;
+        }
+        self.proposed_v2 = true;
+        let proof: Vec<FabViewChange> = self.vcs.values().copied().collect();
+        let value = Self::majority_of(&proof).unwrap_or(Value::new(4_000_000));
+        let prop = FabProposal::new(&self.signer, value, View::new(2), proof);
+        ctx.multicast(FabMsg::Propose(prop));
+    }
+}
+
+impl Protocol for FabTwoRound {
+    type Msg = FabMsg;
+
+    fn start(&mut self, ctx: &mut dyn Context<FabMsg>) {
+        ctx.set_timer(self.big_delta * 4, TAG_TIMEOUT);
+        if let Some(v) = self.input {
+            let prop = FabProposal::new(&self.signer, v, View::FIRST, Vec::new());
+            ctx.multicast(FabMsg::Propose(prop));
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: FabMsg, ctx: &mut dyn Context<FabMsg>) {
+        if self.committed {
+            return;
+        }
+        match msg {
+            FabMsg::Propose(prop) => match prop.view {
+                View::FIRST => {
+                    if from == PartyId::new(0) && self.voted_v1.is_none() && self.view == View::FIRST
+                    {
+                        self.voted_v1 = Some(prop.value);
+                        ctx.multicast(FabMsg::Vote(FabVote::new(
+                            &self.signer,
+                            prop.value,
+                            View::FIRST,
+                        )));
+                    }
+                }
+                _ => {
+                    // View 2: accept if the proof is a quorum of valid VCs
+                    // and the value matches its plain majority.
+                    if from != PartyId::new(1) || self.voted_v2 {
+                        return;
+                    }
+                    let senders: BTreeSet<PartyId> =
+                        prop.proof.iter().map(FabViewChange::sender).collect();
+                    if senders.len() < self.q()
+                        || !prop.proof.iter().all(|vc| vc.verify(&self.pki))
+                    {
+                        return;
+                    }
+                    if Self::majority_of(&prop.proof).is_some_and(|m| m != prop.value) {
+                        return;
+                    }
+                    self.voted_v2 = true;
+                    ctx.multicast(FabMsg::Vote(FabVote::new(
+                        &self.signer,
+                        prop.value,
+                        View::new(2),
+                    )));
+                }
+            },
+            FabMsg::Vote(vote) => self.record_vote(vote, ctx),
+            FabMsg::ViewChange(vc) => {
+                if vc.verify(&self.pki) && vc.view == View::FIRST {
+                    self.vcs.insert(vc.sender(), vc);
+                    self.try_propose_v2(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<FabMsg>) {
+        if tag == TAG_TIMEOUT && !self.committed && self.view == View::FIRST {
+            self.view = View::new(2);
+            let vc = FabViewChange::new(&self.signer, View::FIRST, self.voted_v1);
+            self.vcs.insert(self.signer.id(), vc);
+            ctx.multicast(FabMsg::ViewChange(vc));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_crypto::Keychain;
+    use gcl_sim::{FixedDelay, Simulation, TimingModel};
+
+    #[test]
+    fn good_case_two_rounds_like_fab() {
+        // With an honest leader the strawman genuinely does 2 rounds — the
+        // overclaim is only visible under the Theorem 7 schedule (see
+        // `lower_bounds::theorem7`).
+        let cfg = Config::new(8, 2).unwrap(); // n = 5f − 2
+        let chain = Keychain::generate(8, 110);
+        let d = Duration::from_micros(100);
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::Asynchrony)
+            .oracle(FixedDelay::new(d))
+            .spawn_honest(|p| {
+                FabTwoRound::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    d,
+                    (p == PartyId::new(0)).then_some(Value::new(9)),
+                )
+            })
+            .run();
+        assert!(o.validity_holds(Value::new(9)));
+        assert_eq!(o.good_case_rounds(), Some(2));
+    }
+
+    #[test]
+    fn majority_rule() {
+        let chain = Keychain::generate(4, 111);
+        let mk = |i: u32, v: Option<Value>| {
+            FabViewChange::new(&chain.signer(PartyId::new(i)), View::FIRST, v)
+        };
+        let vcs = vec![
+            mk(0, Some(Value::ONE)),
+            mk(1, Some(Value::ONE)),
+            mk(2, Some(Value::ZERO)),
+            mk(3, None),
+        ];
+        assert_eq!(FabTwoRound::majority_of(&vcs), Some(Value::ONE));
+        assert_eq!(FabTwoRound::majority_of(&[mk(0, None)]), None);
+    }
+}

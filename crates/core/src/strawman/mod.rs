@@ -1,0 +1,26 @@
+//! Deliberately latency-overclaiming protocols.
+//!
+//! Every lower bound in the paper says "no protocol can commit faster than
+//! X". The way to *run* such a theorem is to build the protocol that tries
+//! — commit one round/δ earlier than the bound allows — and let the paper's
+//! adversarial execution break it. These strawmen are that: correct-looking
+//! protocols whose only flaw is claiming a latency below the tight bound.
+//!
+//! * [`OneRoundBrb`] — commits on the proposal alone (Theorem 4/6: 1 round
+//!   is impossible; the equivocating broadcaster splits it).
+//! * [`FabTwoRound`] — FaB-style 2-round commit with the *plain-majority*
+//!   view change, run at `n = 5f − 2` (Theorem 7: below `5f − 1`, 2 rounds
+//!   are impossible; the Figure 4 style schedule splits it across a view
+//!   change).
+//! * [`EarlyCommitBb`] — synchronous BB that skips the Δ equivocation
+//!   window at `f = n/3` (Theorem 9: commits before `Δ + δ` are unsafe).
+//!
+//! The matching executions live in [`crate::lower_bounds`].
+
+mod early_commit_bb;
+mod fab2;
+mod one_round_brb;
+
+pub use early_commit_bb::{EarlyCommitBb, EarlyMsg, EarlyVote};
+pub use fab2::{fab_proposal, fab_vote, FabMsg, FabProposal, FabTwoRound, FabViewChange, FabVote};
+pub use one_round_brb::{OneRoundBrb, OneRoundMsg};

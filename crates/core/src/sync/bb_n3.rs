@@ -1,0 +1,591 @@
+//! Figure 5: the `(Δ+δ)-n/3`-BB protocol — `f ≤ n/3`, unsynchronized
+//! start, optimal good-case latency `Δ + δ` (Theorems 9 and 17).
+//!
+//! Votes carry the broadcaster-signed proposal, so any party that receives
+//! votes for two values holds *proof* the broadcaster equivocated. The fast
+//! path waits a `Δ` window after voting (equivocation detection), then
+//! commits on an `n − f` quorum received by local time `2Δ + σ`. The
+//! remarkable step-4 rule: when two conflicting `n − f` quorums exist at
+//! `f = n/3`, their intersection is ≥ `n − 2f = f` parties who double-voted
+//! — i.e. **all** Byzantine parties identified at once — so a `commit`
+//! message from anyone outside the intersection is known-honest and can be
+//! adopted.
+
+use super::ba::{BaMsg, LockstepBa, BOT};
+use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_sim::{Context, Protocol};
+use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Broadcaster-signed proposal `⟨propose, v⟩_L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig5Proposal {
+    /// Proposed value.
+    pub value: Value,
+    /// Broadcaster signature over `("fig5-prop", value)`.
+    pub sig: Signature,
+}
+
+impl Fig5Proposal {
+    fn digest(value: Value) -> Digest {
+        Digest::of(&("fig5-prop", value))
+    }
+
+    fn new(signer: &Signer, value: Value) -> Self {
+        Fig5Proposal {
+            value,
+            sig: signer.sign(Self::digest(value)),
+        }
+    }
+
+    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
+        self.sig.signer() == broadcaster
+            && pki.verify(broadcaster, Self::digest(self.value), &self.sig)
+    }
+}
+
+/// Vote `⟨vote, ⟨propose, v⟩_L⟩_i` — embeds the signed proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig5Vote {
+    /// The embedded, broadcaster-signed proposal.
+    pub prop: Fig5Proposal,
+    /// Voter signature over `("fig5-vote", value)`.
+    pub sig: Signature,
+}
+
+impl Fig5Vote {
+    fn digest(value: Value) -> Digest {
+        Digest::of(&("fig5-vote", value))
+    }
+
+    fn new(signer: &Signer, prop: Fig5Proposal) -> Self {
+        Fig5Vote {
+            prop,
+            sig: signer.sign(Self::digest(prop.value)),
+        }
+    }
+
+    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
+        self.prop.verify(broadcaster, pki)
+            && pki.verify_embedded(Self::digest(self.prop.value), &self.sig)
+    }
+
+    /// The voter.
+    pub fn voter(&self) -> PartyId {
+        self.sig.signer()
+    }
+}
+
+/// Commit announcement `⟨commit, v⟩_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig5Commit {
+    /// Committed value.
+    pub value: Value,
+    /// Sender signature over `("fig5-commit", value)`.
+    pub sig: Signature,
+}
+
+impl Fig5Commit {
+    fn digest(value: Value) -> Digest {
+        Digest::of(&("fig5-commit", value))
+    }
+
+    fn new(signer: &Signer, value: Value) -> Self {
+        Fig5Commit {
+            value,
+            sig: signer.sign(Self::digest(value)),
+        }
+    }
+
+    fn verify(&self, pki: &Pki) -> bool {
+        pki.verify_embedded(Self::digest(self.value), &self.sig)
+    }
+}
+
+/// Convenience for adversarial scripts: a broadcaster-signed proposal.
+pub fn fig5_proposal(signer: &Signer, value: Value) -> Fig5Proposal {
+    Fig5Proposal::new(signer, value)
+}
+
+/// Convenience for adversarial scripts: a signed vote embedding `prop`.
+pub fn fig5_vote(signer: &Signer, prop: Fig5Proposal) -> Fig5Vote {
+    Fig5Vote::new(signer, prop)
+}
+
+/// Wire messages of the `(Δ+δ)-n/3`-BB protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThirdMsg {
+    /// Step 1.
+    Propose(Fig5Proposal),
+    /// Step 2.
+    Vote(Fig5Vote),
+    /// Step 3: forwarded quorum.
+    VoteBundle(Vec<Fig5Vote>),
+    /// Step 3: commit announcement.
+    Commit(Fig5Commit),
+    /// Step 4: embedded BA traffic.
+    Ba(BaMsg),
+}
+
+const TAG_VOTE_TIMER: u64 = 1;
+const TAG_STEP4: u64 = 2;
+
+/// One party of the `(Δ+δ)-n/3`-BB protocol (Figure 5).
+///
+/// # Examples
+///
+/// ```
+/// use gcl_core::sync::ThirdBb;
+/// use gcl_crypto::Keychain;
+/// use gcl_sim::{FixedDelay, Simulation, TimingModel};
+/// use gcl_types::{Config, Duration, PartyId, Value};
+///
+/// let cfg = Config::new(3, 1)?; // f = n/3 exactly
+/// let chain = Keychain::generate(3, 6);
+/// let (delta, big_delta) = (Duration::from_micros(100), Duration::from_micros(1_000));
+/// let outcome = Simulation::build(cfg)
+///     .timing(TimingModel::Synchrony { delta, big_delta })
+///     .oracle(FixedDelay::new(delta))
+///     .spawn_honest(|p| {
+///         ThirdBb::new(cfg, chain.signer(p), chain.pki(), big_delta, PartyId::new(0),
+///                      (p == PartyId::new(0)).then_some(Value::new(3)))
+///     })
+///     .run();
+/// assert_eq!(outcome.good_case_latency(), Some(big_delta + delta)); // Δ + δ
+/// # Ok::<(), gcl_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct ThirdBb {
+    config: Config,
+    signer: Signer,
+    pki: Arc<Pki>,
+    big_delta: Duration,
+    broadcaster: PartyId,
+    input: Option<Value>,
+    lock: Value,
+    voted: bool,
+    vote_timer_expired: bool,
+    committed: bool,
+    forwarded: BTreeSet<Value>,
+    /// Distinct proposal values provably signed by the broadcaster.
+    proposals_seen: BTreeSet<Value>,
+    votes: BTreeMap<Value, BTreeMap<PartyId, Fig5Vote>>,
+    /// When each value's quorum was first completed (local clock).
+    quorum_at: BTreeMap<Value, LocalTime>,
+    commits_received: BTreeMap<PartyId, Value>,
+    ba: LockstepBa,
+}
+
+impl ThirdBb {
+    /// Creates the party-side state (internal σ := Δ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f > n/3` or the input/broadcaster roles disagree.
+    pub fn new(
+        config: Config,
+        signer: Signer,
+        pki: Arc<Pki>,
+        big_delta: Duration,
+        broadcaster: PartyId,
+        input: Option<Value>,
+    ) -> Self {
+        assert!(3 * config.f() <= config.n(), "(Δ+δ)-n/3-BB requires f <= n/3");
+        assert_eq!(input.is_some(), signer.id() == broadcaster);
+        let ba = LockstepBa::new(config, signer.clone(), Arc::clone(&pki), big_delta);
+        ThirdBb {
+            config,
+            signer,
+            pki,
+            big_delta,
+            broadcaster,
+            input,
+            lock: BOT,
+            voted: false,
+            vote_timer_expired: false,
+            committed: false,
+            forwarded: BTreeSet::new(),
+            proposals_seen: BTreeSet::new(),
+            votes: BTreeMap::new(),
+            quorum_at: BTreeMap::new(),
+            commits_received: BTreeMap::new(),
+            ba,
+        }
+    }
+
+    fn equivocation_detected(&self) -> bool {
+        self.proposals_seen.len() >= 2
+    }
+
+    /// Fast-path commit deadline `2Δ + σ`, σ := Δ.
+    fn commit_deadline(&self) -> Duration {
+        self.big_delta * 3
+    }
+
+    /// Step-4 time `3Δ + 2σ`, σ := Δ.
+    fn step4_time(&self) -> Duration {
+        self.big_delta * 5
+    }
+
+    fn note_proposal(&mut self, prop: Fig5Proposal) {
+        self.proposals_seen.insert(prop.value);
+    }
+
+    fn record_vote(&mut self, vote: Fig5Vote, now: LocalTime) {
+        self.note_proposal(vote.prop);
+        let quorum = self.config.quorum();
+        let bucket = self.votes.entry(vote.prop.value).or_default();
+        bucket.insert(vote.voter(), vote);
+        if bucket.len() >= quorum {
+            self.quorum_at.entry(vote.prop.value).or_insert(now);
+        }
+    }
+
+    /// Step 3: after the vote-timer, commit on a timely untainted quorum.
+    fn try_fast_commit(&mut self, ctx: &mut dyn Context<ThirdMsg>) {
+        if !self.vote_timer_expired || self.equivocation_detected() {
+            return;
+        }
+        let quorum = self.config.quorum();
+        let ready: Vec<Value> = self
+            .votes
+            .iter()
+            .filter(|(_, b)| b.len() >= quorum)
+            .map(|(v, _)| *v)
+            .collect();
+        for v in ready {
+            if self.forwarded.insert(v) {
+                let bundle: Vec<Fig5Vote> = self.votes[&v].values().copied().collect();
+                ctx.multicast_except(ThirdMsg::VoteBundle(bundle), self.signer.id());
+            }
+            let timely = self.quorum_at[&v].as_micros() <= self.commit_deadline().as_micros();
+            if timely && !self.committed {
+                self.committed = true;
+                self.lock = v;
+                ctx.commit(v);
+                ctx.multicast(ThirdMsg::Commit(Fig5Commit::new(&self.signer, v)));
+            }
+        }
+    }
+
+    /// Step 4 at `3Δ + 2σ`: lock, Byzantine identification, BA.
+    fn step4(&mut self, ctx: &mut dyn Context<ThirdMsg>) {
+        let quorum = self.config.quorum();
+        let quorum_values: Vec<Value> = self
+            .votes
+            .iter()
+            .filter(|(_, b)| b.len() >= quorum)
+            .map(|(v, _)| *v)
+            .collect();
+        match quorum_values.as_slice() {
+            [v] => {
+                if !self.committed {
+                    self.lock = *v;
+                }
+            }
+            [a, b, ..] => {
+                // Two conflicting quorums: the intersection double-voted,
+                // hence is entirely Byzantine; with f = n/3 that is *all*
+                // Byzantine parties, so a commit message from outside it is
+                // from an honest party.
+                let set_a: BTreeSet<PartyId> = self.votes[a].keys().copied().collect();
+                let set_b: BTreeSet<PartyId> = self.votes[b].keys().copied().collect();
+                let byzantine: BTreeSet<PartyId> =
+                    set_a.intersection(&set_b).copied().collect();
+                if let Some((_, v)) = self
+                    .commits_received
+                    .iter()
+                    .find(|(p, _)| !byzantine.contains(*p))
+                {
+                    if !self.committed {
+                        self.committed = true;
+                        self.lock = *v;
+                        ctx.commit(*v);
+                    } else {
+                        self.lock = *v;
+                    }
+                }
+            }
+            [] => {}
+        }
+        let lock = self.lock;
+        self.ba.invoke(lock, ctx, ThirdMsg::Ba);
+    }
+}
+
+impl Protocol for ThirdBb {
+    type Msg = ThirdMsg;
+
+    fn start(&mut self, ctx: &mut dyn Context<ThirdMsg>) {
+        ctx.set_timer(self.step4_time(), TAG_STEP4);
+        if let Some(v) = self.input {
+            ctx.multicast(ThirdMsg::Propose(Fig5Proposal::new(&self.signer, v)));
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: ThirdMsg, ctx: &mut dyn Context<ThirdMsg>) {
+        match msg {
+            ThirdMsg::Propose(prop) => {
+                if !prop.verify(self.broadcaster, &self.pki) {
+                    return;
+                }
+                self.note_proposal(prop);
+                if from == self.broadcaster && !self.voted {
+                    self.voted = true;
+                    ctx.multicast(ThirdMsg::Vote(Fig5Vote::new(&self.signer, prop)));
+                    ctx.set_timer(self.big_delta, TAG_VOTE_TIMER);
+                }
+                self.try_fast_commit(ctx);
+            }
+            ThirdMsg::Vote(vote) => {
+                if vote.verify(self.broadcaster, &self.pki) {
+                    self.record_vote(vote, ctx.now());
+                    self.try_fast_commit(ctx);
+                }
+            }
+            ThirdMsg::VoteBundle(votes) => {
+                let now = ctx.now();
+                for vote in votes {
+                    if vote.verify(self.broadcaster, &self.pki) {
+                        self.record_vote(vote, now);
+                    }
+                }
+                self.try_fast_commit(ctx);
+            }
+            ThirdMsg::Commit(c) => {
+                if c.verify(&self.pki) {
+                    self.commits_received.insert(c.sig.signer(), c.value);
+                }
+            }
+            ThirdMsg::Ba(m) => {
+                self.ba.note_now(ctx.now());
+                self.ba.on_message(m);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<ThirdMsg>) {
+        match tag {
+            TAG_VOTE_TIMER => {
+                self.vote_timer_expired = true;
+                self.try_fast_commit(ctx);
+            }
+            TAG_STEP4 => self.step4(ctx),
+            _ => {
+                if let Some(out) = self.ba.on_timer(tag, ctx, ThirdMsg::Ba) {
+                    if !self.committed {
+                        self.committed = true;
+                        ctx.commit(out);
+                    }
+                    ctx.terminate();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_crypto::Keychain;
+    use gcl_sim::{
+        FixedDelay, Outcome, Scripted, ScriptedAction, Silent, Simulation, TimingModel,
+    };
+    use gcl_types::SkewSchedule;
+
+    const DELTA: Duration = Duration::from_micros(100);
+    const BIG_DELTA: Duration = Duration::from_micros(1_000);
+
+    fn sync_model() -> TimingModel {
+        TimingModel::Synchrony {
+            delta: DELTA,
+            big_delta: BIG_DELTA,
+        }
+    }
+
+    fn good_case(n: usize, f: usize, skewed: bool) -> Outcome {
+        let cfg = Config::new(n, f).unwrap();
+        let chain = Keychain::generate(n, 70);
+        let mut b = Simulation::build(cfg)
+            .timing(sync_model())
+            .oracle(FixedDelay::new(DELTA));
+        if skewed {
+            b = b.skew(SkewSchedule::with_late_parties(
+                n,
+                &[(PartyId::new(1), DELTA.halved())],
+            ));
+        }
+        b.spawn_honest(|p| {
+            ThirdBb::new(
+                cfg,
+                chain.signer(p),
+                chain.pki(),
+                BIG_DELTA,
+                PartyId::new(0),
+                (p == PartyId::new(0)).then_some(Value::new(5)),
+            )
+        })
+        .run()
+    }
+
+    #[test]
+    fn good_case_latency_is_big_delta_plus_delta() {
+        // f = n/3 exactly: n = 3f.
+        for (n, f) in [(3, 1), (6, 2), (12, 4)] {
+            let o = good_case(n, f, false);
+            assert!(o.validity_holds(Value::new(5)), "n={n}");
+            assert_eq!(
+                o.good_case_latency(),
+                Some(BIG_DELTA + DELTA),
+                "n={n}: Δ + δ"
+            );
+        }
+    }
+
+    #[test]
+    fn good_case_with_skew_still_fast() {
+        let o = good_case(3, 1, true);
+        assert!(o.validity_holds(Value::new(5)));
+        // Within Δ + δ + skew slack.
+        assert!(o.good_case_latency().unwrap() <= BIG_DELTA + DELTA * 2);
+    }
+
+    #[test]
+    fn latency_tracks_delta_term() {
+        // Doubling δ adds δ, not Δ: the δ/Δ separation at work.
+        let cfg = Config::new(3, 1).unwrap();
+        let chain = Keychain::generate(3, 71);
+        let d2 = DELTA * 2;
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::Synchrony {
+                delta: d2,
+                big_delta: BIG_DELTA,
+            })
+            .oracle(FixedDelay::new(d2))
+            .spawn_honest(|p| {
+                ThirdBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(Value::new(5)),
+                )
+            })
+            .run();
+        assert_eq!(o.good_case_latency(), Some(BIG_DELTA + d2));
+    }
+
+    #[test]
+    fn silent_broadcaster_ba_fallback() {
+        let cfg = Config::new(3, 1).unwrap();
+        let chain = Keychain::generate(3, 72);
+        let o = Simulation::build(cfg)
+            .timing(sync_model())
+            .oracle(FixedDelay::new(DELTA))
+            .byzantine(PartyId::new(0), Silent::new())
+            .spawn_honest(|p| {
+                ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+            })
+            .run();
+        o.assert_agreement();
+        assert!(o.all_honest_committed());
+        assert_eq!(o.committed_value(), Some(BOT));
+    }
+
+    #[test]
+    fn equivocating_broadcaster_no_fast_commit_still_agrees() {
+        // Broadcaster signs 0 and 1, sends 0 to P1, 1 to P2 (n = 3, f = 1).
+        // Votes cross within the Δ window → both detect equivocation → no
+        // fast commit; BA resolves.
+        let cfg = Config::new(3, 1).unwrap();
+        let chain = Keychain::generate(3, 73);
+        let s0 = chain.signer(PartyId::new(0));
+        let p0 = Fig5Proposal::new(&s0, Value::ZERO);
+        let p1 = Fig5Proposal::new(&s0, Value::ONE);
+        let actions = vec![
+            ScriptedAction {
+                at: gcl_types::LocalTime::ZERO,
+                to: PartyId::new(1),
+                msg: ThirdMsg::Propose(p0),
+            },
+            ScriptedAction {
+                at: gcl_types::LocalTime::ZERO,
+                to: PartyId::new(2),
+                msg: ThirdMsg::Propose(p1),
+            },
+        ];
+        let o = Simulation::build(cfg)
+            .timing(sync_model())
+            .oracle(FixedDelay::new(DELTA))
+            .byzantine(PartyId::new(0), Scripted::new(actions))
+            .spawn_honest(|p| {
+                ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+            })
+            .run();
+        o.assert_agreement();
+        assert!(o.all_honest_committed());
+        // Nobody fast-committed: equivocation was detected in the window.
+        for c in o.honest_commits() {
+            assert!(c.local.as_micros() > (BIG_DELTA * 5).as_micros());
+        }
+    }
+
+    #[test]
+    fn double_voting_identified_in_step4() {
+        // n = 6, f = 2: Byzantine broadcaster equivocates; two Byzantine
+        // voters double-vote to complete two quorums of n−f = 4.
+        // Step 4's intersection rule must keep agreement intact.
+        let cfg = Config::new(6, 2).unwrap();
+        let chain = Keychain::generate(6, 74);
+        let s0 = chain.signer(PartyId::new(0));
+        let s5 = chain.signer(PartyId::new(5));
+        let p0 = Fig5Proposal::new(&s0, Value::ZERO);
+        let p1 = Fig5Proposal::new(&s0, Value::ONE);
+        // Broadcaster: 0 to P1,P2; 1 to P3,P4. P5 (Byz) votes for both.
+        let bcast_script = vec![
+            ScriptedAction { at: gcl_types::LocalTime::ZERO, to: PartyId::new(1), msg: ThirdMsg::Propose(p0) },
+            ScriptedAction { at: gcl_types::LocalTime::ZERO, to: PartyId::new(2), msg: ThirdMsg::Propose(p0) },
+            ScriptedAction { at: gcl_types::LocalTime::ZERO, to: PartyId::new(3), msg: ThirdMsg::Propose(p1) },
+            ScriptedAction { at: gcl_types::LocalTime::ZERO, to: PartyId::new(4), msg: ThirdMsg::Propose(p1) },
+        ];
+        // P5 and P0 double-vote both values to everyone.
+        let mut dv = Vec::new();
+        for target in 1..=4u32 {
+            for (signer, prop) in [(&s5, p0), (&s5, p1), (&s0, p0), (&s0, p1)] {
+                dv.push(ScriptedAction {
+                    at: gcl_types::LocalTime::from_micros(10),
+                    to: PartyId::new(target),
+                    msg: ThirdMsg::Vote(Fig5Vote::new(signer, prop)),
+                });
+            }
+        }
+        let o = Simulation::build(cfg)
+            .timing(sync_model())
+            .oracle(FixedDelay::new(DELTA))
+            .byzantine(PartyId::new(0), Scripted::new(bcast_script))
+            .byzantine(PartyId::new(5), Scripted::new(dv))
+            .spawn_honest(|p| {
+                ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+            })
+            .run();
+        o.assert_agreement();
+        assert!(o.all_honest_committed());
+    }
+
+    #[test]
+    #[should_panic(expected = "f <= n/3")]
+    fn resilience_check() {
+        let cfg = Config::new(5, 2).unwrap();
+        let chain = Keychain::generate(5, 1);
+        let _ = ThirdBb::new(
+            cfg,
+            chain.signer(PartyId::new(0)),
+            chain.pki(),
+            BIG_DELTA,
+            PartyId::new(0),
+            Some(Value::ZERO),
+        );
+    }
+}

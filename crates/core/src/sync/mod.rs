@@ -1,0 +1,32 @@
+//! Synchronous Byzantine broadcast (paper Section 5).
+//!
+//! The complete categorization under synchrony, with the δ/Δ separation
+//! (actual vs conservative delay bound) and the synchronized- vs
+//! unsynchronized-start distinction:
+//!
+//! | Resilience | Start | Tight bound | Protocol |
+//! |---|---|---|---|
+//! | `0 < f < n/3` | unsync | `2δ` | [`TwoDeltaBb`] (Fig 10) |
+//! | `f = n/3` | unsync | `Δ + δ` | [`ThirdBb`] (Fig 5) |
+//! | `n/3 < f < n/2` | sync | `Δ + δ` | [`SyncStartBb`] (Fig 6) |
+//! | `n/3 < f < n/2` | unsync | `Δ + 1.5δ` | [`UnsyncBb`] (Fig 9) |
+//!
+//! All four commit fast on a good day and fall back to a Byzantine
+//! agreement on `lock` values otherwise; [`LockstepBa`] is that primitive
+//! (Dolev–Strong over every party's input + plurality, lock-step rounds of
+//! `3Δ` to tolerate clock skew ≤ Δ). [`DolevStrongBb`] is also exposed
+//! stand-alone as the classical `f + 1`-round worst-case-optimal baseline.
+
+mod ba;
+mod bb_2delta;
+mod bb_n3;
+mod bb_sync_start;
+mod bb_unsync;
+mod dolev_strong;
+
+pub use ba::{BaMsg, LockstepBa, BOT};
+pub use bb_2delta::{TwoDeltaBb, TwoDeltaMsg};
+pub use bb_n3::{fig5_proposal, fig5_vote, Fig5Proposal, Fig5Vote, ThirdBb, ThirdMsg};
+pub use bb_sync_start::{SyncStartBb, SyncStartMsg};
+pub use bb_unsync::{Fig9Proposal, UnsyncBb, UnsyncMsg};
+pub use dolev_strong::{DolevStrongBb, DsMsg, DsRelay};

@@ -1,0 +1,51 @@
+//! Authentication substrate for the `gcl` workspace.
+//!
+//! The paper assumes "(perfect) digital signatures and public-key
+//! infrastructure (PKI)" with *ideal unforgeability* (Section 2). Inside a
+//! closed simulation we realize that ideal directly:
+//!
+//! * [`Sha256`] — a from-scratch FIPS 180-4 SHA-256, tested against the
+//!   standard vectors (no external crypto dependency).
+//! * [`Keychain`] / [`Signer`] / [`Pki`] — deterministic MAC-style
+//!   signatures. The [`Pki`] holds every key but only ever exposes
+//!   *verification*; producing a signature for party `i` requires the
+//!   [`Signer`] for `i`. Since the simulator hands each party (honest or
+//!   Byzantine) only its own signer, unforgeability holds **by
+//!   construction**: adversarial code can replay signatures it has observed
+//!   (allowed in the paper's model) but cannot mint new ones.
+//! * [`Digestible`] — canonical hashing of protocol payloads without a
+//!   serialization framework (protocol messages stay plain Rust values).
+//! * [`QuorumCert`] — multi-signature accumulation with distinct-signer
+//!   counting, used by every voting protocol.
+//! * [`EquivocationEvidence`] — a transferable proof that one signer signed
+//!   two conflicting payloads; the `(5f−1)`-psync-VBB and the synchronous
+//!   protocols key their commit rules on detecting exactly this.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcl_crypto::{Digest, Keychain};
+//! use gcl_types::PartyId;
+//!
+//! let chain = Keychain::generate(4, 42);
+//! let signer = chain.signer(PartyId::new(1));
+//! let digest = Digest::of(&("vote", 7u64));
+//! let sig = signer.sign(digest);
+//! assert!(chain.pki().verify(PartyId::new(1), digest, &sig));
+//! assert!(!chain.pki().verify(PartyId::new(2), digest, &sig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cert;
+mod digest;
+mod evidence;
+mod keys;
+mod sha256;
+
+pub use cert::QuorumCert;
+pub use digest::{Digest, Digestible};
+pub use evidence::EquivocationEvidence;
+pub use keys::{Keychain, Pki, Signature, Signer};
+pub use sha256::Sha256;

@@ -1,0 +1,42 @@
+//! A real (non-simulated) runtime: every party is an OS thread, links are
+//! channels with injected latency, clocks are wall clocks.
+//!
+//! The protocols in `gcl-core` are written against [`gcl_sim::Context`] and
+//! run **unmodified** here — demonstrating they are not simulator-bound.
+//! The runtime implements the same semantics: local clocks start at thread
+//! spawn, timers fire on the wall clock, `multicast` includes the sender.
+//!
+//! This runtime is for demonstration and integration testing (examples,
+//! smoke tests); latency *measurements* for the paper's tables use the
+//! deterministic simulator, where δ and Δ are exact.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcl_core::asynchrony::TwoRoundBrb;
+//! use gcl_crypto::Keychain;
+//! use gcl_net::NetRuntime;
+//! use gcl_types::{Config, PartyId, Value};
+//! use std::time::Duration;
+//!
+//! let cfg = Config::new(4, 1)?;
+//! let chain = Keychain::generate(4, 33);
+//! let outcome = NetRuntime::new(cfg)
+//!     .link_latency(Duration::from_millis(1))
+//!     .run_for(Duration::from_millis(300), |p| {
+//!         TwoRoundBrb::new(
+//!             cfg, chain.signer(p), chain.pki(), PartyId::new(0),
+//!             (p == PartyId::new(0)).then_some(Value::new(5)),
+//!         )
+//!     });
+//! assert!(outcome.agreement_holds());
+//! assert_eq!(outcome.committed_value(), Some(Value::new(5)));
+//! # Ok::<(), gcl_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runtime;
+
+pub use runtime::{NetCommit, NetOutcome, NetRuntime};

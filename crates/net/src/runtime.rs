@@ -1,0 +1,394 @@
+//! Threads + channels + wall clocks.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gcl_sim::{Context, Protocol};
+use gcl_types::{Config, Duration as SimDuration, LocalTime, PartyId, Value};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One commit observed by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetCommit {
+    /// The committing party.
+    pub party: PartyId,
+    /// The committed value.
+    pub value: Value,
+    /// Wall-clock time since runtime start.
+    pub elapsed: Duration,
+}
+
+/// Everything observable after a threaded run.
+#[derive(Debug)]
+pub struct NetOutcome {
+    commits: Vec<NetCommit>,
+    n: usize,
+}
+
+impl NetOutcome {
+    /// All commits in commit order.
+    pub fn commits(&self) -> &[NetCommit] {
+        &self.commits
+    }
+
+    /// No two parties committed different values.
+    pub fn agreement_holds(&self) -> bool {
+        let mut first = None;
+        for c in &self.commits {
+            match first {
+                None => first = Some(c.value),
+                Some(v) if v != c.value => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// The common committed value, if agreement holds and anyone committed.
+    pub fn committed_value(&self) -> Option<Value> {
+        if !self.agreement_holds() {
+            return None;
+        }
+        self.commits.first().map(|c| c.value)
+    }
+
+    /// Whether every party committed.
+    pub fn all_committed(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        for c in &self.commits {
+            seen[c.party.as_usize()] = true;
+        }
+        seen.iter().all(|s| *s)
+    }
+
+    /// Time from start to the last commit, if all committed.
+    pub fn latency(&self) -> Option<Duration> {
+        if !self.all_committed() {
+            return None;
+        }
+        self.commits.iter().map(|c| c.elapsed).max()
+    }
+}
+
+enum Event<M> {
+    Msg(PartyId, M),
+    Timer(u64),
+    Stop,
+}
+
+struct Scheduled<M> {
+    due: Instant,
+    seq: u64,
+    to: PartyId,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The threaded runtime.
+#[derive(Debug)]
+pub struct NetRuntime {
+    config: Config,
+    link_latency: Duration,
+}
+
+impl NetRuntime {
+    /// A runtime for `config` with zero injected latency.
+    pub fn new(config: Config) -> Self {
+        NetRuntime {
+            config,
+            link_latency: Duration::ZERO,
+        }
+    }
+
+    /// Injects a fixed latency on every inter-party link.
+    #[must_use]
+    pub fn link_latency(mut self, latency: Duration) -> Self {
+        self.link_latency = latency;
+        self
+    }
+
+    /// Spawns one thread per party running `make(party)`, lets the system
+    /// run for `duration` of wall-clock time (or until every party
+    /// terminates), and collects the commits.
+    pub fn run_for<P, F>(self, duration: Duration, mut make: F) -> NetOutcome
+    where
+        P: Protocol,
+        F: FnMut(PartyId) -> P,
+    {
+        let n = self.config.n();
+        let start = Instant::now();
+        let commits: Arc<Mutex<Vec<NetCommit>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Dispatcher: a min-heap of scheduled deliveries, fed by a channel.
+        let (sched_tx, sched_rx) = unbounded::<Scheduled<P::Msg>>();
+        let mut party_txs: Vec<Sender<Event<P::Msg>>> = Vec::with_capacity(n);
+        let mut party_rxs: Vec<Receiver<Event<P::Msg>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            party_txs.push(tx);
+            party_rxs.push(rx);
+        }
+
+        let dispatcher_txs = party_txs.clone();
+        let dispatcher = thread::spawn(move || {
+            let mut heap: BinaryHeap<Scheduled<P::Msg>> = BinaryHeap::new();
+            loop {
+                let timeout = heap
+                    .peek()
+                    .map(|s| s.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(50));
+                match sched_rx.recv_timeout(timeout) {
+                    Ok(s) => {
+                        if matches!(s.event, Event::Stop) {
+                            // Propagate stop to every party and exit.
+                            for tx in &dispatcher_txs {
+                                let _ = tx.send(Event::Stop);
+                            }
+                            return;
+                        }
+                        heap.push(s);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+                while heap
+                    .peek()
+                    .is_some_and(|s| s.due <= Instant::now())
+                {
+                    let s = heap.pop().expect("peeked");
+                    let _ = dispatcher_txs[s.to.as_usize()].send(s.event);
+                }
+            }
+        });
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, rx) in party_rxs.into_iter().enumerate() {
+            let me = PartyId::new(i as u32);
+            let mut protocol = make(me);
+            let config = self.config;
+            let latency = self.link_latency;
+            let sched = sched_tx.clone();
+            let commits = Arc::clone(&commits);
+            handles.push(thread::spawn(move || {
+                let local_start = Instant::now();
+                let mut seq: u64 = 0;
+                let mut committed = false;
+                let mut run = |proto: &mut P, ev: Option<Event<P::Msg>>| -> bool {
+                    let mut ctx = NetCtx {
+                        me,
+                        config,
+                        now: LocalTime::from_micros(
+                            local_start.elapsed().as_micros() as u64
+                        ),
+                        sends: Vec::new(),
+                        timers: Vec::new(),
+                        commit_values: Vec::new(),
+                        terminate: false,
+                    };
+                    match ev {
+                        None => proto.start(&mut ctx),
+                        Some(Event::Msg(from, m)) => proto.on_message(from, m, &mut ctx),
+                        Some(Event::Timer(tag)) => proto.on_timer(tag, &mut ctx),
+                        Some(Event::Stop) => return true,
+                    }
+                    for v in ctx.commit_values {
+                        if !committed {
+                            committed = true;
+                            commits.lock().push(NetCommit {
+                                party: me,
+                                value: v,
+                                elapsed: start.elapsed(),
+                            });
+                        }
+                    }
+                    for (to, msg) in ctx.sends {
+                        seq += 1;
+                        let due = if to == me {
+                            Instant::now()
+                        } else {
+                            Instant::now() + latency
+                        };
+                        let _ = sched.send(Scheduled {
+                            due,
+                            seq,
+                            to,
+                            event: Event::Msg(me, msg),
+                        });
+                    }
+                    for (delay, tag) in ctx.timers {
+                        seq += 1;
+                        let _ = sched.send(Scheduled {
+                            due: Instant::now()
+                                + Duration::from_micros(delay.as_micros()),
+                            seq,
+                            to: me,
+                            event: Event::Timer(tag),
+                        });
+                    }
+                    ctx.terminate
+                };
+                if run(&mut protocol, None) {
+                    return;
+                }
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(Event::Stop) => return,
+                        Ok(ev) => {
+                            if run(&mut protocol, Some(ev)) {
+                                return;
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            }));
+        }
+
+        thread::sleep(duration);
+        let _ = sched_tx.send(Scheduled {
+            due: Instant::now(),
+            seq: u64::MAX,
+            to: PartyId::new(0),
+            event: Event::Stop,
+        });
+        for h in handles {
+            let _ = h.join();
+        }
+        drop(sched_tx);
+        let _ = dispatcher.join();
+
+        let mut collected = commits.lock().clone();
+        collected.sort_by_key(|c| c.elapsed);
+        NetOutcome {
+            commits: collected,
+            n,
+        }
+    }
+}
+
+struct NetCtx<M> {
+    me: PartyId,
+    config: Config,
+    now: LocalTime,
+    sends: Vec<(PartyId, M)>,
+    timers: Vec<(SimDuration, u64)>,
+    commit_values: Vec<Value>,
+    terminate: bool,
+}
+
+impl<M> Context<M> for NetCtx<M> {
+    fn me(&self) -> PartyId {
+        self.me
+    }
+    fn config(&self) -> Config {
+        self.config
+    }
+    fn now(&self) -> LocalTime {
+        self.now
+    }
+    fn send(&mut self, to: PartyId, msg: M) {
+        self.sends.push((to, msg));
+    }
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+    fn commit(&mut self, value: Value) {
+        self.commit_values.push(value);
+    }
+    fn terminate(&mut self) {
+        self.terminate = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_core::asynchrony::TwoRoundBrb;
+    use gcl_core::psync::VbbFiveFMinusOne;
+    use gcl_crypto::Keychain;
+    use gcl_types::accept_all;
+
+    #[test]
+    fn brb_over_threads() {
+        let cfg = Config::new(4, 1).unwrap();
+        let chain = Keychain::generate(4, 140);
+        let o = NetRuntime::new(cfg)
+            .link_latency(Duration::from_millis(1))
+            .run_for(Duration::from_millis(400), |p| {
+                TwoRoundBrb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(Value::new(9)),
+                )
+            });
+        assert!(o.agreement_holds());
+        assert!(o.all_committed(), "commits: {:?}", o.commits());
+        assert_eq!(o.committed_value(), Some(Value::new(9)));
+        assert!(o.latency().is_some());
+    }
+
+    #[test]
+    fn vbb_over_threads() {
+        let cfg = Config::new(4, 1).unwrap();
+        let chain = Keychain::generate(4, 141);
+        let o = NetRuntime::new(cfg)
+            .link_latency(Duration::from_millis(1))
+            .run_for(Duration::from_millis(500), |p| {
+                VbbFiveFMinusOne::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    accept_all(),
+                    gcl_types::Duration::from_millis(40),
+                    (p == PartyId::new(0)).then_some(Value::new(3)),
+                )
+            });
+        assert!(o.agreement_holds());
+        assert!(o.all_committed(), "commits: {:?}", o.commits());
+        assert_eq!(o.committed_value(), Some(Value::new(3)));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = NetOutcome {
+            commits: vec![
+                NetCommit {
+                    party: PartyId::new(0),
+                    value: Value::new(1),
+                    elapsed: Duration::from_millis(2),
+                },
+                NetCommit {
+                    party: PartyId::new(1),
+                    value: Value::new(2),
+                    elapsed: Duration::from_millis(3),
+                },
+            ],
+            n: 2,
+        };
+        assert!(!o.agreement_holds());
+        assert_eq!(o.committed_value(), None);
+        assert!(o.all_committed());
+        assert_eq!(o.latency(), Some(Duration::from_millis(3)));
+    }
+}

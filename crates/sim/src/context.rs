@@ -1,0 +1,107 @@
+//! The party-side API: [`Context`], [`Protocol`], [`Strategy`].
+
+use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
+use std::fmt;
+
+/// Everything a party may do to the outside world.
+///
+/// Handlers receive a `&mut dyn Context<M>`; the runtime (simulator or the
+/// threaded `gcl-net` runtime) implements it. All time visible here is the
+/// party's **local clock** (0 = this party's protocol start).
+pub trait Context<M> {
+    /// This party's identity.
+    fn me(&self) -> PartyId;
+
+    /// The `(n, f)` configuration of the run.
+    fn config(&self) -> Config;
+
+    /// The party's local clock.
+    fn now(&self) -> LocalTime;
+
+    /// Sends `msg` to one party. Sending to `self.me()` delivers locally
+    /// with zero delay (a party always hears itself immediately).
+    fn send(&mut self, to: PartyId, msg: M);
+
+    /// Schedules a timer to fire `delay` from now, carrying `tag` back to
+    /// [`Strategy::on_timer`]. Timers are never cancelled; stale tags are
+    /// simply ignored by the handler.
+    fn set_timer(&mut self, delay: Duration, tag: u64);
+
+    /// Irrevocably commits `value`. A party commits at most once; extra
+    /// calls are ignored by the runtime (the first wins) — honest protocols
+    /// never double-commit, and this keeps metrics well-defined when
+    /// exercising buggy strawmen.
+    fn commit(&mut self, value: Value);
+
+    /// Halts this party: no further messages or timers will be delivered.
+    fn terminate(&mut self);
+}
+
+/// Extension helpers available on every `Context`.
+impl<M: Clone> dyn Context<M> + '_ {
+    /// Sends `msg` to all `n` parties, including the sender itself
+    /// (the paper's "send to all parties").
+    pub fn multicast(&mut self, msg: M) {
+        for p in self.config().parties().collect::<Vec<_>>() {
+            self.send(p, msg.clone());
+        }
+    }
+
+    /// Sends `msg` to every party except `skip`.
+    pub fn multicast_except(&mut self, msg: M, skip: PartyId) {
+        for p in self.config().parties().collect::<Vec<_>>() {
+            if p != skip {
+                self.send(p, msg.clone());
+            }
+        }
+    }
+}
+
+/// Honest protocol code.
+///
+/// A `Protocol` is deterministic and reactive: it acts only at its start, on
+/// message delivery, and on timer expiry — exactly the event model the
+/// paper's indistinguishability proofs quantify over.
+pub trait Protocol: Send + 'static {
+    /// The protocol's wire message type.
+    type Msg: Clone + fmt::Debug + Send + 'static;
+
+    /// Called once when the party's local clock starts (local time 0).
+    fn start(&mut self, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Called on each delivered message.
+    fn on_message(&mut self, from: PartyId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<Self::Msg>) {
+        let _ = (tag, ctx);
+    }
+}
+
+/// Arbitrary (possibly Byzantine) party code.
+///
+/// Same shape as [`Protocol`] but type-erased over the message type, so a
+/// simulation slot can host either the honest protocol or an adversarial
+/// strategy. Every `Protocol` is a `Strategy` via the blanket impl — a
+/// Byzantine party "behaving honestly" is just the protocol itself.
+pub trait Strategy<M>: Send + 'static {
+    /// Called once at the party's local time 0.
+    fn start(&mut self, ctx: &mut dyn Context<M>);
+    /// Called on each delivered message.
+    fn on_message(&mut self, from: PartyId, msg: M, ctx: &mut dyn Context<M>);
+    /// Called on timer expiry.
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<M>);
+}
+
+impl<P: Protocol> Strategy<P::Msg> for P {
+    fn start(&mut self, ctx: &mut dyn Context<P::Msg>) {
+        Protocol::start(self, ctx);
+    }
+    fn on_message(&mut self, from: PartyId, msg: P::Msg, ctx: &mut dyn Context<P::Msg>) {
+        Protocol::on_message(self, from, msg, ctx);
+    }
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<P::Msg>) {
+        Protocol::on_timer(self, tag, ctx);
+    }
+}
+

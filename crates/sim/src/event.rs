@@ -1,0 +1,168 @@
+//! The event queue: a deterministic priority queue over global time.
+
+use gcl_types::{GlobalTime, PartyId, Value};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Party starts its protocol (local clock begins).
+    Start(PartyId),
+    /// Message delivery.
+    Deliver {
+        to: PartyId,
+        from: PartyId,
+        msg: M,
+        /// Asynchronous-round tag (causal depth) of the message.
+        round: u32,
+    },
+    /// Timer expiry.
+    Timer { party: PartyId, tag: u64 },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub at: GlobalTime,
+    /// Monotone sequence number: deterministic FIFO tie-break at equal time.
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: GlobalTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// One entry of an execution trace (enabled via
+/// [`SimulationBuilder::record_trace`](crate::SimulationBuilder::record_trace)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEntry {
+    /// A party started.
+    Started {
+        /// When (global clock).
+        at: GlobalTime,
+        /// Which party.
+        party: PartyId,
+    },
+    /// A message was delivered.
+    Delivered {
+        /// When (global clock).
+        at: GlobalTime,
+        /// Sender.
+        from: PartyId,
+        /// Recipient.
+        to: PartyId,
+        /// Async-round tag of the message.
+        round: u32,
+        /// `Debug` rendering of the message.
+        msg: String,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// When (global clock).
+        at: GlobalTime,
+        /// Whose timer.
+        party: PartyId,
+        /// The tag it was set with.
+        tag: u64,
+    },
+    /// A party committed.
+    Committed {
+        /// When (global clock).
+        at: GlobalTime,
+        /// Which party.
+        party: PartyId,
+        /// Committed value.
+        value: Value,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(GlobalTime::from_micros(30), EventKind::Start(PartyId::new(0)));
+        q.push(GlobalTime::from_micros(10), EventKind::Start(PartyId::new(1)));
+        q.push(GlobalTime::from_micros(20), EventKind::Start(PartyId::new(2)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.at.as_micros())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn fifo_at_equal_time() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        let t = GlobalTime::from_micros(5);
+        for i in 0..4 {
+            q.push(t, EventKind::Start(PartyId::new(i)));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Start(p) => p.index(),
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "ties break in push order");
+    }
+
+    #[test]
+    fn len_tracks_pushes() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(GlobalTime::ZERO, EventKind::Start(PartyId::new(0)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,659 @@
+//! The simulation loop.
+
+use crate::context::{Context, Protocol, Strategy};
+use crate::event::{EventKind, EventQueue, TraceEntry};
+use crate::network::{clamp_delivery, DelayOracle, FixedDelay, MsgEnvelope, TimingModel};
+use crate::outcome::{CommitRecord, Outcome};
+use gcl_types::{Config, Duration, GlobalTime, LocalTime, PartyId, SkewSchedule, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Entry point: `Simulation::build(config)` returns a [`SimulationBuilder`].
+#[derive(Debug)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Starts building a simulation for `config`.
+    pub fn build<M: Clone + fmt::Debug + Send + 'static>(config: Config) -> SimulationBuilder<M> {
+        SimulationBuilder::new(config)
+    }
+}
+
+/// Configures and runs one execution.
+///
+/// Slots left unfilled by [`SimulationBuilder::byzantine`] /
+/// [`SimulationBuilder::honest_at`] are populated by
+/// [`SimulationBuilder::spawn_honest`].
+pub struct SimulationBuilder<M> {
+    config: Config,
+    timing: TimingModel,
+    oracle: Box<dyn DelayOracle<M>>,
+    skew: SkewSchedule,
+    slots: Vec<Option<(Box<dyn Strategy<M>>, bool)>>,
+    broadcaster: PartyId,
+    max_time: GlobalTime,
+    max_events: u64,
+    async_fallback: Duration,
+    record_trace: bool,
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
+    fn new(config: Config) -> Self {
+        let n = config.n();
+        SimulationBuilder {
+            config,
+            timing: TimingModel::Asynchrony,
+            oracle: Box::new(FixedDelay::new(Duration::from_micros(1))),
+            skew: SkewSchedule::synchronized(n),
+            slots: (0..n).map(|_| None).collect(),
+            broadcaster: PartyId::new(0),
+            max_time: GlobalTime::from_micros(600_000_000),
+            max_events: 20_000_000,
+            async_fallback: Duration::from_millis(1_000),
+            record_trace: false,
+        }
+    }
+
+    /// Sets the timing model (default: asynchrony).
+    #[must_use]
+    pub fn timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the adversarial delay oracle (default: every message 1µs).
+    #[must_use]
+    pub fn oracle(mut self, oracle: impl DelayOracle<M> + 'static) -> Self {
+        self.oracle = Box::new(oracle);
+        self
+    }
+
+    /// Sets per-party start times (default: synchronized start, σ = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule covers a different number of parties.
+    #[must_use]
+    pub fn skew(mut self, skew: SkewSchedule) -> Self {
+        assert_eq!(skew.len(), self.config.n(), "skew schedule size mismatch");
+        self.skew = skew;
+        self
+    }
+
+    /// Declares which party is the designated broadcaster (default: party 0).
+    /// Only affects latency accounting, not behavior.
+    #[must_use]
+    pub fn broadcaster(mut self, p: PartyId) -> Self {
+        self.broadcaster = p;
+        self
+    }
+
+    /// Horizon after which the run stops (default: 600 simulated seconds).
+    #[must_use]
+    pub fn max_time(mut self, t: GlobalTime) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Delivery fallback for `Never` on honest links under asynchrony.
+    #[must_use]
+    pub fn async_fallback(mut self, d: Duration) -> Self {
+        self.async_fallback = d;
+        self
+    }
+
+    /// Enables trace recording (off by default; traces can be large).
+    #[must_use]
+    pub fn record_trace(mut self, yes: bool) -> Self {
+        self.record_trace = yes;
+        self
+    }
+
+    /// Installs a Byzantine strategy at slot `p`.
+    #[must_use]
+    pub fn byzantine(mut self, p: PartyId, strategy: impl Strategy<M>) -> Self {
+        self.slots[p.as_usize()] = Some((Box::new(strategy), false));
+        self
+    }
+
+    /// Installs honest protocol code at slot `p` explicitly.
+    #[must_use]
+    pub fn honest_at(mut self, p: PartyId, protocol: impl Protocol<Msg = M>) -> Self {
+        self.slots[p.as_usize()] = Some((Box::new(protocol), true));
+        self
+    }
+
+    /// Fills every remaining slot with `make(party)` as honest code.
+    #[must_use]
+    pub fn spawn_honest<P: Protocol<Msg = M>>(
+        mut self,
+        mut make: impl FnMut(PartyId) -> P,
+    ) -> Self {
+        for i in 0..self.config.n() {
+            if self.slots[i].is_none() {
+                let p = PartyId::new(i as u32);
+                self.slots[i] = Some((Box::new(make(p)), true));
+            }
+        }
+        self
+    }
+
+    /// Runs the execution to completion and returns the [`Outcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is still unfilled.
+    pub fn run(self) -> Outcome {
+        let SimulationBuilder {
+            config,
+            timing,
+            mut oracle,
+            skew,
+            slots,
+            broadcaster,
+            max_time,
+            max_events,
+            async_fallback,
+            record_trace,
+        } = self;
+
+        let n = config.n();
+        let mut strategies: Vec<Box<dyn Strategy<M>>> = Vec::with_capacity(n);
+        let mut honest = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (s, h) = slot.unwrap_or_else(|| panic!("slot {i} was never filled"));
+            strategies.push(s);
+            honest.push(h);
+        }
+
+        let mut queue: EventQueue<M> = EventQueue::new();
+        for p in config.parties() {
+            queue.push(skew.start_of(p), EventKind::Start(p));
+        }
+
+        let mut started = vec![false; n];
+        let mut terminated = vec![false; n];
+        let mut committed: Vec<Option<CommitRecord>> = vec![None; n];
+        // None = nothing delivered yet; Some(r) = max round tag delivered.
+        let mut max_round: Vec<Option<u32>> = vec![None; n];
+        let mut last_delivery_of_round: Vec<GlobalTime> = Vec::new();
+        let note_delivery = |table: &mut Vec<GlobalTime>, round: u32, at: GlobalTime| {
+            if table.len() <= round as usize {
+                table.resize(round as usize + 1, GlobalTime::ZERO);
+            }
+            table[round as usize] = table[round as usize].max(at);
+        };
+        let mut link_seq: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut trace = Vec::new();
+
+        let mut events_processed: u64 = 0;
+        let mut messages_sent: u64 = 0;
+        let mut now = GlobalTime::ZERO;
+
+        while let Some(ev) = queue.pop() {
+            if ev.at > max_time || events_processed >= max_events {
+                break;
+            }
+            now = ev.at;
+            events_processed += 1;
+
+            // All honest parties done => nothing left to observe.
+            if (0..n).all(|i| !honest[i] || terminated[i]) {
+                break;
+            }
+
+            let (party, action) = match ev.kind {
+                EventKind::Start(p) => {
+                    started[p.as_usize()] = true;
+                    if record_trace {
+                        trace.push(TraceEntry::Started { at: now, party: p });
+                    }
+                    (p, Action::Start)
+                }
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg,
+                    round,
+                } => {
+                    if !started[to.as_usize()] && !terminated[to.as_usize()] {
+                        // Delivered before the recipient's protocol start:
+                        // buffer by rescheduling at its start instant.
+                        queue.push(skew.start_of(to), EventKind::Deliver { to, from, msg, round });
+                        continue;
+                    }
+                    if terminated[to.as_usize()] {
+                        continue;
+                    }
+                    let slot = to.as_usize();
+                    max_round[slot] = Some(max_round[slot].map_or(round, |r| r.max(round)));
+                    if record_trace {
+                        trace.push(TraceEntry::Delivered {
+                            at: now,
+                            from,
+                            to,
+                            round,
+                            msg: format!("{msg:?}"),
+                        });
+                    }
+                    (to, Action::Message(from, msg))
+                }
+                EventKind::Timer { party, tag } => {
+                    if terminated[party.as_usize()] {
+                        continue;
+                    }
+                    if record_trace {
+                        trace.push(TraceEntry::TimerFired { at: now, party, tag });
+                    }
+                    (party, Action::Timer(tag))
+                }
+            };
+
+            let slot = party.as_usize();
+            let start = skew.start_of(party);
+            let local = now
+                .to_local(start)
+                .expect("event before party start should have been rescheduled");
+
+            let mut ctx = CtxImpl {
+                me: party,
+                config,
+                now_local: local,
+                sends: Vec::new(),
+                timers: Vec::new(),
+                commits: Vec::new(),
+                terminate: false,
+            };
+
+            match action {
+                Action::Start => strategies[slot].start(&mut ctx),
+                Action::Message(from, msg) => strategies[slot].on_message(from, msg, &mut ctx),
+                Action::Timer(tag) => strategies[slot].on_timer(tag, &mut ctx),
+            }
+
+            // Effects: commits first (they logically precede sends in the
+            // same handler for metric purposes — same instant regardless).
+            for value in ctx.commits {
+                if committed[slot].is_none() {
+                    let round = max_round[slot].map_or(0, |r| r + 1);
+                    committed[slot] = Some(CommitRecord {
+                        party,
+                        value,
+                        global: now,
+                        local,
+                        round,
+                        step: events_processed,
+                    });
+                    if record_trace {
+                        trace.push(TraceEntry::Committed {
+                            at: now,
+                            party,
+                            value,
+                        });
+                    }
+                }
+            }
+
+            let out_round = max_round[slot].map_or(0, |r| r + 1);
+            for (to, msg) in ctx.sends {
+                messages_sent += 1;
+                if to == party {
+                    // Self-delivery: immediate, not adversary-controlled.
+                    note_delivery(&mut last_delivery_of_round, out_round, now);
+                    queue.push(
+                        now,
+                        EventKind::Deliver {
+                            to,
+                            from: party,
+                            msg,
+                            round: out_round,
+                        },
+                    );
+                    continue;
+                }
+                let seq = link_seq
+                    .entry((party.index(), to.index()))
+                    .and_modify(|s| *s += 1)
+                    .or_insert(0);
+                let env = MsgEnvelope {
+                    from: party,
+                    to,
+                    sent_at: now,
+                    msg: &msg,
+                    from_honest: honest[slot],
+                    to_honest: honest[to.as_usize()],
+                    link_seq: *seq,
+                };
+                let choice = oracle.delay(&env);
+                let honest_link = env.honest_link();
+                if let Some(at) =
+                    clamp_delivery(timing, now, choice, honest_link, async_fallback)
+                {
+                    note_delivery(&mut last_delivery_of_round, out_round, at);
+                    queue.push(
+                        at,
+                        EventKind::Deliver {
+                            to,
+                            from: party,
+                            msg,
+                            round: out_round,
+                        },
+                    );
+                }
+            }
+
+            for (delay, tag) in ctx.timers {
+                queue.push(now + delay, EventKind::Timer { party, tag });
+            }
+
+            if ctx.terminate {
+                terminated[slot] = true;
+            }
+        }
+
+        Outcome {
+            config,
+            honest,
+            commits: committed.into_iter().flatten().collect(),
+            terminated,
+            broadcaster,
+            broadcaster_start: skew.start_of(broadcaster),
+            end_time: now,
+            events_processed,
+            messages_sent,
+            last_delivery_of_round,
+            trace,
+        }
+    }
+}
+
+impl<M> fmt::Debug for SimulationBuilder<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("config", &self.config)
+            .field("timing", &self.timing)
+            .field("broadcaster", &self.broadcaster)
+            .finish()
+    }
+}
+
+enum Action<M> {
+    Start,
+    Message(PartyId, M),
+    Timer(u64),
+}
+
+struct CtxImpl<M> {
+    me: PartyId,
+    config: Config,
+    now_local: LocalTime,
+    sends: Vec<(PartyId, M)>,
+    timers: Vec<(Duration, u64)>,
+    commits: Vec<Value>,
+    terminate: bool,
+}
+
+impl<M> Context<M> for CtxImpl<M> {
+    fn me(&self) -> PartyId {
+        self.me
+    }
+    fn config(&self) -> Config {
+        self.config
+    }
+    fn now(&self) -> LocalTime {
+        self.now_local
+    }
+    fn send(&mut self, to: PartyId, msg: M) {
+        self.sends.push((to, msg));
+    }
+    fn set_timer(&mut self, delay: Duration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+    fn commit(&mut self, value: Value) {
+        self.commits.push(value);
+    }
+    fn terminate(&mut self) {
+        self.terminate = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{DelayRule, LinkDelay, PartySet, ScheduleOracle};
+
+    /// Broadcaster multicasts its value; everyone commits on first receipt.
+    struct Flood {
+        input: Option<Value>,
+    }
+
+    impl Protocol for Flood {
+        type Msg = Value;
+        fn start(&mut self, ctx: &mut dyn Context<Value>) {
+            if let Some(v) = self.input {
+                ctx.multicast(v);
+            }
+        }
+        fn on_message(&mut self, _from: PartyId, v: Value, ctx: &mut dyn Context<Value>) {
+            ctx.commit(v);
+            ctx.terminate();
+        }
+    }
+
+    fn flood_sim(delta_us: u64) -> Outcome {
+        let cfg = Config::new(4, 1).unwrap();
+        Simulation::build(cfg)
+            .timing(TimingModel::lockstep(Duration::from_micros(delta_us)))
+            .oracle(FixedDelay::new(Duration::from_micros(delta_us)))
+            .spawn_honest(|p| Flood {
+                input: (p == PartyId::new(0)).then_some(Value::new(3)),
+            })
+            .run()
+    }
+
+    #[test]
+    fn flood_commits_everywhere() {
+        let o = flood_sim(10);
+        assert!(o.agreement_holds());
+        assert!(o.all_honest_committed());
+        assert!(o.all_honest_terminated());
+        assert_eq!(o.committed_value(), Some(Value::new(3)));
+        assert_eq!(o.good_case_latency(), Some(Duration::from_micros(10)));
+        assert_eq!(o.good_case_rounds(), Some(1));
+    }
+
+    #[test]
+    fn latency_scales_with_delta() {
+        assert_eq!(
+            flood_sim(250).good_case_latency(),
+            Some(Duration::from_micros(250))
+        );
+    }
+
+    #[test]
+    fn synchrony_clamps_oracle_excess() {
+        let cfg = Config::new(3, 1).unwrap();
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::Synchrony {
+                delta: Duration::from_micros(5),
+                big_delta: Duration::from_micros(100),
+            })
+            // Oracle asks for 1000µs but honest links clamp to δ = 5µs.
+            .oracle(FixedDelay::new(Duration::from_micros(1_000)))
+            .spawn_honest(|p| Flood {
+                input: (p == PartyId::new(0)).then_some(Value::new(1)),
+            })
+            .run();
+        assert_eq!(o.good_case_latency(), Some(Duration::from_micros(5)));
+    }
+
+    #[test]
+    fn byzantine_link_can_drop() {
+        let cfg = Config::new(3, 1).unwrap();
+        // Party 2 is "Byzantine" (runs the honest code, but its links are
+        // unconstrained); drop everything it would receive.
+        let oracle: ScheduleOracle<Value> = ScheduleOracle::new(Duration::from_micros(5)).rule(
+            DelayRule::link(PartySet::Any, PartySet::One(PartyId::new(2)), LinkDelay::Never),
+        );
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::lockstep(Duration::from_micros(5)))
+            .oracle(oracle)
+            .byzantine(
+                PartyId::new(2),
+                Flood { input: None },
+            )
+            .spawn_honest(|p| Flood {
+                input: (p == PartyId::new(0)).then_some(Value::new(2)),
+            })
+            .run();
+        assert!(o.all_honest_committed());
+        assert!(o.commit_of(PartyId::new(2)).is_none());
+    }
+
+    #[test]
+    fn unsynchronized_start_buffers_early_messages() {
+        let cfg = Config::new(3, 1).unwrap();
+        // Party 2 starts 50µs late; the flood arrives at 10µs and must be
+        // buffered until its start, then delivered at local time 0.
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::lockstep(Duration::from_micros(10)))
+            .oracle(FixedDelay::new(Duration::from_micros(10)))
+            .skew(SkewSchedule::with_late_parties(
+                3,
+                &[(PartyId::new(2), Duration::from_micros(50))],
+            ))
+            .spawn_honest(|p| Flood {
+                input: (p == PartyId::new(0)).then_some(Value::new(4)),
+            })
+            .run();
+        let c2 = o.commit_of(PartyId::new(2)).unwrap();
+        assert_eq!(c2.local, LocalTime::ZERO, "delivered at its start");
+        assert_eq!(c2.global, GlobalTime::from_micros(50));
+        // Good-case latency measured from broadcaster start (0).
+        assert_eq!(o.good_case_latency(), Some(Duration::from_micros(50)));
+    }
+
+    #[test]
+    fn round_accounting_counts_causal_depth() {
+        /// Two-hop relay: P0 -> P1 -> P2, commit at P2.
+        struct Relay;
+        impl Protocol for Relay {
+            type Msg = Value;
+            fn start(&mut self, ctx: &mut dyn Context<Value>) {
+                if ctx.me() == PartyId::new(0) {
+                    ctx.send(PartyId::new(1), Value::new(9));
+                }
+            }
+            fn on_message(&mut self, _from: PartyId, v: Value, ctx: &mut dyn Context<Value>) {
+                match ctx.me().index() {
+                    1 => ctx.send(PartyId::new(2), v),
+                    2 => {
+                        ctx.commit(v);
+                        ctx.terminate();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let cfg = Config::new(3, 1).unwrap();
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::Asynchrony)
+            .oracle(FixedDelay::new(Duration::from_micros(1)))
+            .spawn_honest(|_| Relay)
+            .run();
+        let c = o.commit_of(PartyId::new(2)).unwrap();
+        assert_eq!(c.round, 2, "P0's msg is round 0, relayed msg round 1, commit in round 2");
+    }
+
+    #[test]
+    fn timer_fires_at_local_time() {
+        struct TimerProto;
+        impl Protocol for TimerProto {
+            type Msg = Value;
+            fn start(&mut self, ctx: &mut dyn Context<Value>) {
+                ctx.set_timer(Duration::from_micros(30), 7);
+            }
+            fn on_message(&mut self, _: PartyId, _: Value, _: &mut dyn Context<Value>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<Value>) {
+                assert_eq!(tag, 7);
+                assert_eq!(ctx.now(), LocalTime::from_micros(30));
+                ctx.commit(Value::new(1));
+                ctx.terminate();
+            }
+        }
+        let cfg = Config::new(2, 1).unwrap();
+        let o = Simulation::build(cfg)
+            .skew(SkewSchedule::with_late_parties(
+                2,
+                &[(PartyId::new(1), Duration::from_micros(11))],
+            ))
+            .spawn_honest(|_| TimerProto)
+            .run();
+        assert!(o.all_honest_committed());
+        assert_eq!(
+            o.commit_of(PartyId::new(1)).unwrap().global,
+            GlobalTime::from_micros(41)
+        );
+    }
+
+    #[test]
+    fn first_commit_wins_double_commit_ignored() {
+        struct DoubleCommitter;
+        impl Protocol for DoubleCommitter {
+            type Msg = Value;
+            fn start(&mut self, ctx: &mut dyn Context<Value>) {
+                ctx.commit(Value::new(1));
+                ctx.commit(Value::new(2));
+                ctx.terminate();
+            }
+            fn on_message(&mut self, _: PartyId, _: Value, _: &mut dyn Context<Value>) {}
+        }
+        let cfg = Config::new(2, 1).unwrap();
+        let o = Simulation::build(cfg).spawn_honest(|_| DoubleCommitter).run();
+        for c in o.honest_commits() {
+            assert_eq!(c.value, Value::new(1));
+        }
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let cfg = Config::new(2, 1).unwrap();
+        let o = Simulation::build(cfg)
+            .record_trace(true)
+            .oracle(FixedDelay::new(Duration::from_micros(1)))
+            .spawn_honest(|p| Flood {
+                input: (p == PartyId::new(0)).then_some(Value::new(5)),
+            })
+            .run();
+        assert!(o
+            .trace()
+            .iter()
+            .any(|t| matches!(t, TraceEntry::Started { .. })));
+        assert!(o
+            .trace()
+            .iter()
+            .any(|t| matches!(t, TraceEntry::Delivered { .. })));
+        assert!(o
+            .trace()
+            .iter()
+            .any(|t| matches!(t, TraceEntry::Committed { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 1 was never filled")]
+    fn unfilled_slot_panics() {
+        let cfg = Config::new(2, 1).unwrap();
+        let _ = Simulation::build(cfg)
+            .honest_at(PartyId::new(0), Flood { input: None })
+            .run();
+    }
+
+    #[test]
+    fn determinism_same_build_same_outcome() {
+        let a = flood_sim(10);
+        let b = flood_sim(10);
+        assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(a.messages_sent(), b.messages_sent());
+        assert_eq!(a.good_case_latency(), b.good_case_latency());
+    }
+}

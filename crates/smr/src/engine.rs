@@ -1,0 +1,414 @@
+//! The slot multiplexer.
+
+use crate::machine::StateMachine;
+use gcl_core::psync::{VbbFiveFMinusOne, VbbMsg};
+use gcl_crypto::{Pki, Signer};
+use gcl_sim::{Context, Protocol};
+use gcl_types::{accept_all, Config, Duration, LocalTime, PartyId, SlotId, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Wire message: a psync-VBB message tagged with its slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmrMsg {
+    /// The slot this message belongs to.
+    pub slot: SlotId,
+    /// The inner broadcast message.
+    pub inner: VbbMsg,
+}
+
+/// Timer-tag multiplexing: slot index is packed above the inner tag.
+const SLOT_TAG_STRIDE: u64 = 1 << 40;
+
+/// A replica: one `(5f−1)`-psync-VBB instance per slot, committed values
+/// applied in slot order to the shared [`StateMachine`].
+///
+/// The leader (party 0, the stable primary) drains its client `workload`
+/// queue, keeping up to `pipeline` slots in flight. The state machine is
+/// behind an `Arc<Mutex<…>>` so tests and applications can observe it
+/// after (or during) the run.
+pub struct SlotEngine<S> {
+    config: Config,
+    signer: Signer,
+    pki: Arc<Pki>,
+    big_delta: Duration,
+    workload: Vec<Value>,
+    pipeline: usize,
+    machine: Arc<Mutex<S>>,
+    slots: BTreeMap<SlotId, VbbFiveFMinusOne>,
+    committed: BTreeMap<SlotId, Value>,
+    applied_up_to: u64,
+    started: u64,
+    terminated: bool,
+}
+
+impl<S: StateMachine> SlotEngine<S> {
+    /// Creates a replica.
+    ///
+    /// `workload` is the client command queue — only the leader (party 0)
+    /// proposes from it, but every replica knows its length so it can
+    /// terminate when the log is fully committed. `pipeline` ≥ 1 slots run
+    /// concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipeline == 0`, or `n < 5f − 1` (engine requirement).
+    pub fn new(
+        config: Config,
+        signer: Signer,
+        pki: Arc<Pki>,
+        big_delta: Duration,
+        workload: Vec<Value>,
+        pipeline: usize,
+        machine: Arc<Mutex<S>>,
+    ) -> Self {
+        assert!(pipeline >= 1, "pipeline depth must be at least 1");
+        assert!(
+            config.supports_two_round_psync(),
+            "SMR engine requires n >= 5f - 1"
+        );
+        SlotEngine {
+            config,
+            signer,
+            pki,
+            big_delta,
+            workload,
+            pipeline,
+            machine,
+            slots: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            applied_up_to: 0,
+            started: 0,
+            terminated: false,
+        }
+    }
+
+    fn is_leader(&self) -> bool {
+        self.signer.id() == PartyId::new(0)
+    }
+
+    fn instance(&mut self, slot: SlotId) -> &mut VbbFiveFMinusOne {
+        let config = self.config;
+        let signer = self.signer.clone();
+        let pki = Arc::clone(&self.pki);
+        let big_delta = self.big_delta;
+        let input = if self.signer.id() == PartyId::new(0) {
+            Some(
+                self.workload
+                    .get(slot.index() as usize)
+                    .copied()
+                    .unwrap_or(Value::new(u64::MAX - 1)), // no-op filler
+            )
+        } else {
+            None
+        };
+        self.slots.entry(slot).or_insert_with(|| {
+            VbbFiveFMinusOne::new(config, signer, pki, accept_all(), big_delta, input)
+        })
+    }
+
+    /// Leader: open the next slots up to the pipeline limit.
+    fn open_slots(&mut self, ctx: &mut dyn Context<SmrMsg>) {
+        let total = self.workload.len() as u64;
+        while self.started < total && self.started < self.applied_up_to + self.pipeline as u64 {
+            let slot = SlotId::new(self.started);
+            self.started += 1;
+            let mut sub = SubCtx {
+                outer: ctx,
+                slot,
+                commits: Vec::new(),
+            };
+            self.instance(slot);
+            // Start the instance (leader proposes; followers arm timers).
+            let inst = self.slots.get_mut(&slot).expect("just inserted");
+            Protocol::start(inst, &mut sub);
+            let commits = sub.commits;
+            self.absorb_commits(slot, commits, ctx);
+        }
+    }
+
+    fn absorb_commits(
+        &mut self,
+        slot: SlotId,
+        commits: Vec<Value>,
+        ctx: &mut dyn Context<SmrMsg>,
+    ) {
+        if let Some(v) = commits.first() {
+            self.committed.entry(slot).or_insert(*v);
+        }
+        // Apply in order.
+        while let Some(v) = self.committed.get(&SlotId::new(self.applied_up_to)).copied() {
+            self.machine
+                .lock()
+                .apply(SlotId::new(self.applied_up_to), v);
+            self.applied_up_to += 1;
+        }
+        if self.is_leader() {
+            self.open_slots(ctx);
+        }
+        // All slots of the workload applied: report the log digest as this
+        // replica's "commit" for Outcome-level agreement checking, then
+        // stop.
+        if !self.terminated && self.applied_up_to >= self.workload.len() as u64 {
+            self.terminated = true;
+            ctx.commit(Value::new(self.machine.lock().state_digest()));
+            ctx.terminate();
+        }
+    }
+}
+
+impl<S: StateMachine> Protocol for SlotEngine<S> {
+    type Msg = SmrMsg;
+
+    fn start(&mut self, ctx: &mut dyn Context<SmrMsg>) {
+        if self.workload.is_empty() {
+            ctx.commit(Value::new(self.machine.lock().state_digest()));
+            ctx.terminate();
+            return;
+        }
+        if self.is_leader() {
+            self.open_slots(ctx);
+        } else {
+            // Followers start the first pipeline of slots to arm their
+            // view timers.
+            for i in 0..self.pipeline.min(self.workload.len()) {
+                let slot = SlotId::new(i as u64);
+                self.instance(slot);
+                let inst = self.slots.get_mut(&slot).expect("just inserted");
+                let mut sub = SubCtx {
+                    outer: ctx,
+                    slot,
+                    commits: Vec::new(),
+                };
+                Protocol::start(inst, &mut sub);
+                let commits = sub.commits;
+                self.absorb_commits(slot, commits, ctx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: SmrMsg, ctx: &mut dyn Context<SmrMsg>) {
+        if self.terminated || msg.slot.index() >= self.workload.len() as u64 {
+            return;
+        }
+        let slot = msg.slot;
+        self.instance(slot);
+        let inst = self.slots.get_mut(&slot).expect("just inserted");
+        let mut sub = SubCtx {
+            outer: ctx,
+            slot,
+            commits: Vec::new(),
+        };
+        Protocol::on_message(inst, from, msg.inner, &mut sub);
+        let commits = sub.commits;
+        self.absorb_commits(slot, commits, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<SmrMsg>) {
+        if self.terminated {
+            return;
+        }
+        let slot = SlotId::new(tag / SLOT_TAG_STRIDE);
+        let inner_tag = tag % SLOT_TAG_STRIDE;
+        if slot.index() >= self.workload.len() as u64 {
+            return;
+        }
+        self.instance(slot);
+        let inst = self.slots.get_mut(&slot).expect("just inserted");
+        let mut sub = SubCtx {
+            outer: ctx,
+            slot,
+            commits: Vec::new(),
+        };
+        Protocol::on_timer(inst, inner_tag, &mut sub);
+        let commits = sub.commits;
+        self.absorb_commits(slot, commits, ctx);
+    }
+}
+
+impl<S> std::fmt::Debug for SlotEngine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotEngine")
+            .field("me", &self.signer.id())
+            .field("slots", &self.slots.len())
+            .field("applied_up_to", &self.applied_up_to)
+            .finish()
+    }
+}
+
+/// Context adapter: wraps/unwraps slot tags around the inner protocol's
+/// view of the world.
+struct SubCtx<'a> {
+    outer: &'a mut dyn Context<SmrMsg>,
+    slot: SlotId,
+    commits: Vec<Value>,
+}
+
+impl Context<VbbMsg> for SubCtx<'_> {
+    fn me(&self) -> PartyId {
+        self.outer.me()
+    }
+    fn config(&self) -> Config {
+        self.outer.config()
+    }
+    fn now(&self) -> LocalTime {
+        self.outer.now()
+    }
+    fn send(&mut self, to: PartyId, msg: VbbMsg) {
+        self.outer.send(
+            to,
+            SmrMsg {
+                slot: self.slot,
+                inner: msg,
+            },
+        );
+    }
+    fn set_timer(&mut self, delay: Duration, tag: u64) {
+        self.outer
+            .set_timer(delay, self.slot.index() * SLOT_TAG_STRIDE + tag);
+    }
+    fn commit(&mut self, value: Value) {
+        self.commits.push(value);
+    }
+    fn terminate(&mut self) {
+        // A slot instance terminating does not terminate the replica.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Counter, KvStore};
+    use gcl_crypto::Keychain;
+    use gcl_sim::{FixedDelay, Outcome, Simulation, TimingModel};
+    use gcl_types::GlobalTime;
+
+    const DELTA: Duration = Duration::from_micros(100);
+
+    fn run_counter(
+        n: usize,
+        f: usize,
+        commands: u64,
+        pipeline: usize,
+    ) -> (Outcome, Vec<Arc<Mutex<Counter>>>) {
+        let cfg = Config::new(n, f).unwrap();
+        let chain = Keychain::generate(n, 130);
+        let workload: Vec<Value> = (1..=commands).map(Value::new).collect();
+        let machines: Vec<Arc<Mutex<Counter>>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(Counter::default())))
+            .collect();
+        let ms = machines.clone();
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::PartialSynchrony {
+                gst: GlobalTime::ZERO,
+                big_delta: DELTA,
+            })
+            .oracle(FixedDelay::new(DELTA))
+            .spawn_honest(move |p| {
+                SlotEngine::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    DELTA,
+                    workload.clone(),
+                    pipeline,
+                    ms[p.as_usize()].clone(),
+                )
+            })
+            .run();
+        (o, machines)
+    }
+
+    #[test]
+    fn replicates_a_counter_log() {
+        let (o, machines) = run_counter(4, 1, 10, 3);
+        assert!(o.agreement_holds(), "log digests agree");
+        assert!(o.all_honest_committed());
+        for m in &machines {
+            assert_eq!(m.lock().total(), (1..=10).sum::<u64>());
+            assert_eq!(m.lock().applied(), 10);
+        }
+    }
+
+    #[test]
+    fn pipelining_reduces_wall_time() {
+        let (serial, _) = run_counter(4, 1, 8, 1);
+        let (piped, _) = run_counter(4, 1, 8, 4);
+        assert!(
+            piped.end_time() < serial.end_time(),
+            "pipeline 4 ({}) should beat pipeline 1 ({})",
+            piped.end_time(),
+            serial.end_time()
+        );
+    }
+
+    #[test]
+    fn per_slot_latency_is_two_rounds() {
+        // One command: the whole run is one slot = one good-case broadcast.
+        let (o, _) = run_counter(4, 1, 1, 1);
+        assert!(o.all_honest_committed());
+        // Commit of the log (= slot 0) at 2Δ + ε.
+        assert!(o.good_case_latency().unwrap() <= DELTA * 2);
+    }
+
+    #[test]
+    fn kv_replicas_converge() {
+        let cfg = Config::new(4, 1).unwrap();
+        let chain = Keychain::generate(4, 131);
+        let workload: Vec<Value> = (0..6).map(|i| KvStore::set(i % 3, 100 + i)).collect();
+        let machines: Vec<Arc<Mutex<KvStore>>> = (0..4)
+            .map(|_| Arc::new(Mutex::new(KvStore::default())))
+            .collect();
+        let ms = machines.clone();
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::PartialSynchrony {
+                gst: GlobalTime::ZERO,
+                big_delta: DELTA,
+            })
+            .oracle(FixedDelay::new(DELTA))
+            .spawn_honest(move |p| {
+                SlotEngine::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    DELTA,
+                    workload.clone(),
+                    2,
+                    ms[p.as_usize()].clone(),
+                )
+            })
+            .run();
+        assert!(o.agreement_holds());
+        let d0 = machines[0].lock().state_digest();
+        for m in &machines[1..] {
+            assert_eq!(m.lock().state_digest(), d0);
+        }
+        assert_eq!(machines[0].lock().get(0), Some(103));
+        assert_eq!(machines[0].lock().get(1), Some(104));
+        assert_eq!(machines[0].lock().get(2), Some(105));
+    }
+
+    #[test]
+    fn empty_workload_trivially_done() {
+        let (o, _) = run_counter(4, 1, 0, 2);
+        assert!(o.all_honest_committed());
+        assert!(o.all_honest_terminated());
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth")]
+    fn zero_pipeline_rejected() {
+        let cfg = Config::new(4, 1).unwrap();
+        let chain = Keychain::generate(4, 1);
+        let _ = SlotEngine::new(
+            cfg,
+            chain.signer(PartyId::new(0)),
+            chain.pki(),
+            DELTA,
+            vec![],
+            0,
+            Arc::new(Mutex::new(Counter::default())),
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Invalid `(n, f)` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fewer than two parties.
+    TooFewParties {
+        /// The offending party count.
+        n: usize,
+    },
+    /// `f >= n`.
+    TooManyFaults {
+        /// Party count.
+        n: usize,
+        /// Offending fault budget.
+        f: usize,
+    },
+    /// The protocol being instantiated needs a stronger resilience bound
+    /// than `(n, f)` provides.
+    InsufficientResilience {
+        /// Human-readable requirement, e.g. `"n >= 5f - 1"`.
+        requirement: &'static str,
+        /// Party count.
+        n: usize,
+        /// Fault budget.
+        f: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewParties { n } => {
+                write!(f, "at least 2 parties required, got {n}")
+            }
+            ConfigError::TooManyFaults { n, f: faults } => {
+                write!(f, "fault budget {faults} must be below n = {n}")
+            }
+            ConfigError::InsufficientResilience { requirement, n, f: faults } => {
+                write!(
+                    f,
+                    "protocol requires {requirement}, got n = {n}, f = {faults}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A protocol-level fault observed while processing a message.
+///
+/// Honest parties never act on malformed input; these errors are surfaced to
+/// the harness for tracing and to tests asserting that invalid messages are
+/// rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A signature failed verification.
+    BadSignature,
+    /// A certificate or proof did not satisfy its validity rule.
+    InvalidCertificate(String),
+    /// A message arrived that the protocol state machine cannot accept.
+    UnexpectedMessage(String),
+    /// The external-validity predicate rejected a proposed value.
+    ExternallyInvalid,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadSignature => f.write_str("signature verification failed"),
+            ProtocolError::InvalidCertificate(why) => {
+                write!(f, "invalid certificate: {why}")
+            }
+            ProtocolError::UnexpectedMessage(why) => {
+                write!(f, "unexpected message: {why}")
+            }
+            ProtocolError::ExternallyInvalid => {
+                f.write_str("value rejected by external validity predicate")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_messages() {
+        assert_eq!(
+            ConfigError::TooFewParties { n: 1 }.to_string(),
+            "at least 2 parties required, got 1"
+        );
+        assert!(ConfigError::TooManyFaults { n: 3, f: 3 }
+            .to_string()
+            .contains("below n = 3"));
+        assert!(ConfigError::InsufficientResilience {
+            requirement: "n >= 5f - 1",
+            n: 8,
+            f: 2
+        }
+        .to_string()
+        .contains("n >= 5f - 1"));
+    }
+
+    #[test]
+    fn protocol_error_messages() {
+        assert!(ProtocolError::BadSignature.to_string().contains("signature"));
+        assert!(ProtocolError::InvalidCertificate("too few votes".into())
+            .to_string()
+            .contains("too few votes"));
+        assert!(ProtocolError::UnexpectedMessage("x".into())
+            .to_string()
+            .contains("unexpected"));
+        assert!(ProtocolError::ExternallyInvalid
+            .to_string()
+            .contains("external"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+        assert_err::<ProtocolError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! Common vocabulary types shared by every crate in the `gcl` workspace.
+//!
+//! This crate defines the identities, values, clocks and resilience
+//! configuration used by the broadcast protocols of
+//! *"Good-case Latency of Byzantine Broadcast: A Complete Categorization"*
+//! (Abraham, Nayak, Ren, Xiang — PODC 2021).
+//!
+//! Everything here is deliberately small, `Copy` where possible, and free of
+//! protocol logic: protocols live in `gcl-core`, the execution substrate in
+//! `gcl-sim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use gcl_types::{Config, PartyId, ResilienceRegime, Value};
+//!
+//! let cfg = Config::new(4, 1).unwrap();
+//! assert_eq!(cfg.quorum(), 3); // n - f
+//! assert_eq!(cfg.regime(), ResilienceRegime::UnderThird);
+//! let v = Value::new(42);
+//! assert_eq!(v.as_u64(), 42);
+//! let p: PartyId = PartyId::new(0);
+//! assert!(cfg.parties().any(|q| q == p));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod id;
+mod time;
+mod validity;
+mod value;
+
+pub use config::{Config, ResilienceRegime};
+pub use error::{ConfigError, ProtocolError};
+pub use id::{PartyId, View};
+pub use time::{Duration, GlobalTime, LocalTime, SkewSchedule};
+pub use validity::{accept_all, ExternalValidity};
+pub use value::{SlotId, Value};

@@ -1,0 +1,98 @@
+//! External validity predicates (Definition 5 of the paper).
+//!
+//! The partially synchronous *validated* Byzantine broadcast (psync-VBB)
+//! strengthens psync-BB with an external predicate `F: value → bool`; honest
+//! parties ignore proposals whose value fails the predicate, and any value
+//! committed when the broadcaster is Byzantine must satisfy it.
+
+use crate::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared, thread-safe external validity predicate.
+///
+/// # Examples
+///
+/// ```
+/// use gcl_types::{ExternalValidity, Value};
+/// let even_only = ExternalValidity::new("even", |v| v.as_u64() % 2 == 0);
+/// assert!(even_only.check(Value::new(4)));
+/// assert!(!even_only.check(Value::new(3)));
+/// ```
+#[derive(Clone)]
+pub struct ExternalValidity {
+    name: &'static str,
+    pred: Arc<dyn Fn(Value) -> bool + Send + Sync>,
+}
+
+impl ExternalValidity {
+    /// Wraps a predicate function with a diagnostic name.
+    pub fn new(name: &'static str, pred: impl Fn(Value) -> bool + Send + Sync + 'static) -> Self {
+        ExternalValidity {
+            name,
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// Evaluates the predicate.
+    pub fn check(&self, value: Value) -> bool {
+        (self.pred)(value)
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Debug for ExternalValidity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExternalValidity")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Default for ExternalValidity {
+    fn default() -> Self {
+        accept_all()
+    }
+}
+
+/// The trivial predicate accepting every value — psync-VBB degenerates to
+/// psync-BB under it.
+pub fn accept_all() -> ExternalValidity {
+    ExternalValidity::new("accept-all", |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_all_accepts() {
+        let p = accept_all();
+        assert!(p.check(Value::ZERO));
+        assert!(p.check(Value::new(u64::MAX)));
+        assert_eq!(p.name(), "accept-all");
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let p = ExternalValidity::new("small", |v| v.as_u64() < 10);
+        assert!(p.check(Value::new(9)));
+        assert!(!p.check(Value::new(10)));
+        assert!(format!("{p:?}").contains("small"));
+    }
+
+    #[test]
+    fn default_is_accept_all() {
+        assert!(ExternalValidity::default().check(Value::new(123)));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<ExternalValidity>();
+    }
+}

@@ -1,0 +1,75 @@
+//! Replay the paper's lower-bound executions: strawman protocols that
+//! overclaim latency get split; the paper's protocols survive the same
+//! adversaries.
+//!
+//! ```sh
+//! cargo run --example adversary_gallery
+//! ```
+
+use gcl::core::lower_bounds::{theorem10, theorem4, theorem7, theorem9};
+
+fn report(name: &str, claim: &str, violated: bool, expected_violation: bool) {
+    let status = match (violated, expected_violation) {
+        (true, true) => "SPLIT — exactly as the theorem predicts",
+        (false, false) => "safe — the tight protocol absorbs the attack",
+        (true, false) => "UNEXPECTED VIOLATION (bug!)",
+        (false, true) => "unexpected survival (schedule too weak?)",
+    };
+    println!("{name:<46} {claim:<34} {status}");
+}
+
+fn main() {
+    println!("Adversary gallery — the lower bounds, executed\n");
+
+    let o = theorem4::split_one_round_brb(4, 1, 1);
+    report(
+        "Thm 4: equivocating broadcaster",
+        "vs 1-round BRB strawman",
+        !o.agreement_holds(),
+        true,
+    );
+    let o = theorem4::split_two_round_brb(4, 1, 1);
+    report(
+        "Thm 4: equivocating broadcaster",
+        "vs 2-round BRB (Fig 1)",
+        !o.agreement_holds(),
+        false,
+    );
+
+    let o = theorem7::split_fab_at_5f_minus_2();
+    report(
+        "Thm 7 / Fig 4: commit-then-steer view change",
+        "vs FaB-style 2-round @ n=5f-2",
+        !o.agreement_holds(),
+        true,
+    );
+
+    let o = theorem9::split_early_commit();
+    report(
+        "Thm 9: equivocate + double-vote",
+        "vs early-commit BB strawman",
+        !o.agreement_holds(),
+        true,
+    );
+    let o = theorem9::same_adversary_against_fig5();
+    report(
+        "Thm 9: equivocate + double-vote",
+        "vs (Δ+δ)-n/3-BB (Fig 5)",
+        !o.agreement_holds(),
+        false,
+    );
+
+    let o = theorem10::adversarial_execution();
+    report(
+        "Thm 10 / Fig 7: skewed-start equivocation",
+        "vs (Δ+1.5δ)-BB (Fig 9)",
+        !o.agreement_holds(),
+        false,
+    );
+
+    let o = theorem10::tightness_execution(5, 2);
+    println!(
+        "\nThm 10 tightness: (Δ+1.5δ)-BB committed at {} with skew 0.5δ — the bound is achieved.",
+        o.good_case_latency().expect("commits")
+    );
+}

@@ -1,0 +1,237 @@
+//! Property-based safety tests: agreement and validity hold for every
+//! protocol under randomized in-model schedules — random delays, random
+//! clock skews (where permitted), random Byzantine placements drawn from a
+//! strategy catalog.
+
+use gcl::core::asynchrony::{Brb2Msg, EquivocatingBroadcaster, TwoRoundBrb};
+use gcl::core::psync::{VbbFiveFMinusOne, VbbMsg};
+use gcl::core::sync::{SyncStartBb, ThirdBb, TwoDeltaBb, UnsyncBb};
+use gcl::crypto::Keychain;
+use gcl::sim::{Outcome, RandomDelay, Silent, Simulation, TimingModel};
+use gcl::types::{accept_all, Config, Duration, GlobalTime, PartyId, SkewSchedule, Value};
+use proptest::prelude::*;
+
+const DELTA_US: u64 = 100;
+const BIG_DELTA_US: u64 = 1_000;
+
+fn delta() -> Duration {
+    Duration::from_micros(DELTA_US)
+}
+fn big_delta() -> Duration {
+    Duration::from_micros(BIG_DELTA_US)
+}
+
+fn sync_model() -> TimingModel {
+    TimingModel::Synchrony {
+        delta: delta(),
+        big_delta: big_delta(),
+    }
+}
+
+/// Random in-model delays: the oracle asks for up to 2δ, the model clamps
+/// honest links to δ — so this also exercises the clamp.
+fn oracle(seed: u64) -> RandomDelay {
+    RandomDelay::new(
+        Duration::ZERO,
+        Duration::from_micros(2 * DELTA_US),
+        seed,
+    )
+}
+
+fn check_bb(o: &Outcome, expect_value: Option<Value>) {
+    o.assert_agreement();
+    assert!(o.all_honest_committed(), "BB termination");
+    if let Some(v) = expect_value {
+        assert_eq!(o.committed_value(), Some(v), "validity");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn brb2_agreement_any_delays_any_equivocation(
+        seed: u64,
+        split in 1u32..3,
+        equivocate: bool,
+    ) {
+        let n = 7;
+        let cfg = Config::new(n, 2).unwrap();
+        let chain = Keychain::generate(n, seed);
+        let mut b = Simulation::build(cfg)
+            .timing(TimingModel::Asynchrony)
+            .oracle(oracle(seed));
+        if equivocate {
+            b = b.byzantine(
+                PartyId::new(0),
+                EquivocatingBroadcaster {
+                    group_a: (1..=split).map(PartyId::new).collect(),
+                    value_a: Value::ZERO,
+                    value_b: Value::ONE,
+                },
+            );
+        }
+        let o = b
+            .byzantine(PartyId::new(6), Silent::<Brb2Msg>::new())
+            .spawn_honest(|p| {
+                TwoRoundBrb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    PartyId::new(0),
+                    (!equivocate && p == PartyId::new(0)).then_some(Value::new(9)),
+                )
+            })
+            .run();
+        o.assert_agreement();
+        if !equivocate {
+            prop_assert!(o.validity_holds(Value::new(9)));
+            // Round exactness is asserted on the canonical uniform-delay
+            // schedules (see tests/table1_reproduction.rs); under random
+            // reordering the round metric is an approximation, so here we
+            // only require safety, validity and termination.
+            prop_assert!(o.all_honest_terminated());
+        }
+    }
+
+    #[test]
+    fn vbb_agreement_random_delays(seed: u64, silent_leader: bool) {
+        let n = 9;
+        let cfg = Config::new(n, 2).unwrap();
+        let chain = Keychain::generate(n, seed);
+        let mut b = Simulation::build(cfg)
+            .timing(TimingModel::PartialSynchrony {
+                gst: GlobalTime::ZERO,
+                big_delta: big_delta(),
+            })
+            .oracle(RandomDelay::new(
+                Duration::ZERO,
+                Duration::from_micros(BIG_DELTA_US * 2),
+                seed,
+            ));
+        if silent_leader {
+            b = b.byzantine(PartyId::new(0), Silent::<VbbMsg>::new());
+        }
+        let o = b
+            .spawn_honest(|p| {
+                VbbFiveFMinusOne::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    accept_all(),
+                    big_delta(),
+                    (!silent_leader && p == PartyId::new(0)).then_some(Value::new(5)),
+                )
+            })
+            .run();
+        check_bb(&o, (!silent_leader).then_some(Value::new(5)));
+    }
+
+    #[test]
+    fn two_delta_bb_random_delays_and_skew(seed: u64, skew_us in 0u64..100) {
+        let n = 7;
+        let cfg = Config::new(n, 2).unwrap();
+        let chain = Keychain::generate(n, seed);
+        // Skew ≤ δ as clock sync guarantees; only non-broadcaster parties.
+        let late: Vec<(PartyId, Duration)> = (1..n as u32)
+            .map(|i| (PartyId::new(i), Duration::from_micros(skew_us * u64::from(i % 2))))
+            .collect();
+        let o = Simulation::build(cfg)
+            .timing(sync_model())
+            .oracle(oracle(seed))
+            .skew(SkewSchedule::with_late_parties(n, &late))
+            .spawn_honest(|p| {
+                TwoDeltaBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    big_delta(),
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(Value::new(3)),
+                )
+            })
+            .run();
+        check_bb(&o, Some(Value::new(3)));
+        // Good case bound: 2δ plus start skew.
+        prop_assert!(
+            o.good_case_latency().unwrap()
+                <= Duration::from_micros(2 * DELTA_US + skew_us)
+        );
+    }
+
+    #[test]
+    fn third_bb_safe_with_silent_byzantine(seed: u64) {
+        let n = 6;
+        let cfg = Config::new(n, 2).unwrap();
+        let chain = Keychain::generate(n, seed);
+        let o = Simulation::build(cfg)
+            .timing(sync_model())
+            .oracle(oracle(seed))
+            .byzantine(PartyId::new(5), Silent::new())
+            .spawn_honest(|p| {
+                ThirdBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    big_delta(),
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(Value::new(4)),
+                )
+            })
+            .run();
+        check_bb(&o, Some(Value::new(4)));
+    }
+
+    #[test]
+    fn sync_start_bb_random_delays(seed: u64, byz_count in 0usize..3) {
+        let n = 7; // f = 3: n/3 < f < n/2
+        let cfg = Config::new(n, 3).unwrap();
+        let chain = Keychain::generate(n, seed);
+        let mut b = Simulation::build(cfg)
+            .timing(sync_model())
+            .oracle(oracle(seed));
+        for i in 0..byz_count {
+            b = b.byzantine(PartyId::new((n - 1 - i) as u32), Silent::new());
+        }
+        let o = b
+            .spawn_honest(|p| {
+                SyncStartBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    big_delta(),
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(Value::new(6)),
+                )
+            })
+            .run();
+        check_bb(&o, Some(Value::new(6)));
+    }
+
+    #[test]
+    fn unsync_bb_random_delays_and_skew(seed: u64, m in 1u64..12) {
+        let n = 5;
+        let cfg = Config::new(n, 2).unwrap();
+        let chain = Keychain::generate(n, seed);
+        let late: Vec<(PartyId, Duration)> = (1..n as u32)
+            .map(|i| (PartyId::new(i), Duration::from_micros(50 * u64::from(i % 2))))
+            .collect();
+        let o = Simulation::build(cfg)
+            .timing(sync_model())
+            .oracle(oracle(seed.wrapping_add(m)))
+            .skew(SkewSchedule::with_late_parties(n, &late))
+            .spawn_honest(|p| {
+                UnsyncBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    big_delta(),
+                    m,
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(Value::new(8)),
+                )
+            })
+            .run();
+        check_bb(&o, Some(Value::new(8)));
+    }
+}

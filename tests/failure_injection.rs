@@ -1,0 +1,154 @@
+//! Crash-fault injection: crash parties after k handled events, for every
+//! k up to well past the protocol's lifetime, and check safety (plus
+//! liveness where the fault budget allows it).
+
+use gcl::core::asynchrony::TwoRoundBrb;
+use gcl::core::psync::VbbFiveFMinusOne;
+use gcl::core::sync::TwoDeltaBb;
+use gcl::crypto::Keychain;
+use gcl::sim::{Crashing, FixedDelay, Simulation, TimingModel};
+use gcl::types::{accept_all, Config, Duration, GlobalTime, PartyId, Value};
+
+const DELTA: Duration = Duration::from_micros(100);
+const BIG_DELTA: Duration = Duration::from_micros(1_000);
+
+#[test]
+fn brb2_crash_broadcaster_at_every_step() {
+    // A crashing broadcaster may leave the system uncommitted (BRB's
+    // termination is conditional) but never splits it.
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    for crash_after in 0..6 {
+        let chain = Keychain::generate(n, 300 + crash_after as u64);
+        let honest_bcast = TwoRoundBrb::new(
+            cfg,
+            chain.signer(PartyId::new(0)),
+            chain.pki(),
+            PartyId::new(0),
+            Some(Value::new(5)),
+        );
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::Asynchrony)
+            .oracle(FixedDelay::new(DELTA))
+            .byzantine(PartyId::new(0), Crashing::new(honest_bcast, crash_after))
+            .spawn_honest(|p| {
+                TwoRoundBrb::new(cfg, chain.signer(p), chain.pki(), PartyId::new(0), None)
+            })
+            .run();
+        o.assert_agreement();
+        // If anyone committed, it is the broadcaster's value.
+        for c in o.honest_commits() {
+            assert_eq!(c.value, Value::new(5), "crash_after={crash_after}");
+        }
+    }
+}
+
+#[test]
+fn brb2_crash_follower_never_blocks() {
+    // One crashing follower is within the fault budget: everyone else
+    // commits regardless of when it dies.
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    for crash_after in 0..8 {
+        let chain = Keychain::generate(n, 310 + crash_after as u64);
+        let follower = TwoRoundBrb::new(
+            cfg,
+            chain.signer(PartyId::new(3)),
+            chain.pki(),
+            PartyId::new(0),
+            None,
+        );
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::Asynchrony)
+            .oracle(FixedDelay::new(DELTA))
+            .byzantine(PartyId::new(3), Crashing::new(follower, crash_after))
+            .spawn_honest(|p| {
+                TwoRoundBrb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(Value::new(5)),
+                )
+            })
+            .run();
+        assert!(o.validity_holds(Value::new(5)), "crash_after={crash_after}");
+    }
+}
+
+#[test]
+fn vbb_crash_leader_at_every_step_view_change_recovers() {
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    for crash_after in 0..10 {
+        let chain = Keychain::generate(n, 320 + crash_after as u64);
+        let leader = VbbFiveFMinusOne::new(
+            cfg,
+            chain.signer(PartyId::new(0)),
+            chain.pki(),
+            accept_all(),
+            BIG_DELTA,
+            Some(Value::new(5)),
+        );
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::PartialSynchrony {
+                gst: GlobalTime::ZERO,
+                big_delta: BIG_DELTA,
+            })
+            .oracle(FixedDelay::new(DELTA))
+            .byzantine(PartyId::new(0), Crashing::new(leader, crash_after))
+            .spawn_honest(|p| {
+                VbbFiveFMinusOne::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    accept_all(),
+                    BIG_DELTA,
+                    None,
+                )
+            })
+            .run();
+        o.assert_agreement();
+        assert!(
+            o.all_honest_committed(),
+            "psync-BB termination after GST, crash_after={crash_after}"
+        );
+    }
+}
+
+#[test]
+fn two_delta_bb_crash_follower_ba_still_terminates() {
+    let n = 4;
+    let cfg = Config::new(n, 1).unwrap();
+    for crash_after in [0usize, 1, 2, 3, 5, 8] {
+        let chain = Keychain::generate(n, 330 + crash_after as u64);
+        let follower = TwoDeltaBb::new(
+            cfg,
+            chain.signer(PartyId::new(2)),
+            chain.pki(),
+            BIG_DELTA,
+            PartyId::new(0),
+            None,
+        );
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::Synchrony {
+                delta: DELTA,
+                big_delta: BIG_DELTA,
+            })
+            .oracle(FixedDelay::new(DELTA))
+            .byzantine(PartyId::new(2), Crashing::new(follower, crash_after))
+            .spawn_honest(|p| {
+                TwoDeltaBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(Value::new(5)),
+                )
+            })
+            .run();
+        assert!(o.validity_holds(Value::new(5)), "crash_after={crash_after}");
+        assert!(o.all_honest_terminated());
+    }
+}
