@@ -9,8 +9,12 @@ fn main() {
         "| {:<38} | {:<20} | {:<34} | n,f   | paper bound          | measured   | rounds | ok |",
         "problem", "resilience", "protocol"
     );
-    println!("|{}|{}|{}|-------|----------------------|------------|--------|----|",
-        "-".repeat(40), "-".repeat(22), "-".repeat(36));
+    println!(
+        "|{}|{}|{}|-------|----------------------|------------|--------|----|",
+        "-".repeat(40),
+        "-".repeat(22),
+        "-".repeat(36)
+    );
     for row in table1_rows() {
         println!(
             "| {:<38} | {:<20} | {:<34} | {:>2},{:<2} | {:<20} | {:>7}us | {:<6} | {}  |",

@@ -1,7 +1,7 @@
 //! Measurement harness: every row of the paper's Table 1 and every
 //! figure-derived series, regenerated from the implementations.
 //!
-//! Binaries (`cargo run -p gcl-bench --release --bin <name>`):
+//! Binaries (`cargo run -p gcl_bench --release --bin <name>`):
 //!
 //! * `table1` — the complete Table 1 reproduction (paper bound vs measured).
 //! * `fig8` — the Figure 8 latency/communication tradeoff sweep over the
@@ -9,7 +9,7 @@
 //! * `lower_bounds` — replays the lower-bound executions and reports which
 //!   strawman broke and which real protocol survived.
 //!
-//! Criterion benches (`cargo bench -p gcl-bench`) time the same scenarios
+//! Criterion benches (`cargo bench -p gcl_bench`) time the same scenarios
 //! as wall-clock simulator throughput.
 
 #![forbid(unsafe_code)]
@@ -17,6 +17,4 @@
 
 pub mod scenarios;
 
-pub use scenarios::{
-    fig8_rows, majority_rows, table1_rows, Fig8Row, MajorityRow, Table1Row,
-};
+pub use scenarios::{fig8_rows, majority_rows, table1_rows, Fig8Row, MajorityRow, Table1Row};

@@ -249,7 +249,9 @@ pub fn run_majority(n: usize, f: usize) -> Outcome {
 }
 
 fn lat(o: &Outcome) -> u64 {
-    o.good_case_latency().expect("good case must commit").as_micros()
+    o.good_case_latency()
+        .expect("good case must commit")
+        .as_micros()
 }
 
 /// Every row of Table 1, measured.

@@ -196,7 +196,10 @@ impl Protocol for TwoRoundBrb {
                 // A committed party's quorum: verify and adopt every vote.
                 let Some(first) = bundle.first() else { return };
                 let value = first.value;
-                if bundle.iter().any(|v| v.value != value || !v.verify(&self.pki)) {
+                if bundle
+                    .iter()
+                    .any(|v| v.value != value || !v.verify(&self.pki))
+                {
                     return;
                 }
                 for vote in bundle {
@@ -393,7 +396,10 @@ mod tests {
         let rogue = Keychain::generate(4, 999);
         let mut bundle = Vec::new();
         for i in 0..3 {
-            bundle.push(SignedVote::new(&rogue.signer(PartyId::new(i)), Value::new(3)));
+            bundle.push(SignedVote::new(
+                &rogue.signer(PartyId::new(i)),
+                Value::new(3),
+            ));
         }
         let script = gcl_sim::Scripted::multicast_at(
             gcl_types::LocalTime::ZERO,

@@ -283,7 +283,9 @@ impl BbMajority {
         if self.committed.is_some() {
             return;
         }
-        let Some(bucket) = self.votes.get(&epoch) else { return };
+        let Some(bucket) = self.votes.get(&epoch) else {
+            return;
+        };
         let mut by_value: BTreeMap<Value, BTreeSet<PartyId>> = BTreeMap::new();
         for (p, v) in bucket {
             if self.trust.trusts(*p) {
@@ -450,7 +452,7 @@ impl Protocol for BbMajority {
     fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<MajorityMsg>) {
         let idx = tag - TAG_EPOCH_BASE;
         let epoch = idx / 2;
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             // Vote deadline: distrust non-voters, then try to commit.
             if epoch == self.epoch && self.committed.is_none() {
                 let voters: BTreeSet<PartyId> = self
@@ -458,11 +460,8 @@ impl Protocol for BbMajority {
                     .get(&epoch)
                     .map(|b| b.keys().copied().collect())
                     .unwrap_or_default();
-                let missing: Vec<PartyId> = self
-                    .trust
-                    .iter()
-                    .filter(|p| !voters.contains(p))
-                    .collect();
+                let missing: Vec<PartyId> =
+                    self.trust.iter().filter(|p| !voters.contains(p)).collect();
                 for p in missing {
                     self.trust.distrust(p);
                 }
@@ -542,7 +541,14 @@ mod tests {
     fn crash_mid_protocol_still_commits() {
         let cfg = Config::new(4, 2).unwrap();
         let chain = Keychain::generate(4, 101);
-        let honest3 = BbMajority::new(cfg, chain.signer(PartyId::new(3)), chain.pki(), DELTA, PartyId::new(0), None);
+        let honest3 = BbMajority::new(
+            cfg,
+            chain.signer(PartyId::new(3)),
+            chain.pki(),
+            DELTA,
+            PartyId::new(0),
+            None,
+        );
         let o = Simulation::build(cfg)
             .timing(TimingModel::lockstep(DELTA))
             .oracle(FixedDelay::new(DELTA))
@@ -575,16 +581,35 @@ mod tests {
         let p0 = MajProposal::new(&s0, Value::ZERO, 1);
         let p1 = MajProposal::new(&s0, Value::ONE, 1);
         let actions = vec![
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(1), msg: MajorityMsg::Propose(p0) },
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(2), msg: MajorityMsg::Propose(p1) },
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(3), msg: MajorityMsg::Propose(p1) },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(1),
+                msg: MajorityMsg::Propose(p0),
+            },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(2),
+                msg: MajorityMsg::Propose(p1),
+            },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(3),
+                msg: MajorityMsg::Propose(p1),
+            },
         ];
         let o = Simulation::build(cfg)
             .timing(TimingModel::lockstep(DELTA))
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Scripted::new(actions))
             .spawn_honest(|p| {
-                BbMajority::new(cfg, chain.signer(p), chain.pki(), DELTA, PartyId::new(0), None)
+                BbMajority::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();

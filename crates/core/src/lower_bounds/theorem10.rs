@@ -15,8 +15,8 @@
 use crate::sync::{UnsyncBb, UnsyncMsg};
 use gcl_crypto::Keychain;
 use gcl_sim::{
-    DelayRule, FixedDelay, LinkDelay, Outcome, PartySet, ScheduleOracle, Scripted,
-    ScriptedAction, Simulation, TimingModel,
+    DelayRule, FixedDelay, LinkDelay, Outcome, PartySet, ScheduleOracle, Scripted, ScriptedAction,
+    Simulation, TimingModel,
 };
 use gcl_types::{Config, Duration, LocalTime, PartyId, SkewSchedule, Value};
 
@@ -70,9 +70,21 @@ pub fn adversarial_execution() -> Outcome {
     let p0 = crate::sync::Fig9Proposal::new(&s, Value::ZERO);
     let p1 = crate::sync::Fig9Proposal::new(&s, Value::ONE);
     let actions = vec![
-        ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(1), msg: UnsyncMsg::Propose(p0) },
-        ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(2), msg: UnsyncMsg::Propose(p0) },
-        ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(3), msg: UnsyncMsg::Propose(p1) },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(1),
+            msg: UnsyncMsg::Propose(p0),
+        },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(2),
+            msg: UnsyncMsg::Propose(p0),
+        },
+        ScriptedAction {
+            at: LocalTime::ZERO,
+            to: PartyId::new(3),
+            msg: UnsyncMsg::Propose(p1),
+        },
     ];
     let oracle: ScheduleOracle<UnsyncMsg> = ScheduleOracle::new(DELTA).rule(DelayRule::link(
         PartySet::One(PartyId::new(3)),
@@ -88,7 +100,15 @@ pub fn adversarial_execution() -> Outcome {
         ))
         .byzantine(PartyId::new(0), Scripted::new(actions))
         .spawn_honest(|p| {
-            UnsyncBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, M, PartyId::new(0), None)
+            UnsyncBb::new(
+                cfg,
+                chain.signer(p),
+                chain.pki(),
+                BIG_DELTA,
+                M,
+                PartyId::new(0),
+                None,
+            )
         })
         .run()
 }

@@ -81,6 +81,9 @@ mod tests {
             lower_bound(Config::new(10, 8).unwrap(), d),
             Duration::from_micros(400)
         );
-        assert!(upper_bound(Config::new(10, 8).unwrap(), d) > lower_bound(Config::new(10, 8).unwrap(), d));
+        assert!(
+            upper_bound(Config::new(10, 8).unwrap(), d)
+                > lower_bound(Config::new(10, 8).unwrap(), d)
+        );
     }
 }

@@ -49,7 +49,9 @@ pub fn split_two_round_brb(n: usize, f: usize, split: u32) -> Outcome {
                 value_b: Value::ONE,
             },
         )
-        .spawn_honest(|p| TwoRoundBrb::new(cfg, chain.signer(p), chain.pki(), PartyId::new(0), None))
+        .spawn_honest(|p| {
+            TwoRoundBrb::new(cfg, chain.signer(p), chain.pki(), PartyId::new(0), None)
+        })
         .run()
 }
 

@@ -20,8 +20,8 @@
 use crate::strawman::{FabMsg, FabTwoRound, FabViewChange};
 use gcl_crypto::Keychain;
 use gcl_sim::{
-    DelayRule, LinkDelay, Outcome, PartySet, ScheduleOracle, Scripted, ScriptedAction,
-    Simulation, TimingModel,
+    DelayRule, LinkDelay, Outcome, PartySet, ScheduleOracle, Scripted, ScriptedAction, Simulation,
+    TimingModel,
 };
 use gcl_types::{Config, Duration, LocalTime, PartyId, Value, View};
 

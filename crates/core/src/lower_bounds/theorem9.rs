@@ -56,7 +56,9 @@ pub fn split_early_commit() -> Outcome {
         .timing(model())
         .oracle(FixedDelay::new(DELTA))
         .byzantine(PartyId::new(0), Scripted::new(actions))
-        .spawn_honest(|p| EarlyCommitBb::new(cfg, chain.signer(p), chain.pki(), PartyId::new(0), None))
+        .spawn_honest(|p| {
+            EarlyCommitBb::new(cfg, chain.signer(p), chain.pki(), PartyId::new(0), None)
+        })
         .run()
 }
 
@@ -95,7 +97,14 @@ pub fn same_adversary_against_fig5() -> Outcome {
         .oracle(FixedDelay::new(DELTA))
         .byzantine(PartyId::new(0), Scripted::new(actions))
         .spawn_honest(|p| {
-            ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+            ThirdBb::new(
+                cfg,
+                chain.signer(p),
+                chain.pki(),
+                BIG_DELTA,
+                PartyId::new(0),
+                None,
+            )
         })
         .run()
 }

@@ -53,7 +53,11 @@ impl LeaderSigned {
     pub fn verify(&self, config: Config, pki: &Pki) -> bool {
         let leader = self.view.leader(config.n());
         self.leader_sig.signer() == leader
-            && pki.verify(leader, Self::digest(self.value, self.view), &self.leader_sig)
+            && pki.verify(
+                leader,
+                Self::digest(self.value, self.view),
+                &self.leader_sig,
+            )
     }
 }
 
@@ -94,8 +98,7 @@ impl VoteMsg {
 
     /// Verifies both signatures.
     pub fn verify(&self, config: Config, pki: &Pki) -> bool {
-        self.ls.verify(config, pki)
-            && pki.verify_embedded(Self::digest(&self.ls), &self.voter_sig)
+        self.ls.verify(config, pki) && pki.verify_embedded(Self::digest(&self.ls), &self.voter_sig)
     }
 }
 
@@ -170,9 +173,7 @@ impl TimeoutMsg {
     /// Verifies signatures and (for values) external validity.
     pub fn verify(&self, config: Config, pki: &Pki, validity: &ExternalValidity) -> bool {
         match self {
-            TimeoutMsg::Bot { view, sig } => {
-                pki.verify_embedded(Self::bot_digest(*view), sig)
-            }
+            TimeoutMsg::Bot { view, sig } => pki.verify_embedded(Self::bot_digest(*view), sig),
             TimeoutMsg::Val { ls, voter_sig } => {
                 validity.check(ls.value)
                     && ls.verify(config, pki)
@@ -274,8 +275,7 @@ impl Certificate {
                 for v in &values {
                     let for_v = entries.iter().filter(|t| t.value() == Some(*v));
                     let count = for_v.clone().count();
-                    let count_non_leader =
-                        for_v.filter(|t| t.sender() != leader).count();
+                    let count_non_leader = for_v.filter(|t| t.sender() != leader).count();
                     // Rule (1): ≥ t1 for v and no other value present.
                     if count >= t1 && values.len() == 1 {
                         return Some(Lock::Exactly(*v));
@@ -315,7 +315,11 @@ mod tests {
 
     /// n = 5f − 1 with f = 2 → n = 9, q = 7, t1 = 3 (2f−1), t2 = 4 (2f).
     fn setup() -> (Config, Keychain, ExternalValidity) {
-        (Config::new(9, 2).unwrap(), Keychain::generate(9, 5), accept_all())
+        (
+            Config::new(9, 2).unwrap(),
+            Keychain::generate(9, 5),
+            accept_all(),
+        )
     }
 
     fn leader_of(view: View, chain: &Keychain, cfg: Config) -> Signer {
@@ -390,7 +394,7 @@ mod tests {
     fn rule2_locks_despite_equivocation() {
         let (cfg, chain, f) = setup();
         let w = View::FIRST; // leader = P0
-        // 4 non-leader entries for v (t2 = 4), 1 for v', 2 bot = 7 entries.
+                             // 4 non-leader entries for v (t2 = 4), 1 for v', 2 bot = 7 entries.
         let mut entries: Vec<TimeoutMsg> = (1..=4)
             .map(|i| val_tm(&chain, cfg, w, Value::new(5), i))
             .collect();
@@ -405,8 +409,8 @@ mod tests {
     fn leader_entry_does_not_count_for_rule2() {
         let (cfg, chain, f) = setup();
         let w = View::FIRST; // leader = P0
-        // 3 non-leader + 1 leader entry for v, plus v' entry: rule 2 needs 4
-        // non-leader, only 3.
+                             // 3 non-leader + 1 leader entry for v, plus v' entry: rule 2 needs 4
+                             // non-leader, only 3.
         let mut entries: Vec<TimeoutMsg> = (1..=3)
             .map(|i| val_tm(&chain, cfg, w, Value::new(5), i))
             .collect();

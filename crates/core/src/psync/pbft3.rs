@@ -100,9 +100,10 @@ impl PreparedCert {
         let voters: BTreeSet<PartyId> = self.prepares.iter().map(PhaseVote::voter).collect();
         voters.len() >= config.quorum()
             && voters.len() == self.prepares.len()
-            && self.prepares.iter().all(|p| {
-                p.value == self.value && p.view == self.view && p.verify(PREPARE, pki)
-            })
+            && self
+                .prepares
+                .iter()
+                .all(|p| p.value == self.value && p.view == self.view && p.verify(PREPARE, pki))
     }
 }
 
@@ -120,9 +121,7 @@ pub struct ViewChangeMsg {
 
 impl ViewChangeMsg {
     fn digest(view: View, prepared: &Option<PreparedCert>) -> Digest {
-        let tag = prepared
-            .as_ref()
-            .map(|p| (p.value, p.view));
+        let tag = prepared.as_ref().map(|p| (p.value, p.view));
         match tag {
             None => Digest::of(&("pbft-vc", view)),
             Some((v, w)) => Digest::of(&("pbft-vc", view, v, w)),
@@ -132,7 +131,11 @@ impl ViewChangeMsg {
     /// Creates a signed view-change message.
     pub fn new(signer: &Signer, view: View, prepared: Option<PreparedCert>) -> Self {
         let sig = signer.sign(Self::digest(view, &prepared));
-        ViewChangeMsg { view, prepared, sig }
+        ViewChangeMsg {
+            view,
+            prepared,
+            sig,
+        }
     }
 
     /// The sender.
@@ -387,7 +390,9 @@ impl PbftPsyncVbb {
                 return;
             }
             let w = self.view;
-            let Some(pool) = self.view_changes.get(&w) else { return };
+            let Some(pool) = self.view_changes.get(&w) else {
+                return;
+            };
             if pool.len() < self.q() {
                 return;
             }
@@ -479,7 +484,10 @@ impl Protocol for PbftPsyncVbb {
             }
             PbftMsg::ViewChange(vc) => {
                 if vc.verify(self.config, &self.pki) && vc.view >= self.view {
-                    self.view_changes.entry(vc.view).or_default().insert(vc.sender(), vc);
+                    self.view_changes
+                        .entry(vc.view)
+                        .or_default()
+                        .insert(vc.sender(), vc);
                     self.try_advance(ctx);
                 }
             }
@@ -487,7 +495,10 @@ impl Protocol for PbftPsyncVbb {
                 let mut touched = false;
                 for vc in vcs {
                     if vc.verify(self.config, &self.pki) && vc.view >= self.view {
-                        self.view_changes.entry(vc.view).or_default().insert(vc.sender(), vc);
+                        self.view_changes
+                            .entry(vc.view)
+                            .or_default()
+                            .insert(vc.sender(), vc);
                         touched = true;
                     }
                 }

@@ -189,7 +189,10 @@ impl VbbFiveFMinusOne {
             "exactly the view-1 leader provides an input"
         );
         if let Some(v) = input {
-            assert!(validity.check(v), "broadcaster input must be externally valid");
+            assert!(
+                validity.check(v),
+                "broadcaster input must be externally valid"
+            );
         }
         let fallback = Value::new(1_000_000 + u64::from(signer.id().index()));
         VbbFiveFMinusOne {
@@ -321,9 +324,10 @@ impl VbbFiveFMinusOne {
             }
             let w = self.view;
             let leader = self.leader(w);
-            let Some(pool) = self.timeouts.get(&w) else { return };
-            let values: BTreeSet<Value> =
-                pool.values().filter_map(TimeoutMsg::value).collect();
+            let Some(pool) = self.timeouts.get(&w) else {
+                return;
+            };
+            let values: BTreeSet<Value> = pool.values().filter_map(TimeoutMsg::value).collect();
             let chosen: Vec<TimeoutMsg> = if values.len() <= 1 && pool.len() >= self.q() {
                 pool.values().copied().collect()
             } else {
@@ -395,7 +399,9 @@ impl VbbFiveFMinusOne {
             return;
         }
         let prev = w.prev();
-        let Some(pool) = self.statuses.get(&prev) else { return };
+        let Some(pool) = self.statuses.get(&prev) else {
+            return;
+        };
         if pool.len() < self.q() {
             return;
         }
@@ -472,16 +478,21 @@ impl Protocol for VbbFiveFMinusOne {
             }
             VbbMsg::Timeout(tm) => {
                 if tm.verify(self.config, &self.pki, &self.validity) && tm.view() >= self.view {
-                    self.timeouts.entry(tm.view()).or_default().insert(tm.sender(), tm);
+                    self.timeouts
+                        .entry(tm.view())
+                        .or_default()
+                        .insert(tm.sender(), tm);
                     self.try_advance(ctx);
                 }
             }
             VbbMsg::TimeoutBundle(tms) => {
                 let mut touched = false;
                 for tm in tms {
-                    if tm.verify(self.config, &self.pki, &self.validity) && tm.view() >= self.view
-                    {
-                        self.timeouts.entry(tm.view()).or_default().insert(tm.sender(), tm);
+                    if tm.verify(self.config, &self.pki, &self.validity) && tm.view() >= self.view {
+                        self.timeouts
+                            .entry(tm.view())
+                            .or_default()
+                            .insert(tm.sender(), tm);
                         touched = true;
                     }
                 }
@@ -491,7 +502,10 @@ impl Protocol for VbbFiveFMinusOne {
             }
             VbbMsg::Status(st) => {
                 if st.verify(self.config, &self.pki, &self.validity) {
-                    self.statuses.entry(st.view).or_default().insert(st.sender(), st);
+                    self.statuses
+                        .entry(st.view)
+                        .or_default()
+                        .insert(st.sender(), st);
                     self.try_propose(ctx);
                 }
             }
@@ -534,7 +548,11 @@ impl Strategy<VbbMsg> for EquivocatingLeader {
             if p == self.signer.id() {
                 continue;
             }
-            let ls = if self.group_a.contains(&p) { ls_a } else { ls_b };
+            let ls = if self.group_a.contains(&p) {
+                ls_a
+            } else {
+                ls_b
+            };
             ctx.send(
                 p,
                 VbbMsg::Propose {
@@ -801,7 +819,11 @@ mod tests {
     fn status_msg_verify() {
         let cfg = Config::new(9, 2).unwrap();
         let chain = Keychain::generate(9, 26);
-        let st = StatusMsg::new(&chain.signer(PartyId::new(3)), View::FIRST, Certificate::Genesis);
+        let st = StatusMsg::new(
+            &chain.signer(PartyId::new(3)),
+            View::FIRST,
+            Certificate::Genesis,
+        );
         assert!(st.verify(cfg, &chain.pki(), &accept_all()));
         assert_eq!(st.sender(), PartyId::new(3));
         // Cert with view above the status view is rejected.

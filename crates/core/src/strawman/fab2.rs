@@ -240,7 +240,9 @@ impl Protocol for FabTwoRound {
         match msg {
             FabMsg::Propose(prop) => match prop.view {
                 View::FIRST => {
-                    if from == PartyId::new(0) && self.voted_v1.is_none() && self.view == View::FIRST
+                    if from == PartyId::new(0)
+                        && self.voted_v1.is_none()
+                        && self.view == View::FIRST
                     {
                         self.voted_v1 = Some(prop.value);
                         ctx.multicast(FabMsg::Vote(FabVote::new(
@@ -258,8 +260,7 @@ impl Protocol for FabTwoRound {
                     }
                     let senders: BTreeSet<PartyId> =
                         prop.proof.iter().map(FabViewChange::sender).collect();
-                    if senders.len() < self.q()
-                        || !prop.proof.iter().all(|vc| vc.verify(&self.pki))
+                    if senders.len() < self.q() || !prop.proof.iter().all(|vc| vc.verify(&self.pki))
                     {
                         return;
                     }

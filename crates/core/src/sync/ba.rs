@@ -103,12 +103,8 @@ impl LockstepBa {
     /// # Panics
     ///
     /// Panics on double invocation.
-    pub fn invoke<M>(
-        &mut self,
-        input: Value,
-        ctx: &mut dyn Context<M>,
-        wrap: impl Fn(BaMsg) -> M,
-    ) where
+    pub fn invoke<M>(&mut self, input: Value, ctx: &mut dyn Context<M>, wrap: impl Fn(BaMsg) -> M)
+    where
         M: Clone,
     {
         assert!(self.start.is_none(), "BA invoked twice");
@@ -317,10 +313,7 @@ mod tests {
     #[test]
     fn duration_accessor() {
         let cfg = Config::new(4, 1).unwrap();
-        assert_eq!(
-            LockstepBa::duration(cfg, DELTA),
-            Duration::from_micros(600)
-        );
+        assert_eq!(LockstepBa::duration(cfg, DELTA), Duration::from_micros(600));
     }
 
     #[test]

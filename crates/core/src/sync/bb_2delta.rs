@@ -261,8 +261,8 @@ mod tests {
     use super::*;
     use gcl_crypto::Keychain;
     use gcl_sim::{
-        FixedDelay, LinkDelay, Outcome, PartySet, ScheduleOracle, Scripted, ScriptedAction,
-        Silent, Simulation, TimingModel,
+        FixedDelay, LinkDelay, Outcome, PartySet, ScheduleOracle, Scripted, ScriptedAction, Silent,
+        Simulation, TimingModel,
     };
     use gcl_types::{LocalTime, SkewSchedule};
 
@@ -285,7 +285,12 @@ mod tests {
         if skewed {
             // Unsynchronized start: skews up to δ (clock sync guarantees).
             let late: Vec<(PartyId, Duration)> = (1..n as u32)
-                .map(|i| (PartyId::new(i), Duration::from_micros(u64::from(i) % 2 * 50)))
+                .map(|i| {
+                    (
+                        PartyId::new(i),
+                        Duration::from_micros(u64::from(i) % 2 * 50),
+                    )
+                })
                 .collect();
             b = b.skew(SkewSchedule::with_late_parties(n, &late));
         }
@@ -359,7 +364,14 @@ mod tests {
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Silent::new())
             .spawn_honest(|p| {
-                TwoDeltaBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+                TwoDeltaBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -398,7 +410,14 @@ mod tests {
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Scripted::new(actions))
             .spawn_honest(|p| {
-                TwoDeltaBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+                TwoDeltaBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -414,7 +433,9 @@ mod tests {
         let chain = Keychain::generate(4, 64);
         let oracle: ScheduleOracle<TwoDeltaMsg> = ScheduleOracle::new(DELTA).rule(
             gcl_sim::DelayRule::link(PartySet::Any, PartySet::Any, LinkDelay::Finite(BIG_DELTA))
-                .when(|m: &TwoDeltaMsg| matches!(m, TwoDeltaMsg::Vote(_) | TwoDeltaMsg::VoteBundle(_))),
+                .when(|m: &TwoDeltaMsg| {
+                    matches!(m, TwoDeltaMsg::Vote(_) | TwoDeltaMsg::VoteBundle(_))
+                }),
         );
         let o = Simulation::build(cfg)
             .timing(TimingModel::Synchrony {

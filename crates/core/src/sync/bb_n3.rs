@@ -191,7 +191,10 @@ impl ThirdBb {
         broadcaster: PartyId,
         input: Option<Value>,
     ) -> Self {
-        assert!(3 * config.f() <= config.n(), "(Δ+δ)-n/3-BB requires f <= n/3");
+        assert!(
+            3 * config.f() <= config.n(),
+            "(Δ+δ)-n/3-BB requires f <= n/3"
+        );
         assert_eq!(input.is_some(), signer.id() == broadcaster);
         let ba = LockstepBa::new(config, signer.clone(), Arc::clone(&pki), big_delta);
         ThirdBb {
@@ -291,8 +294,7 @@ impl ThirdBb {
                 // from an honest party.
                 let set_a: BTreeSet<PartyId> = self.votes[a].keys().copied().collect();
                 let set_b: BTreeSet<PartyId> = self.votes[b].keys().copied().collect();
-                let byzantine: BTreeSet<PartyId> =
-                    set_a.intersection(&set_b).copied().collect();
+                let byzantine: BTreeSet<PartyId> = set_a.intersection(&set_b).copied().collect();
                 if let Some((_, v)) = self
                     .commits_received
                     .iter()
@@ -389,9 +391,7 @@ impl Protocol for ThirdBb {
 mod tests {
     use super::*;
     use gcl_crypto::Keychain;
-    use gcl_sim::{
-        FixedDelay, Outcome, Scripted, ScriptedAction, Silent, Simulation, TimingModel,
-    };
+    use gcl_sim::{FixedDelay, Outcome, Scripted, ScriptedAction, Silent, Simulation, TimingModel};
     use gcl_types::SkewSchedule;
 
     const DELTA: Duration = Duration::from_micros(100);
@@ -486,7 +486,14 @@ mod tests {
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Silent::new())
             .spawn_honest(|p| {
-                ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+                ThirdBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -521,7 +528,14 @@ mod tests {
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Scripted::new(actions))
             .spawn_honest(|p| {
-                ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+                ThirdBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -545,10 +559,26 @@ mod tests {
         let p1 = Fig5Proposal::new(&s0, Value::ONE);
         // Broadcaster: 0 to P1,P2; 1 to P3,P4. P5 (Byz) votes for both.
         let bcast_script = vec![
-            ScriptedAction { at: gcl_types::LocalTime::ZERO, to: PartyId::new(1), msg: ThirdMsg::Propose(p0) },
-            ScriptedAction { at: gcl_types::LocalTime::ZERO, to: PartyId::new(2), msg: ThirdMsg::Propose(p0) },
-            ScriptedAction { at: gcl_types::LocalTime::ZERO, to: PartyId::new(3), msg: ThirdMsg::Propose(p1) },
-            ScriptedAction { at: gcl_types::LocalTime::ZERO, to: PartyId::new(4), msg: ThirdMsg::Propose(p1) },
+            ScriptedAction {
+                at: gcl_types::LocalTime::ZERO,
+                to: PartyId::new(1),
+                msg: ThirdMsg::Propose(p0),
+            },
+            ScriptedAction {
+                at: gcl_types::LocalTime::ZERO,
+                to: PartyId::new(2),
+                msg: ThirdMsg::Propose(p0),
+            },
+            ScriptedAction {
+                at: gcl_types::LocalTime::ZERO,
+                to: PartyId::new(3),
+                msg: ThirdMsg::Propose(p1),
+            },
+            ScriptedAction {
+                at: gcl_types::LocalTime::ZERO,
+                to: PartyId::new(4),
+                msg: ThirdMsg::Propose(p1),
+            },
         ];
         // P5 and P0 double-vote both values to everyone.
         let mut dv = Vec::new();
@@ -567,7 +597,14 @@ mod tests {
             .byzantine(PartyId::new(0), Scripted::new(bcast_script))
             .byzantine(PartyId::new(5), Scripted::new(dv))
             .spawn_honest(|p| {
-                ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+                ThirdBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();

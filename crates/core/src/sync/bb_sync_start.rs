@@ -220,7 +220,9 @@ impl SyncStartBb {
     }
 
     fn on_new_votes(&mut self, value: Value, ctx: &mut dyn Context<SyncStartMsg>) {
-        let Some(t) = self.witness_t(value) else { return };
+        let Some(t) = self.witness_t(value) else {
+            return;
+        };
         let now = ctx.now();
         if t > self.big_delta {
             return; // votes must attest d ≤ Δ collectively
@@ -257,7 +259,12 @@ impl Protocol for SyncStartBb {
         }
     }
 
-    fn on_message(&mut self, from: PartyId, msg: SyncStartMsg, ctx: &mut dyn Context<SyncStartMsg>) {
+    fn on_message(
+        &mut self,
+        from: PartyId,
+        msg: SyncStartMsg,
+        ctx: &mut dyn Context<SyncStartMsg>,
+    ) {
         match msg {
             SyncStartMsg::Propose(prop) => {
                 if !prop.verify(self.broadcaster, &self.pki) {
@@ -323,7 +330,9 @@ impl Protocol for SyncStartBb {
             let idx = (tag - TAG_CHECK_BASE) as usize;
             if let Some(&(value, t)) = self.pending.get(idx) {
                 let deadline = LocalTime::from_micros((t + self.big_delta).as_micros());
-                if !self.committed && self.quiet_until(deadline) && self.witness_t(value).is_some_and(|w| w <= t)
+                if !self.committed
+                    && self.quiet_until(deadline)
+                    && self.witness_t(value).is_some_and(|w| w <= t)
                 {
                     self.commit_now(value, ctx);
                 }
@@ -336,9 +345,7 @@ impl Protocol for SyncStartBb {
 mod tests {
     use super::*;
     use gcl_crypto::Keychain;
-    use gcl_sim::{
-        FixedDelay, Outcome, Scripted, ScriptedAction, Silent, Simulation, TimingModel,
-    };
+    use gcl_sim::{FixedDelay, Outcome, Scripted, ScriptedAction, Silent, Simulation, TimingModel};
     use gcl_types::LocalTime;
 
     const DELTA: Duration = Duration::from_micros(100);
@@ -393,7 +400,14 @@ mod tests {
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Silent::new())
             .spawn_honest(|p| {
-                SyncStartBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+                SyncStartBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -412,17 +426,40 @@ mod tests {
         let p0 = Fig6Proposal::new(&s0, Value::ZERO);
         let p1 = Fig6Proposal::new(&s0, Value::ONE);
         let actions = vec![
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(1), msg: SyncStartMsg::Propose(p0) },
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(2), msg: SyncStartMsg::Propose(p0) },
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(3), msg: SyncStartMsg::Propose(p1) },
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(4), msg: SyncStartMsg::Propose(p1) },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(1),
+                msg: SyncStartMsg::Propose(p0),
+            },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(2),
+                msg: SyncStartMsg::Propose(p0),
+            },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(3),
+                msg: SyncStartMsg::Propose(p1),
+            },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(4),
+                msg: SyncStartMsg::Propose(p1),
+            },
         ];
         let o = Simulation::build(cfg)
             .timing(sync_model())
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Scripted::new(actions))
             .spawn_honest(|p| {
-                SyncStartBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+                SyncStartBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -469,10 +506,20 @@ mod tests {
         let o = Simulation::build(cfg)
             .timing(sync_model())
             .oracle(FixedDelay::new(DELTA))
-            .byzantine(PartyId::new(0), Scripted::new([honest_props, fake.clone()].concat()))
+            .byzantine(
+                PartyId::new(0),
+                Scripted::new([honest_props, fake.clone()].concat()),
+            )
             .byzantine(PartyId::new(4), Scripted::new(vec![]))
             .spawn_honest(|p| {
-                SyncStartBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0), None)
+                SyncStartBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -495,7 +542,10 @@ mod tests {
             BIG_DELTA + Duration::from_micros(1),
             prop,
         );
-        assert!(vote.verify(PartyId::new(0), &chain.pki()), "sig itself fine");
+        assert!(
+            vote.verify(PartyId::new(0), &chain.pki()),
+            "sig itself fine"
+        );
         // Protocol-level rejection is exercised in the protocol: a d > Δ
         // never counts toward witness_t.
         let mut bb = SyncStartBb::new(
@@ -506,7 +556,10 @@ mod tests {
             PartyId::new(0),
             None,
         );
-        bb.votes.entry(Value::new(5)).or_default().insert(vote.voter(), vote);
+        bb.votes
+            .entry(Value::new(5))
+            .or_default()
+            .insert(vote.voter(), vote);
         assert_eq!(bb.witness_t(Value::new(5)), None, "below f+1 anyway");
     }
 

@@ -259,7 +259,8 @@ impl UnsyncBb {
             ctx.multicast_except(UnsyncMsg::VoteBundle(bundle), self.signer.id());
         }
         // Step 4b: lock if t_votes − t_prop ≤ 4.5Δ and rank improves.
-        if t_votes.since(t_prop).as_micros() <= (self.big_delta * 9 / 2).as_micros() && d < self.rank
+        if t_votes.since(t_prop).as_micros() <= (self.big_delta * 9 / 2).as_micros()
+            && d < self.rank
         {
             self.lock = value;
             self.rank = d;
@@ -349,7 +350,9 @@ impl Protocol for UnsyncBb {
         } else if tag >= TAG_CHECK_BASE {
             // Deferred commit check at t_prop + Δ + 0.5d.
             let idx = (tag - TAG_CHECK_BASE) as usize;
-            let Some(&(d, value)) = self.pending.get(idx) else { return };
+            let Some(&(d, value)) = self.pending.get(idx) else {
+                return;
+            };
             let Some(t_prop) = self.t_prop else { return };
             let deadline = t_prop + (self.big_delta + d.halved());
             if !self.committed && self.direct_rcv && self.quiet_until(deadline) {
@@ -377,9 +380,7 @@ impl Protocol for UnsyncBb {
 mod tests {
     use super::*;
     use gcl_crypto::Keychain;
-    use gcl_sim::{
-        FixedDelay, Outcome, Scripted, ScriptedAction, Silent, Simulation, TimingModel,
-    };
+    use gcl_sim::{FixedDelay, Outcome, Scripted, ScriptedAction, Silent, Simulation, TimingModel};
     use gcl_types::SkewSchedule;
 
     const DELTA: Duration = Duration::from_micros(100);
@@ -518,7 +519,15 @@ mod tests {
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Silent::new())
             .spawn_honest(|p| {
-                UnsyncBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, M, PartyId::new(0), None)
+                UnsyncBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    M,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -534,17 +543,41 @@ mod tests {
         let p0 = Fig9Proposal::new(&s0, Value::ZERO);
         let p1 = Fig9Proposal::new(&s0, Value::ONE);
         let actions = vec![
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(1), msg: UnsyncMsg::Propose(p0) },
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(2), msg: UnsyncMsg::Propose(p0) },
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(3), msg: UnsyncMsg::Propose(p1) },
-            ScriptedAction { at: LocalTime::ZERO, to: PartyId::new(4), msg: UnsyncMsg::Propose(p1) },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(1),
+                msg: UnsyncMsg::Propose(p0),
+            },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(2),
+                msg: UnsyncMsg::Propose(p0),
+            },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(3),
+                msg: UnsyncMsg::Propose(p1),
+            },
+            ScriptedAction {
+                at: LocalTime::ZERO,
+                to: PartyId::new(4),
+                msg: UnsyncMsg::Propose(p1),
+            },
         ];
         let o = Simulation::build(cfg)
             .timing(sync_model())
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Scripted::new(actions))
             .spawn_honest(|p| {
-                UnsyncBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, M, PartyId::new(0), None)
+                UnsyncBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    M,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();
@@ -564,13 +597,11 @@ mod tests {
         use gcl_sim::{DelayRule, LinkDelay, PartySet, ScheduleOracle};
         let cfg = Config::new(5, 2).unwrap();
         let chain = Keychain::generate(5, 95);
-        let oracle: ScheduleOracle<UnsyncMsg> = ScheduleOracle::new(DELTA).rule(
-            DelayRule::link(
-                PartySet::One(PartyId::new(0)),
-                PartySet::One(PartyId::new(4)),
-                LinkDelay::Never,
-            ),
-        );
+        let oracle: ScheduleOracle<UnsyncMsg> = ScheduleOracle::new(DELTA).rule(DelayRule::link(
+            PartySet::One(PartyId::new(0)),
+            PartySet::One(PartyId::new(4)),
+            LinkDelay::Never,
+        ));
         // Broadcaster slot is Byzantine (it selectively omits), but runs
         // the honest protocol code.
         let o = Simulation::build(cfg)
@@ -589,7 +620,15 @@ mod tests {
                 ),
             )
             .spawn_honest(|p| {
-                UnsyncBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, M, PartyId::new(0), None)
+                UnsyncBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    M,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();

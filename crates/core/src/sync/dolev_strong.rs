@@ -222,9 +222,7 @@ impl Protocol for DolevStrongBb {
 
     fn on_message(&mut self, _from: PartyId, msg: DsMsg, ctx: &mut dyn Context<DsMsg>) {
         let relay = msg.0;
-        if self.decided
-            || relay.instance != self.broadcaster
-            || !relay.verify(DS_DOMAIN, &self.pki)
+        if self.decided || relay.instance != self.broadcaster || !relay.verify(DS_DOMAIN, &self.pki)
         {
             return;
         }
@@ -318,7 +316,14 @@ mod tests {
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Silent::new())
             .spawn_honest(|p| {
-                DolevStrongBb::new(cfg, chain.signer(p), chain.pki(), DELTA, PartyId::new(0), None)
+                DolevStrongBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         assert!(o.agreement_holds());
@@ -354,7 +359,14 @@ mod tests {
             .oracle(FixedDelay::new(DELTA))
             .byzantine(PartyId::new(0), Scripted::new(actions))
             .spawn_honest(|p| {
-                DolevStrongBb::new(cfg, chain.signer(p), chain.pki(), DELTA, PartyId::new(0), None)
+                DolevStrongBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    DELTA,
+                    PartyId::new(0),
+                    None,
+                )
             })
             .run();
         o.assert_agreement();

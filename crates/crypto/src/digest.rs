@@ -243,10 +243,7 @@ mod tests {
 
     #[test]
     fn option_encoding() {
-        assert_ne!(
-            Digest::of(&Option::<u64>::None),
-            Digest::of(&Some(0u64))
-        );
+        assert_ne!(Digest::of(&Option::<u64>::None), Digest::of(&Some(0u64)));
     }
 
     #[test]

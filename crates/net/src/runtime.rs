@@ -169,10 +169,7 @@ impl NetRuntime {
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => return,
                 }
-                while heap
-                    .peek()
-                    .is_some_and(|s| s.due <= Instant::now())
-                {
+                while heap.peek().is_some_and(|s| s.due <= Instant::now()) {
                     let s = heap.pop().expect("peeked");
                     let _ = dispatcher_txs[s.to.as_usize()].send(s.event);
                 }
@@ -195,9 +192,7 @@ impl NetRuntime {
                     let mut ctx = NetCtx {
                         me,
                         config,
-                        now: LocalTime::from_micros(
-                            local_start.elapsed().as_micros() as u64
-                        ),
+                        now: LocalTime::from_micros(local_start.elapsed().as_micros() as u64),
                         sends: Vec::new(),
                         timers: Vec::new(),
                         commit_values: Vec::new(),
@@ -236,8 +231,7 @@ impl NetRuntime {
                     for (delay, tag) in ctx.timers {
                         seq += 1;
                         let _ = sched.send(Scheduled {
-                            due: Instant::now()
-                                + Duration::from_micros(delay.as_micros()),
+                            due: Instant::now() + Duration::from_micros(delay.as_micros()),
                             seq,
                             to: me,
                             event: Event::Timer(tag),

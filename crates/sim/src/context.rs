@@ -104,4 +104,3 @@ impl<P: Protocol> Strategy<P::Msg> for P {
         Protocol::on_timer(self, tag, ctx);
     }
 }
-

@@ -132,9 +132,18 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q: EventQueue<u8> = EventQueue::new();
-        q.push(GlobalTime::from_micros(30), EventKind::Start(PartyId::new(0)));
-        q.push(GlobalTime::from_micros(10), EventKind::Start(PartyId::new(1)));
-        q.push(GlobalTime::from_micros(20), EventKind::Start(PartyId::new(2)));
+        q.push(
+            GlobalTime::from_micros(30),
+            EventKind::Start(PartyId::new(0)),
+        );
+        q.push(
+            GlobalTime::from_micros(10),
+            EventKind::Start(PartyId::new(1)),
+        );
+        q.push(
+            GlobalTime::from_micros(20),
+            EventKind::Start(PartyId::new(2)),
+        );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.at.as_micros())).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }

@@ -65,8 +65,8 @@ mod strategies;
 pub use context::{Context, Protocol, Strategy};
 pub use event::TraceEntry;
 pub use network::{
-    DelayOracle, DelayRule, FixedDelay, LinkDelay, MsgEnvelope, PartySet, RandomDelay,
-    ScheduleOracle, TimingModel,
+    DelayOracle, DelayRule, FixedDelay, LinkDelay, MsgEnvelope, MsgPredicate, PartySet,
+    RandomDelay, ScheduleOracle, TimingModel,
 };
 pub use outcome::{CommitRecord, Outcome};
 pub use runner::{Simulation, SimulationBuilder};

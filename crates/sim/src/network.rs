@@ -55,9 +55,7 @@ impl TimingModel {
     pub fn big_delta(&self) -> Option<Duration> {
         match self {
             TimingModel::Synchrony { big_delta, .. }
-            | TimingModel::PartialSynchrony {
-                big_delta, ..
-            } => Some(*big_delta),
+            | TimingModel::PartialSynchrony { big_delta, .. } => Some(*big_delta),
             TimingModel::Asynchrony => None,
         }
     }
@@ -178,6 +176,9 @@ impl PartySet {
     }
 }
 
+/// A boxed message-content predicate, as used by [`DelayRule::when`].
+pub type MsgPredicate<M> = Box<dyn Fn(&M) -> bool + Send>;
+
 /// One scheduling rule: if `(from, to, when)` match, apply `delay`.
 pub struct DelayRule<M> {
     /// Sender filter.
@@ -185,7 +186,7 @@ pub struct DelayRule<M> {
     /// Recipient filter.
     pub to: PartySet,
     /// Optional message-content filter.
-    pub when: Option<Box<dyn Fn(&M) -> bool + Send>>,
+    pub when: Option<MsgPredicate<M>>,
     /// The delay to apply when the rule matches.
     pub delay: LinkDelay,
 }
@@ -321,9 +322,11 @@ pub(crate) fn clamp_delivery(
                 return Some(requested);
             }
             match model {
-                TimingModel::Synchrony { delta, .. } => {
-                    Some(if d > delta { sent_at + delta } else { requested })
-                }
+                TimingModel::Synchrony { delta, .. } => Some(if d > delta {
+                    sent_at + delta
+                } else {
+                    requested
+                }),
                 TimingModel::PartialSynchrony { gst, big_delta } => {
                     let bound = latest_psync(sent_at, gst, big_delta);
                     Some(if requested > bound { bound } else { requested })

@@ -111,8 +111,7 @@ impl Outcome {
 
     /// **Validity** check: every honest party committed exactly `expected`.
     pub fn validity_holds(&self, expected: Value) -> bool {
-        self.all_honest_committed()
-            && self.honest_commits().all(|c| c.value == expected)
+        self.all_honest_committed() && self.honest_commits().all(|c| c.value == expected)
     }
 
     /// **Good-case latency** (Definition 6): time from the broadcaster's
@@ -247,7 +246,11 @@ mod tests {
     #[test]
     fn agreement_on_matching_values() {
         let o = outcome_with(
-            vec![commit(0, 5, 10, 2), commit(1, 5, 12, 2), commit(2, 5, 11, 2)],
+            vec![
+                commit(0, 5, 10, 2),
+                commit(1, 5, 12, 2),
+                commit(2, 5, 11, 2),
+            ],
             vec![true; 3],
         );
         assert!(o.agreement_holds());
@@ -271,7 +274,10 @@ mod tests {
             vec![commit(0, 5, 10, 2), commit(1, 9, 12, 2)],
             vec![true, false, true],
         );
-        assert!(o.agreement_holds(), "Byzantine slot's commit is not counted");
+        assert!(
+            o.agreement_holds(),
+            "Byzantine slot's commit is not counted"
+        );
         assert!(!o.all_honest_committed(), "party 2 never committed");
         assert!(!o.validity_holds(Value::new(5)));
     }
@@ -279,7 +285,11 @@ mod tests {
     #[test]
     fn latency_is_max_honest_commit() {
         let o = outcome_with(
-            vec![commit(0, 5, 10, 1), commit(1, 5, 30, 2), commit(2, 5, 20, 2)],
+            vec![
+                commit(0, 5, 10, 1),
+                commit(1, 5, 30, 2),
+                commit(2, 5, 20, 2),
+            ],
             vec![true; 3],
         );
         assert_eq!(o.good_case_latency(), Some(Duration::from_micros(30)));

@@ -19,6 +19,10 @@ impl Simulation {
     }
 }
 
+/// A party slot: the strategy to run plus whether the slot is honest.
+/// `None` until filled by the builder.
+type Slot<M> = Option<(Box<dyn Strategy<M>>, bool)>;
+
 /// Configures and runs one execution.
 ///
 /// Slots left unfilled by [`SimulationBuilder::byzantine`] /
@@ -29,7 +33,7 @@ pub struct SimulationBuilder<M> {
     timing: TimingModel,
     oracle: Box<dyn DelayOracle<M>>,
     skew: SkewSchedule,
-    slots: Vec<Option<(Box<dyn Strategy<M>>, bool)>>,
+    slots: Vec<Slot<M>>,
     broadcaster: PartyId,
     max_time: GlobalTime,
     max_events: u64,
@@ -219,7 +223,15 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                     if !started[to.as_usize()] && !terminated[to.as_usize()] {
                         // Delivered before the recipient's protocol start:
                         // buffer by rescheduling at its start instant.
-                        queue.push(skew.start_of(to), EventKind::Deliver { to, from, msg, round });
+                        queue.push(
+                            skew.start_of(to),
+                            EventKind::Deliver {
+                                to,
+                                from,
+                                msg,
+                                round,
+                            },
+                        );
                         continue;
                     }
                     if terminated[to.as_usize()] {
@@ -243,7 +255,11 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                         continue;
                     }
                     if record_trace {
-                        trace.push(TraceEntry::TimerFired { at: now, party, tag });
+                        trace.push(TraceEntry::TimerFired {
+                            at: now,
+                            party,
+                            tag,
+                        });
                     }
                     (party, Action::Timer(tag))
                 }
@@ -326,9 +342,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                 };
                 let choice = oracle.delay(&env);
                 let honest_link = env.honest_link();
-                if let Some(at) =
-                    clamp_delivery(timing, now, choice, honest_link, async_fallback)
-                {
+                if let Some(at) = clamp_delivery(timing, now, choice, honest_link, async_fallback) {
                     note_delivery(&mut last_delivery_of_round, out_round, at);
                     queue.push(
                         at,
@@ -492,16 +506,16 @@ mod tests {
         let cfg = Config::new(3, 1).unwrap();
         // Party 2 is "Byzantine" (runs the honest code, but its links are
         // unconstrained); drop everything it would receive.
-        let oracle: ScheduleOracle<Value> = ScheduleOracle::new(Duration::from_micros(5)).rule(
-            DelayRule::link(PartySet::Any, PartySet::One(PartyId::new(2)), LinkDelay::Never),
-        );
+        let oracle: ScheduleOracle<Value> =
+            ScheduleOracle::new(Duration::from_micros(5)).rule(DelayRule::link(
+                PartySet::Any,
+                PartySet::One(PartyId::new(2)),
+                LinkDelay::Never,
+            ));
         let o = Simulation::build(cfg)
             .timing(TimingModel::lockstep(Duration::from_micros(5)))
             .oracle(oracle)
-            .byzantine(
-                PartyId::new(2),
-                Flood { input: None },
-            )
+            .byzantine(PartyId::new(2), Flood { input: None })
             .spawn_honest(|p| Flood {
                 input: (p == PartyId::new(0)).then_some(Value::new(2)),
             })
@@ -562,7 +576,10 @@ mod tests {
             .spawn_honest(|_| Relay)
             .run();
         let c = o.commit_of(PartyId::new(2)).unwrap();
-        assert_eq!(c.round, 2, "P0's msg is round 0, relayed msg round 1, commit in round 2");
+        assert_eq!(
+            c.round, 2,
+            "P0's msg is round 0, relayed msg round 1, commit in round 2"
+        );
     }
 
     #[test]
@@ -609,7 +626,9 @@ mod tests {
             fn on_message(&mut self, _: PartyId, _: Value, _: &mut dyn Context<Value>) {}
         }
         let cfg = Config::new(2, 1).unwrap();
-        let o = Simulation::build(cfg).spawn_honest(|_| DoubleCommitter).run();
+        let o = Simulation::build(cfg)
+            .spawn_honest(|_| DoubleCommitter)
+            .run();
         for c in o.honest_commits() {
             assert_eq!(c.value, Value::new(1));
         }

@@ -128,17 +128,16 @@ impl<S: StateMachine> SlotEngine<S> {
         }
     }
 
-    fn absorb_commits(
-        &mut self,
-        slot: SlotId,
-        commits: Vec<Value>,
-        ctx: &mut dyn Context<SmrMsg>,
-    ) {
+    fn absorb_commits(&mut self, slot: SlotId, commits: Vec<Value>, ctx: &mut dyn Context<SmrMsg>) {
         if let Some(v) = commits.first() {
             self.committed.entry(slot).or_insert(*v);
         }
         // Apply in order.
-        while let Some(v) = self.committed.get(&SlotId::new(self.applied_up_to)).copied() {
+        while let Some(v) = self
+            .committed
+            .get(&SlotId::new(self.applied_up_to))
+            .copied()
+        {
             self.machine
                 .lock()
                 .apply(SlotId::new(self.applied_up_to), v);

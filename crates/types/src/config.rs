@@ -112,7 +112,7 @@ impl Config {
 
     /// True iff `n ≥ 3f + 1` (BRB / psync-BB solvable).
     pub const fn supports_brb(&self) -> bool {
-        self.n >= 3 * self.f + 1
+        self.n > 3 * self.f
     }
 
     /// True iff `n ≥ 5f − 1` — the paper's surprising tight threshold for

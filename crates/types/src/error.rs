@@ -39,7 +39,11 @@ impl fmt::Display for ConfigError {
             ConfigError::TooManyFaults { n, f: faults } => {
                 write!(f, "fault budget {faults} must be below n = {n}")
             }
-            ConfigError::InsufficientResilience { requirement, n, f: faults } => {
+            ConfigError::InsufficientResilience {
+                requirement,
+                n,
+                f: faults,
+            } => {
                 write!(
                     f,
                     "protocol requires {requirement}, got n = {n}, f = {faults}"
@@ -111,7 +115,9 @@ mod tests {
 
     #[test]
     fn protocol_error_messages() {
-        assert!(ProtocolError::BadSignature.to_string().contains("signature"));
+        assert!(ProtocolError::BadSignature
+            .to_string()
+            .contains("signature"));
         assert!(ProtocolError::InvalidCertificate("too few votes".into())
             .to_string()
             .contains("too few votes"));

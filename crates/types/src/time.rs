@@ -266,8 +266,18 @@ impl SkewSchedule {
 
     /// The realized skew σ = max start − min start.
     pub fn max_skew(&self) -> Duration {
-        let max = self.starts.iter().max().copied().unwrap_or(GlobalTime::ZERO);
-        let min = self.starts.iter().min().copied().unwrap_or(GlobalTime::ZERO);
+        let max = self
+            .starts
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(GlobalTime::ZERO);
+        let min = self
+            .starts
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(GlobalTime::ZERO);
         max.since(min)
     }
 }
@@ -325,15 +335,10 @@ mod tests {
 
     #[test]
     fn skew_schedule_late_parties() {
-        let s = SkewSchedule::with_late_parties(
-            3,
-            &[(PartyId::new(2), Duration::from_micros(500))],
-        );
+        let s =
+            SkewSchedule::with_late_parties(3, &[(PartyId::new(2), Duration::from_micros(500))]);
         assert_eq!(s.start_of(PartyId::new(0)), GlobalTime::ZERO);
-        assert_eq!(
-            s.start_of(PartyId::new(2)),
-            GlobalTime::from_micros(500)
-        );
+        assert_eq!(s.start_of(PartyId::new(2)), GlobalTime::from_micros(500));
         assert_eq!(s.max_skew(), Duration::from_micros(500));
     }
 

@@ -15,9 +15,7 @@ mod gcl_bench_is_not_a_dependency {
     pub use gcl::core::sync::{SyncStartBb, ThirdBb, TwoDeltaBb, UnsyncBb};
     pub use gcl::crypto::Keychain;
     pub use gcl::sim::{FixedDelay, Outcome, Silent, Simulation, TimingModel};
-    pub use gcl::types::{
-        accept_all, Config, Duration, GlobalTime, PartyId, SkewSchedule, Value,
-    };
+    pub use gcl::types::{accept_all, Config, Duration, GlobalTime, PartyId, SkewSchedule, Value};
 }
 
 const DELTA: Duration = Duration::from_micros(100);
@@ -49,8 +47,14 @@ fn main() {
             .timing(sync())
             .oracle(FixedDelay::new(DELTA))
             .spawn_honest(|p| {
-                TwoDeltaBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0),
-                                (p == PartyId::new(0)).then_some(input))
+                TwoDeltaBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(input),
+                )
             })
             .run();
         show("0 < f < n/3          2δ-BB, n=4 f=1", "2δ = 200us", &o);
@@ -63,11 +67,21 @@ fn main() {
             .timing(sync())
             .oracle(FixedDelay::new(DELTA))
             .spawn_honest(|p| {
-                ThirdBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0),
-                             (p == PartyId::new(0)).then_some(input))
+                ThirdBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(input),
+                )
             })
             .run();
-        show("f = n/3              (Δ+δ)-n/3-BB, n=3 f=1", "Δ+δ = 1100us", &o);
+        show(
+            "f = n/3              (Δ+δ)-n/3-BB, n=3 f=1",
+            "Δ+δ = 1100us",
+            &o,
+        );
     }
     {
         // n/3 < f < n/2, synchronized start — Δ + δ.
@@ -77,8 +91,14 @@ fn main() {
             .timing(sync())
             .oracle(FixedDelay::new(DELTA))
             .spawn_honest(|p| {
-                SyncStartBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0),
-                                 (p == PartyId::new(0)).then_some(input))
+                SyncStartBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(input),
+                )
             })
             .run();
         show("n/3 < f < n/2 sync   (Δ+δ)-BB, n=5 f=2", "Δ+δ = 1100us", &o);
@@ -95,8 +115,15 @@ fn main() {
                 &[(PartyId::new(1), DELTA.halved())],
             ))
             .spawn_honest(|p| {
-                UnsyncBb::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, 10, PartyId::new(0),
-                              (p == PartyId::new(0)).then_some(input))
+                UnsyncBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    BIG_DELTA,
+                    10,
+                    PartyId::new(0),
+                    (p == PartyId::new(0)).then_some(input),
+                )
             })
             .run();
         show(
@@ -118,8 +145,14 @@ fn main() {
             }
             let o = b
                 .spawn_honest(|p| {
-                    BbMajority::new(cfg, chain.signer(p), chain.pki(), BIG_DELTA, PartyId::new(0),
-                                    (p == PartyId::new(0)).then_some(input))
+                    BbMajority::new(
+                        cfg,
+                        chain.signer(p),
+                        chain.pki(),
+                        BIG_DELTA,
+                        PartyId::new(0),
+                        (p == PartyId::new(0)).then_some(input),
+                    )
                 })
                 .run();
             let k = n / (n - f);
@@ -141,8 +174,14 @@ fn main() {
             })
             .oracle(FixedDelay::new(DELTA))
             .spawn_honest(|p| {
-                VbbFiveFMinusOne::new(cfg, chain.signer(p), chain.pki(), accept_all(), DELTA,
-                                      (p == PartyId::new(0)).then_some(input))
+                VbbFiveFMinusOne::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    accept_all(),
+                    DELTA,
+                    (p == PartyId::new(0)).then_some(input),
+                )
             })
             .run();
         println!(

@@ -88,10 +88,7 @@ fn main() -> Result<(), ConfigError> {
 
     // Synchrony, f < n/3: 2δ — latency tracks the real network, not Δ.
     let o = Simulation::build(cfg)
-        .timing(TimingModel::Synchrony {
-            delta,
-            big_delta,
-        })
+        .timing(TimingModel::Synchrony { delta, big_delta })
         .oracle(FixedDelay::new(delta))
         .spawn_honest(|p| {
             TwoDeltaBb::new(

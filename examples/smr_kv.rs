@@ -58,7 +58,10 @@ fn main() -> Result<(), ConfigError> {
     );
 
     let kv = machines[0].lock();
-    println!("\nfinal store (replica 0, digest {:#x}):", kv.state_digest());
+    println!(
+        "\nfinal store (replica 0, digest {:#x}):",
+        kv.state_digest()
+    );
     for key in 0..5u32 {
         println!("  key {key} -> {:?}", kv.get(key));
     }

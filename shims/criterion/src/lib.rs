@@ -1,0 +1,279 @@
+//! Offline shim for the `criterion` API subset the workspace's benches use.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `criterion_group!` and `criterion_main!`. Instead of criterion's
+//! statistical machinery it times `sample_size` runs of each closure and
+//! reports min/median wall-clock time per iteration — enough to compare
+//! protocol scenarios and to keep `cargo bench` runnable offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter rendering (criterion's
+    /// `from_parameter`), for groups whose name already names the function.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+            param: None,
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.param {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts both
+/// string names and explicit ids (mirrors criterion's `IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// Converts `self` into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            param: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            param: None,
+        }
+    }
+}
+
+/// Passed to bench closures; runs and times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks (subset of criterion's group).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report-flushing no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The bench harness entry point (subset of criterion's `Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` narrows which benches run, like criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            default_sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (no-op beyond `Default` in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_benchmark_id().render();
+        let sample_size = self.default_sample_size;
+        self.run_one(&full, sample_size, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name}: no samples recorded");
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        println!(
+            "{name}: median {:>12?}  min {:>12?}  ({} samples)",
+            median,
+            min,
+            samples.len()
+        );
+    }
+}
+
+/// Bundles bench functions under one group function (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion {
+            default_sample_size: 10,
+            filter: None,
+        };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| runs += 1));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &2u64, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            default_sample_size: 4,
+            filter: Some("only_this".into()),
+        };
+        let mut runs = 0u32;
+        c.bench_function("something_else", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        c.bench_function("only_this_one", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("a", "p").render(), "a/p");
+        assert_eq!("bare".into_benchmark_id().render(), "bare");
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline shim for the `crossbeam::channel` subset the workspace uses,
+//! backed by `std::sync::mpsc`.
+//!
+//! The `gcl-net` runtime needs an unbounded MPSC channel with cloneable
+//! senders and `recv_timeout` — exactly what `std::sync::mpsc` provides, so
+//! the shim is a thin re-export with crossbeam's module layout and names.
+
+/// Multi-producer channels with crossbeam's naming.
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel (crossbeam's `unbounded`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(42));
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap())
+            .join()
+            .unwrap();
+        tx.send(2).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline shim for the `proptest` API subset the workspace uses.
+//!
+//! Supports the `proptest!` macro with `name: Type` (arbitrary) and
+//! `name in strategy` (range) parameters, `prop_assert!`/`prop_assert_eq!`,
+//! and `ProptestConfig::with_cases`. Differences from real proptest, chosen
+//! deliberately for CI determinism (and documented in the failure message):
+//!
+//! * **No shrinking.** A failing case reports the base seed and case index;
+//!   rerunning with `PROPTEST_SEED=<seed>` replays the identical inputs.
+//! * **Fully deterministic by default.** The base seed is a fixed constant
+//!   unless `PROPTEST_SEED` overrides it, so CI failures always replay.
+//! * **Case count** comes from `PROPTEST_CASES` when set, else from the
+//!   test's `ProptestConfig`, else 64.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-suite configuration (subset of proptest's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values for one test case.
+pub type TestRng = StdRng;
+
+/// Something that can produce values for a `name in strategy` parameter.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize);
+
+/// Types with a default generation strategy (`name: Type` parameters).
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix edge values in: real proptest biases toward extremes,
+                // and the boundary cases catch off-by-one bugs.
+                match rng.gen_range(0u32..8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => 1,
+                    _ => rng.gen::<u64>() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.gen_range(0usize..256);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types, as returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T` (subset of proptest's `any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Fixed default base seed: runs are identical everywhere unless overridden.
+const DEFAULT_BASE_SEED: u64 = 0x90c1_90c1;
+
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => DEFAULT_BASE_SEED,
+    }
+}
+
+fn case_count(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got {s:?}")),
+        Err(_) => config.cases,
+    }
+}
+
+/// Runs `body` for each random case. Called by the `proptest!` expansion;
+/// not part of the public proptest API.
+pub fn run_cases<F: FnMut(&mut TestRng)>(config: ProptestConfig, name: &str, mut body: F) {
+    let base = base_seed();
+    let cases = case_count(&config);
+    for case in 0..cases {
+        // SplitMix-style derivation keeps per-case streams independent.
+        let case_seed = base
+            .wrapping_add(u64::from(case).wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_mul(0xbf58476d1ce4e5b9)
+            | 1;
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut rng);
+        }));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest shim: `{name}` failed at case {case}/{cases} \
+                 (base seed {base}). Replay deterministically with \
+                 PROPTEST_SEED={base} PROPTEST_CASES={cases}; no shrinking \
+                 is performed."
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Defines property tests (subset of proptest's `proptest!` grammar).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (@tests ($cfg:expr) $(#[test] fn $name:ident ($($params:tt)*) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                $crate::run_cases($cfg, stringify!($name), |__proptest_rng| {
+                    $crate::proptest!(@bind __proptest_rng, $($params)*);
+                    $body
+                });
+            }
+        )*
+    };
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+    };
+    (@bind $rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+    (@bind $rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn typed_and_strategy_params(seed: u64, flag: bool, small in 1u32..5, cap in 0usize..=3) {
+            let _ = (seed, flag);
+            prop_assert!((1..5).contains(&small));
+            prop_assert!(cap <= 3);
+        }
+
+        #[test]
+        fn vec_u8_arbitrary(data: Vec<u8>) {
+            prop_assert!(data.len() < 256);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x: u64) {
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x.wrapping_add(1), x);
+        }
+    }
+
+    #[test]
+    fn deterministic_inputs_per_run() {
+        let mut a = Vec::new();
+        super::run_cases(ProptestConfig::with_cases(8), "det", |rng| {
+            a.push(u64::arbitrary(rng));
+        });
+        let mut b = Vec::new();
+        super::run_cases(ProptestConfig::with_cases(8), "det", |rng| {
+            b.push(u64::arbitrary(rng));
+        });
+        assert_eq!(a, b);
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+}

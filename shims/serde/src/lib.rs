@@ -1,0 +1,23 @@
+//! Offline shim for the `serde` derive macros.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! markers on plain-old-data types — no (de)serializer is ever invoked, and
+//! nothing bounds on the serde traits. This shim therefore provides the two
+//! derive macros as no-ops, which keeps every `#[derive(...)]` site
+//! compiling unchanged while the build is offline. Swap this for the real
+//! `serde = { version = "1", features = ["derive"] }` in the workspace
+//! manifest when a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -31,11 +31,7 @@ fn sync_model() -> TimingModel {
 /// Random in-model delays: the oracle asks for up to 2δ, the model clamps
 /// honest links to δ — so this also exercises the clamp.
 fn oracle(seed: u64) -> RandomDelay {
-    RandomDelay::new(
-        Duration::ZERO,
-        Duration::from_micros(2 * DELTA_US),
-        seed,
-    )
+    RandomDelay::new(Duration::ZERO, Duration::from_micros(2 * DELTA_US), seed)
 }
 
 fn check_bb(o: &Outcome, expect_value: Option<Value>) {

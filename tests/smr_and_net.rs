@@ -117,8 +117,8 @@ fn smr_kv_under_byzantine_silence() {
         .run();
     o.assert_agreement();
     let digest = machines[0].lock().state_digest();
-    for i in 1..7 {
-        assert_eq!(machines[i].lock().state_digest(), digest);
+    for m in machines.iter().take(7).skip(1) {
+        assert_eq!(m.lock().state_digest(), digest);
     }
     assert_eq!(machines[0].lock().get(3), Some(30));
 }

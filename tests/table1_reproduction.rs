@@ -48,7 +48,10 @@ fn sync_rows_hit_bounds_exactly_not_just_under() {
                 assert_eq!(row.measured_us, 1_100, "Δ+δ")
             }
             "(Delta+1.5delta)-BB (Fig 9)" => {
-                assert_eq!(row.measured_us, 1_150, "Δ+1.5δ — not an integer multiple of δ!")
+                assert_eq!(
+                    row.measured_us, 1_150,
+                    "Δ+1.5δ — not an integer multiple of δ!"
+                )
             }
             _ => {}
         }
