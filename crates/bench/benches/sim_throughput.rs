@@ -1,0 +1,45 @@
+//! Criterion view of the simulator-throughput scenarios.
+//!
+//! The `throughput` binary is the canonical `BENCH_sim.json` producer
+//! (best-of-N wall time, events/sec); this bench exposes the same
+//! scenarios to `cargo bench` so they can be compared run-over-run with
+//! every other bench target — and, with `GCL_BENCH_JSON=<path>`, feed the
+//! same JSON trajectory format through the criterion shim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcl_bench::throughput::{run_dolev_strong, run_flood, run_smr};
+
+fn print_throughput_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!("--- simulator throughput (one run per scenario) ---");
+        for r in gcl_bench::throughput_rows(true) {
+            eprintln!(
+                "{:<22} {:>10} events {:>12.0} ev/s (peak queue {})",
+                r.scenario, r.events, r.events_per_sec, r.peak_queue
+            );
+        }
+        eprintln!("---------------------------------------------------");
+    });
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    print_throughput_once();
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        g.bench_with_input(BenchmarkId::new("flood", n), &n, |b, &n| {
+            b.iter(|| run_flood(n))
+        });
+    }
+    g.sample_size(5);
+    g.bench_function("flood/256", |b| b.iter(|| run_flood(256)));
+    g.bench_function("dolev_strong/n32_f10", |b| {
+        b.iter(|| run_dolev_strong(32, 10))
+    });
+    g.bench_function("smr/200_commands", |b| b.iter(|| run_smr(200, 8)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

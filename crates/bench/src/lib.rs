@@ -8,13 +8,20 @@
 //!   early-vote grid resolution `m`.
 //! * `lower_bounds` — replays the lower-bound executions and reports which
 //!   strawman broke and which real protocol survived.
+//! * `throughput` — simulator events/sec on the fixed [`throughput`]
+//!   scenarios; writes the repo-root `BENCH_sim.json` trajectory point and
+//!   backs the CI `bench-smoke` regression gate (`--quick --check`).
 //!
 //! Criterion benches (`cargo bench -p gcl_bench`) time the same scenarios
-//! as wall-clock simulator throughput.
+//! as wall-clock simulator throughput; set `GCL_BENCH_JSON=<path>` to get
+//! a machine-readable summary in the same schema-plus-rows format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod scenarios;
+pub mod throughput;
 
 pub use scenarios::{fig8_rows, majority_rows, table1_rows, Fig8Row, MajorityRow, Table1Row};
+pub use throughput::{throughput_rows, ThroughputRow};

@@ -1,0 +1,377 @@
+//! Simulator-throughput scenarios: the perf trajectory's point 0.
+//!
+//! Every number the workspace produces flows through the event loop in
+//! `gcl_sim`, so events/second on these fixed scenarios is the ceiling on
+//! how many executions (and how large an `n`) the repo can explore. The
+//! `throughput` binary measures them and emits `BENCH_sim.json` at the repo
+//! root; CI re-measures in `--quick` mode and fails on a >3x regression
+//! against the committed baseline.
+//!
+//! Scenarios (all deterministic):
+//!
+//! * `flood_n{16,64,256}` — all-to-all flood: every party multicasts once,
+//!   commits after hearing from everyone. Pure hot-loop stress (`O(n²)`
+//!   messages, trivial per-message protocol work).
+//! * `dolev_strong_n64_f21` — signature chains relayed over `f + 1`
+//!   lock-step rounds: payloads that are expensive to clone.
+//! * `brb2_n256_f85` — the paper's 2-round BRB at scale: `O(n²)` messages
+//!   carrying signature bundles.
+//! * `smr_1k` — the SMR engine committing 1000 commands: long-running
+//!   pipelined slots.
+
+use crate::scenarios::run_brb2;
+use gcl_core::sync::DolevStrongBb;
+use gcl_crypto::Keychain;
+use gcl_sim::{Context, FixedDelay, Outcome, Protocol, Simulation, TimingModel};
+use gcl_smr::{Counter, SlotEngine};
+use gcl_types::{Config, Duration, GlobalTime, PartyId, Value};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// All-to-all flood: every party multicasts its id at start and commits
+/// once it has heard from all `n` parties. `O(n²)` messages with trivial
+/// handlers — the purest stress test of the event loop itself.
+#[derive(Debug)]
+pub struct AllToAllFlood {
+    heard: u64,
+    n: u64,
+}
+
+impl AllToAllFlood {
+    /// A fresh flood participant for an `n`-party run.
+    pub fn new(n: usize) -> Self {
+        AllToAllFlood {
+            heard: 0,
+            n: n as u64,
+        }
+    }
+}
+
+impl Protocol for AllToAllFlood {
+    type Msg = Value;
+
+    fn start(&mut self, ctx: &mut dyn Context<Value>) {
+        ctx.multicast(Value::new(u64::from(ctx.me().index())));
+    }
+
+    fn on_message(&mut self, _from: PartyId, _msg: Value, ctx: &mut dyn Context<Value>) {
+        self.heard += 1;
+        if self.heard == self.n {
+            ctx.commit(Value::new(0));
+            ctx.terminate();
+        }
+    }
+}
+
+/// Runs the all-to-all flood scenario.
+pub fn run_flood(n: usize) -> Outcome {
+    let cfg = Config::new(n, (n - 1) / 3).expect("config");
+    let delta = Duration::from_micros(10);
+    Simulation::build(cfg)
+        .timing(TimingModel::lockstep(delta))
+        .oracle(FixedDelay::new(delta))
+        .spawn_honest(|_| AllToAllFlood::new(n))
+        .run()
+}
+
+/// Runs stand-alone Dolev–Strong broadcast (`f + 1` lock-step rounds of
+/// growing signature chains).
+pub fn run_dolev_strong(n: usize, f: usize) -> Outcome {
+    let cfg = Config::new(n, f).expect("config");
+    let chain = Keychain::generate(n, 220);
+    let delta = Duration::from_micros(100);
+    Simulation::build(cfg)
+        .timing(TimingModel::lockstep(delta))
+        .oracle(FixedDelay::new(delta))
+        .spawn_honest(|p| {
+            DolevStrongBb::new(
+                cfg,
+                chain.signer(p),
+                chain.pki(),
+                delta,
+                PartyId::new(0),
+                (p == PartyId::new(0)).then_some(Value::new(7)),
+            )
+        })
+        .run()
+}
+
+/// Runs the SMR engine on an `n = 4` counter log of `commands` commands.
+pub fn run_smr(commands: u64, pipeline: usize) -> Outcome {
+    let cfg = Config::new(4, 1).expect("config");
+    let chain = Keychain::generate(4, 221);
+    let delta = Duration::from_micros(100);
+    let workload: Vec<Value> = (1..=commands).map(Value::new).collect();
+    Simulation::build(cfg)
+        .timing(TimingModel::PartialSynchrony {
+            gst: GlobalTime::ZERO,
+            big_delta: delta,
+        })
+        .oracle(FixedDelay::new(delta))
+        .spawn_honest(move |p| {
+            SlotEngine::new(
+                cfg,
+                chain.signer(p),
+                chain.pki(),
+                delta,
+                workload.clone(),
+                pipeline,
+                Arc::new(Mutex::new(Counter::default())),
+            )
+        })
+        .run()
+}
+
+/// One measured scenario of the throughput trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Stable scenario key (the regression check joins on it).
+    pub scenario: String,
+    /// Parties.
+    pub n: usize,
+    /// Fault budget.
+    pub f: usize,
+    /// Events the runner processed in one run.
+    pub events: u64,
+    /// Point-to-point messages sent in one run.
+    pub messages: u64,
+    /// Peak event-queue depth in one run.
+    pub peak_queue: u64,
+    /// Wall time of the best repetition, nanoseconds.
+    pub wall_ns: u64,
+    /// `events / wall` of the best repetition.
+    pub events_per_sec: f64,
+    /// Repetitions actually measured (best wins; fast scenarios repeat
+    /// until a cumulative wall-time floor so one noisy sample can't
+    /// dominate).
+    pub reps: u32,
+}
+
+/// Minimum cumulative measured wall time per scenario: microsecond-scale
+/// runs repeat until this floor so a single scheduler hiccup on a noisy CI
+/// runner can't masquerade as a 3x regression.
+const MIN_TOTAL_NS: u64 = 5_000_000;
+/// Hard cap on repetitions (keeps the floor from ballooning tiny runs).
+const MAX_REPS: u32 = 64;
+
+fn measure(
+    scenario: &str,
+    n: usize,
+    f: usize,
+    min_reps: u32,
+    mut run: impl FnMut() -> Outcome,
+) -> ThroughputRow {
+    let mut best_ns = u64::MAX;
+    let mut total_ns: u64 = 0;
+    let mut reps = 0;
+    let mut events = 0;
+    let mut messages = 0;
+    let mut peak_queue = 0;
+    while reps < min_reps || (total_ns < MIN_TOTAL_NS && reps < MAX_REPS) {
+        let start = Instant::now();
+        let o = run();
+        let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        events = o.events_processed();
+        messages = o.messages_sent();
+        peak_queue = o.peak_queue_depth() as u64;
+        best_ns = best_ns.min(ns.max(1));
+        total_ns = total_ns.saturating_add(ns);
+        reps += 1;
+    }
+    ThroughputRow {
+        scenario: scenario.to_string(),
+        n,
+        f,
+        events,
+        messages,
+        peak_queue,
+        wall_ns: best_ns,
+        events_per_sec: events as f64 * 1e9 / best_ns as f64,
+        reps,
+    }
+}
+
+/// Measures every scenario. `quick` (the CI smoke mode) requires one
+/// repetition per scenario; the full mode at least three. Either way,
+/// sub-millisecond scenarios repeat up to the cumulative wall-time floor.
+pub fn throughput_rows(quick: bool) -> Vec<ThroughputRow> {
+    let reps = if quick { 1 } else { 3 };
+    vec![
+        measure("flood_n16", 16, 5, reps, || run_flood(16)),
+        measure("flood_n64", 64, 21, reps, || run_flood(64)),
+        measure("flood_n256", 256, 85, reps, || run_flood(256)),
+        measure("dolev_strong_n64_f21", 64, 21, reps, || {
+            run_dolev_strong(64, 21)
+        }),
+        measure("brb2_n256_f85", 256, 85, reps, || run_brb2(256, 85)),
+        measure("smr_1k", 4, 1, reps, || run_smr(1000, 8)),
+    ]
+}
+
+/// Renders rows as the `BENCH_sim.json` document.
+pub fn render_json(rows: &[ThroughputRow], mode: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"gcl-bench/sim-throughput/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"n\": {}, \"f\": {}, \"events\": {}, \
+             \"messages\": {}, \"peak_queue\": {}, \"wall_ns\": {}, \
+             \"events_per_sec\": {:.1}, \"reps\": {}}}{}\n",
+            // Scenario keys are compile-time constants today; escape anyway
+            // so a future dynamic name can't produce a malformed document.
+            r.scenario.replace('\\', "\\\\").replace('"', "\\\""),
+            r.n,
+            r.f,
+            r.events,
+            r.messages,
+            r.peak_queue,
+            r.wall_ns,
+            r.events_per_sec,
+            r.reps,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_sim.json` document back into rows (used by the CI
+/// regression check; any structural problem is an `Err`).
+pub fn parse_json(text: &str) -> Result<Vec<ThroughputRow>, String> {
+    let doc = crate::json::parse(text)?;
+    let obj = doc.as_object().ok_or("top level must be an object")?;
+    let schema = obj
+        .get("schema")
+        .and_then(crate::json::Value::as_str)
+        .ok_or("missing schema")?;
+    if schema != "gcl-bench/sim-throughput/v1" {
+        return Err(format!("unknown schema {schema:?}"));
+    }
+    let rows = obj
+        .get("rows")
+        .and_then(crate::json::Value::as_array)
+        .ok_or("missing rows array")?;
+    rows.iter()
+        .map(|row| {
+            let row = row.as_object().ok_or("row must be an object")?;
+            let str_field = |k: &str| -> Result<String, String> {
+                row.get(k)
+                    .and_then(crate::json::Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("row missing string field {k:?}"))
+            };
+            let num_field = |k: &str| -> Result<f64, String> {
+                row.get(k)
+                    .and_then(crate::json::Value::as_f64)
+                    .ok_or_else(|| format!("row missing numeric field {k:?}"))
+            };
+            Ok(ThroughputRow {
+                scenario: str_field("scenario")?,
+                n: num_field("n")? as usize,
+                f: num_field("f")? as usize,
+                events: num_field("events")? as u64,
+                messages: num_field("messages")? as u64,
+                peak_queue: num_field("peak_queue")? as u64,
+                wall_ns: num_field("wall_ns")? as u64,
+                events_per_sec: num_field("events_per_sec")?,
+                reps: num_field("reps")? as u32,
+            })
+        })
+        .collect()
+}
+
+/// Compares a fresh measurement against the committed baseline: every
+/// baseline scenario must still exist and must not have regressed by more
+/// than `factor` in events/sec. Returns the failures (empty = pass).
+pub fn regressions(
+    baseline: &[ThroughputRow],
+    fresh: &[ThroughputRow],
+    factor: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if baseline.len() < 4 {
+        failures.push(format!(
+            "baseline has {} rows; expected at least 4",
+            baseline.len()
+        ));
+    }
+    for b in baseline {
+        match fresh.iter().find(|r| r.scenario == b.scenario) {
+            None => failures.push(format!("scenario {:?} missing from fresh run", b.scenario)),
+            Some(r) if r.events_per_sec * factor < b.events_per_sec => failures.push(format!(
+                "{}: {:.0} ev/s is a >{:.0}x regression from baseline {:.0} ev/s",
+                r.scenario, r.events_per_sec, factor, b.events_per_sec
+            )),
+            Some(_) => {}
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_commits_and_counts_n_squared_messages() {
+        let o = run_flood(8);
+        assert!(o.all_honest_committed());
+        assert_eq!(o.messages_sent(), 64, "n^2 point-to-point messages");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rows = vec![
+            measure("flood_n8", 8, 2, 1, || run_flood(8)),
+            measure("flood_n8_again", 8, 2, 1, || run_flood(8)),
+        ];
+        let text = render_json(&rows, "test");
+        let parsed = parse_json(&text).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].scenario, "flood_n8");
+        assert_eq!(parsed[0].events, rows[0].events);
+        assert_eq!(parsed[0].messages, rows[0].messages);
+        assert_eq!(parsed[0].wall_ns, rows[0].wall_ns);
+    }
+
+    #[test]
+    fn regression_check_flags_slowdown_and_missing() {
+        let mk = |s: &str, eps: f64| ThroughputRow {
+            scenario: s.into(),
+            n: 4,
+            f: 1,
+            events: 100,
+            messages: 100,
+            peak_queue: 10,
+            wall_ns: 1000,
+            events_per_sec: eps,
+            reps: 1,
+        };
+        let baseline = vec![
+            mk("a", 3000.0),
+            mk("b", 3000.0),
+            mk("c", 3000.0),
+            mk("d", 3000.0),
+        ];
+        let fresh = vec![
+            mk("a", 2900.0), // fine
+            mk("b", 900.0),  // >3x slower
+            mk("c", 1001.0), // just inside 3x
+        ];
+        let fails = regressions(&baseline, &fresh, 3.0);
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails.iter().any(|m| m.contains("\"d\" missing")));
+        assert!(fails.iter().any(|m| m.starts_with("b:")));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{\"schema\": \"wrong\", \"rows\": []}").is_err());
+        assert!(parse_json("{\"schema\": \"gcl-bench/sim-throughput/v1\"}").is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Determinism regression suite: the hot-loop rewrite (scratch buffers,
+//! flat link counters, bucketed event queue, shared-payload multicast)
+//! must change **no semantics**. Every `scenarios` entry point is pinned
+//! to the exact `Outcome` fields the pre-refactor runner produced
+//! (captured at commit `a1831c1`): events processed, point-to-point
+//! messages, good-case latency, and commit round. Any divergence —
+//! a reordered delivery, a dropped clone, a changed tie-break — shows up
+//! here as a hard failure.
+
+use gcl_bench::scenarios::{
+    run_2delta, run_bracha, run_brb2, run_majority, run_pbft, run_sync_start, run_third,
+    run_unsync, run_vbb,
+};
+use gcl_bench::throughput::{run_dolev_strong, run_flood, run_smr};
+use gcl_sim::Outcome;
+
+/// `(label, events_processed, messages_sent, good_case_latency_us,
+/// good_case_rounds)` — values recorded on the pre-refactor runner.
+type Reference = (&'static str, u64, u64, Option<u64>, Option<u32>);
+
+fn check(reference: Reference, outcome: &Outcome) {
+    let (label, events, messages, latency_us, rounds) = reference;
+    assert_eq!(
+        outcome.events_processed(),
+        events,
+        "{label}: events_processed drifted"
+    );
+    assert_eq!(
+        outcome.messages_sent(),
+        messages,
+        "{label}: messages_sent drifted"
+    );
+    assert_eq!(
+        outcome.good_case_latency().map(|d| d.as_micros()),
+        latency_us,
+        "{label}: good_case_latency drifted"
+    );
+    assert_eq!(
+        outcome.good_case_rounds(),
+        rounds,
+        "{label}: good_case_rounds drifted"
+    );
+}
+
+#[test]
+fn brb2_matches_pre_refactor_runner() {
+    check(("brb2_4_1", 21, 32, Some(200), Some(2)), &run_brb2(4, 1));
+    check(("brb2_7_2", 50, 98, Some(200), Some(2)), &run_brb2(7, 2));
+}
+
+#[test]
+fn bracha_matches_pre_refactor_runner() {
+    check(
+        ("bracha_4_1", 38, 36, Some(300), Some(3)),
+        &run_bracha(4, 1),
+    );
+}
+
+#[test]
+fn vbb_matches_pre_refactor_runner() {
+    check(("vbb_4_1", 21, 32, Some(200), Some(2)), &run_vbb(4, 1));
+    check(("vbb_9_2", 82, 162, Some(200), Some(2)), &run_vbb(9, 2));
+}
+
+#[test]
+fn pbft_matches_pre_refactor_runner() {
+    check(("pbft_8_2", 131, 192, Some(300), Some(3)), &run_pbft(8, 2));
+}
+
+#[test]
+fn sync_bb_matches_pre_refactor_runner() {
+    check(
+        ("2delta_4_1", 96, 80, Some(200), Some(2)),
+        &run_2delta(4, 1),
+    );
+    check(("third_3_1", 60, 45, Some(1100), Some(3)), &run_third(3, 1));
+    check(
+        ("third_6_2", 324, 288, Some(1100), Some(3)),
+        &run_third(6, 2),
+    );
+    check(
+        ("sync_start_5_2", 190, 150, Some(1100), Some(3)),
+        &run_sync_start(5, 2),
+    );
+    check(
+        ("unsync_5_2_m10", 744, 620, Some(1150), Some(12)),
+        &run_unsync(5, 2, 10),
+    );
+}
+
+#[test]
+fn majority_matches_pre_refactor_runner() {
+    check(
+        ("majority_4_2", 38, 31, Some(4000), Some(4)),
+        &run_majority(4, 2),
+    );
+    check(
+        ("majority_6_4", 58, 51, Some(5000), Some(4)),
+        &run_majority(6, 4),
+    );
+}
+
+#[test]
+fn throughput_scenarios_match_pre_refactor_runner() {
+    check(
+        ("throughput_flood_16", 272, 256, Some(10), Some(1)),
+        &run_flood(16),
+    );
+    check(
+        ("throughput_ds_16_5", 352, 240, Some(1800), Some(2)),
+        &run_dolev_strong(16, 5),
+    );
+    check(
+        ("throughput_smr_50", 1637, 1600, Some(2600), Some(26)),
+        &run_smr(50, 4),
+    );
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    // Same build, same seed, same everything: the runner has no hidden
+    // nondeterminism (hash maps, pointer ordering, wall clocks).
+    let (a, b) = (run_unsync(5, 2, 10), run_unsync(5, 2, 10));
+    assert_eq!(a.events_processed(), b.events_processed());
+    assert_eq!(a.messages_sent(), b.messages_sent());
+    assert_eq!(a.peak_queue_depth(), b.peak_queue_depth());
+    assert_eq!(a.good_case_latency(), b.good_case_latency());
+    assert_eq!(a.good_case_rounds(), b.good_case_rounds());
+}

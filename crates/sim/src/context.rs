@@ -35,21 +35,34 @@ pub trait Context<M> {
 
     /// Halts this party: no further messages or timers will be delivered.
     fn terminate(&mut self);
-}
 
-/// Extension helpers available on every `Context`.
-impl<M: Clone> dyn Context<M> + '_ {
-    /// Sends `msg` to all `n` parties, including the sender itself
-    /// (the paper's "send to all parties").
-    pub fn multicast(&mut self, msg: M) {
-        for p in self.config().parties().collect::<Vec<_>>() {
-            self.send(p, msg.clone());
+    /// Sends `msg` to all `n` parties in id order, including the sender
+    /// itself (the paper's "send to all parties").
+    ///
+    /// The default forwards to [`Context::send`] once per party; runtimes
+    /// may override it with a shared-payload fast path — the simulator
+    /// enqueues **one** reference-counted payload plus `n` pointer bumps
+    /// instead of `n` deep clones, which is what makes signature-chain
+    /// fan-outs (Dolev–Strong, vote bundles) cheap at large `n`.
+    fn multicast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        let n = self.config().n() as u32;
+        for i in 0..n {
+            self.send(PartyId::new(i), msg.clone());
         }
     }
 
-    /// Sends `msg` to every party except `skip`.
-    pub fn multicast_except(&mut self, msg: M, skip: PartyId) {
-        for p in self.config().parties().collect::<Vec<_>>() {
+    /// Sends `msg` to every party except `skip`, in id order. Same
+    /// fast-path contract as [`Context::multicast`].
+    fn multicast_except(&mut self, msg: M, skip: PartyId)
+    where
+        M: Clone,
+    {
+        let n = self.config().n() as u32;
+        for i in 0..n {
+            let p = PartyId::new(i);
             if p != skip {
                 self.send(p, msg.clone());
             }

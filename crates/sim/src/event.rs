@@ -1,18 +1,78 @@
 //! The event queue: a deterministic priority queue over global time.
+//!
+//! Internally the queue buckets events by their (discrete, microsecond)
+//! delivery instant: a `BTreeMap` from time to a FIFO of events. Simulated
+//! workloads concentrate huge fan-outs on few distinct instants (an n-way
+//! multicast under a fixed delay lands on *one*), so pushes and pops touch
+//! a tree of a handful of nodes instead of sifting through a binary heap of
+//! every in-flight message. Drained buckets are recycled through a small
+//! spare pool, so the steady-state hot loop allocates nothing.
+//!
+//! Message payloads are stored as `Rc<M>`: an n-way multicast enqueues one
+//! allocation plus `n` reference bumps instead of `n` deep clones, and the
+//! payload is shared — not duplicated — while it sits in flight.
 
 use gcl_types::{GlobalTime, PartyId, Value};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// The shared-payload pointer of the delivery path. The event loop is
+/// strictly single-threaded (handlers run inline, one at a time), so a
+/// non-atomic `Rc` shares a multicast payload without paying three atomic
+/// RMWs per delivered message; swap for `Arc` if the loop is ever sharded
+/// across threads.
+pub(crate) type Shared<M> = Rc<M>;
+
+/// A delivery payload. Multicasts share one reference-counted allocation
+/// across all `n` in-flight copies; unicasts and self-deliveries stay
+/// inline in the event — no per-message allocation at all.
+pub(crate) enum Payload<M> {
+    /// The sole in-flight copy (unicast / self-delivery), stored inline.
+    Owned(M),
+    /// One of the in-flight copies of a multicast.
+    Multicast(Shared<M>),
+}
+
+impl<M> Payload<M> {
+    /// Borrows the message (for the oracle's [`crate::MsgEnvelope`] and
+    /// trace rendering).
+    pub fn get(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Multicast(rc) => rc,
+        }
+    }
+}
+
+impl<M: Clone> Payload<M> {
+    /// By-value extraction for dispatch: inline payloads move out, the
+    /// last in-flight copy of a multicast unwraps for free, earlier ones
+    /// clone lazily — a dropped or clamped-away message is never cloned.
+    pub fn into_msg(self) -> M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Multicast(rc) => Shared::try_unwrap(rc).unwrap_or_else(|s| (*s).clone()),
+        }
+    }
+}
+
+// Renders as the message itself (no `Owned`/`Multicast` wrapper), so trace
+// entries are independent of how the payload happened to be routed.
+impl<M: std::fmt::Debug> std::fmt::Debug for Payload<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.get().fmt(f)
+    }
+}
 
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
     /// Party starts its protocol (local clock begins).
     Start(PartyId),
-    /// Message delivery.
+    /// Message delivery. See [`Payload`] for the sharing contract.
     Deliver {
         to: PartyId,
         from: PartyId,
-        msg: M,
+        msg: Payload<M>,
         /// Asynchronous-round tag (causal depth) of the message.
         round: u32,
     },
@@ -23,61 +83,64 @@ pub(crate) enum EventKind<M> {
 #[derive(Debug)]
 pub(crate) struct Event<M> {
     pub at: GlobalTime,
-    /// Monotone sequence number: deterministic FIFO tie-break at equal time.
-    pub seq: u64,
     pub kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
+/// Retired buckets kept for reuse; bounds how much drained capacity the
+/// queue retains, not how many buckets can be live at once.
+const SPARE_BUCKETS: usize = 64;
 
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Deterministic event queue.
+/// Deterministic event queue: pops in `(time, push order)` order.
 pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
-    next_seq: u64,
+    buckets: BTreeMap<GlobalTime, VecDeque<EventKind<M>>>,
+    spare: Vec<VecDeque<EventKind<M>>>,
+    len: usize,
+    peak: usize,
 }
 
 impl<M> EventQueue<M> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            buckets: BTreeMap::new(),
+            spare: Vec::new(),
+            len: 0,
+            peak: 0,
         }
     }
 
     pub fn push(&mut self, at: GlobalTime, kind: EventKind<M>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        let spare = &mut self.spare;
+        self.buckets
+            .entry(at)
+            .or_insert_with(|| spare.pop().unwrap_or_default())
+            .push_back(kind);
+        self.len += 1;
+        self.peak = self.peak.max(self.len());
     }
 
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+        let mut entry = self.buckets.first_entry()?;
+        let at = *entry.key();
+        let kind = entry.get_mut().pop_front().expect("buckets are non-empty");
+        if entry.get().is_empty() {
+            let bucket = entry.remove();
+            if self.spare.len() < SPARE_BUCKETS {
+                self.spare.push(bucket);
+            }
+        }
+        self.len -= 1;
+        Some(Event { at, kind })
     }
 
-    #[allow(dead_code)]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
+    }
+
+    /// High-water mark of [`EventQueue::len`] over the queue's lifetime —
+    /// the capacity-planning metric surfaced as
+    /// [`Outcome::peak_queue_depth`](crate::Outcome::peak_queue_depth).
+    pub fn peak(&self) -> usize {
+        self.peak
     }
 }
 
@@ -166,6 +229,33 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_push_pop_preserves_order() {
+        // Refill a partially drained bucket and race it against an earlier
+        // instant: pops must still come back in (time, push order).
+        let mut q: EventQueue<u8> = EventQueue::new();
+        let t5 = GlobalTime::from_micros(5);
+        q.push(t5, EventKind::Start(PartyId::new(0)));
+        q.push(t5, EventKind::Start(PartyId::new(1)));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::Start(p) if p == PartyId::new(0)
+        ));
+        q.push(
+            GlobalTime::from_micros(3),
+            EventKind::Start(PartyId::new(2)),
+        );
+        q.push(t5, EventKind::Start(PartyId::new(3)));
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Start(p) => p.index(),
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![2, 1, 3]);
+    }
+
+    #[test]
     fn len_tracks_pushes() {
         let mut q: EventQueue<u8> = EventQueue::new();
         assert_eq!(q.len(), 0);
@@ -173,5 +263,57 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peak_is_high_water_mark() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.peak(), 0);
+        for i in 0..3 {
+            q.push(
+                GlobalTime::from_micros(i),
+                EventKind::Start(PartyId::new(0)),
+            );
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peak(), 3, "peak survives pops");
+        q.push(GlobalTime::ZERO, EventKind::Start(PartyId::new(1)));
+        assert_eq!(q.peak(), 3, "re-pushing below the peak leaves it");
+    }
+
+    #[test]
+    fn multicast_payload_is_shared() {
+        let mut q: EventQueue<String> = EventQueue::new();
+        let payload = Shared::new("big".to_string());
+        for i in 0..3 {
+            q.push(
+                GlobalTime::ZERO,
+                EventKind::Deliver {
+                    to: PartyId::new(i),
+                    from: PartyId::new(9),
+                    msg: Payload::Multicast(Shared::clone(&payload)),
+                    round: 0,
+                },
+            );
+        }
+        assert_eq!(Shared::strong_count(&payload), 4, "one payload, n pointers");
+    }
+
+    #[test]
+    fn payload_unwraps_or_clones() {
+        let owned: Payload<String> = Payload::Owned("inline".into());
+        assert_eq!(owned.into_msg(), "inline");
+        let rc = Shared::new("shared".to_string());
+        let (a, b) = (
+            Payload::Multicast(Shared::clone(&rc)),
+            Payload::Multicast(Shared::clone(&rc)),
+        );
+        drop(rc);
+        assert_eq!(a.into_msg(), "shared", "clones while still shared");
+        assert_eq!(b.into_msg(), "shared", "last copy unwraps");
+        let solo: Payload<u8> = Payload::Multicast(Shared::new(7));
+        assert_eq!(format!("{solo:?}"), "7", "debug renders the message");
     }
 }

@@ -34,6 +34,7 @@ pub struct Outcome {
     pub(crate) end_time: GlobalTime,
     pub(crate) events_processed: u64,
     pub(crate) messages_sent: u64,
+    pub(crate) peak_queue_depth: usize,
     /// `last_delivery_of_round[k]` = the latest instant at which a message
     /// tagged round `k` is (scheduled to be) delivered — Definition 10's
     /// `l_{k+1}` boundary.
@@ -190,6 +191,14 @@ impl Outcome {
         self.messages_sent
     }
 
+    /// High-water mark of the event queue over the run — how many events
+    /// were simultaneously in flight at the worst instant (a capacity-
+    /// planning metric: queue memory scales with this, not with
+    /// [`Outcome::events_processed`]).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth
+    }
+
     /// The recorded trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
@@ -227,6 +236,7 @@ mod tests {
             end_time: GlobalTime::from_micros(100),
             events_processed: 1,
             messages_sent: 0,
+            peak_queue_depth: 0,
             last_delivery_of_round: vec![GlobalTime::from_micros(10), GlobalTime::from_micros(100)],
             trace: Vec::new(),
         }
@@ -324,6 +334,7 @@ mod tests {
         assert_eq!(o.end_time(), GlobalTime::from_micros(100));
         assert_eq!(o.events_processed(), 1);
         assert_eq!(o.messages_sent(), 0);
+        assert_eq!(o.peak_queue_depth(), 0);
         assert!(o.trace().is_empty());
         assert!(o.all_honest_terminated());
         assert_eq!(o.commits().len(), 1);

@@ -1,11 +1,17 @@
 //! The simulation loop.
+//!
+//! The hot path is allocation-free at steady state: the per-event effect
+//! buffers (sends, timers, commits) are scratch vectors owned by `run()`
+//! and drained after every handler invocation, per-link sequence counters
+//! live in a flat `n × n` array instead of a hash map, and multicast
+//! payloads are enqueued once behind a shared reference-counted pointer
+//! and shared by all `n` in-flight deliveries (see [`Context::multicast`]).
 
 use crate::context::{Context, Protocol, Strategy};
-use crate::event::{EventKind, EventQueue, TraceEntry};
+use crate::event::{EventKind, EventQueue, Payload, Shared, TraceEntry};
 use crate::network::{clamp_delivery, DelayOracle, FixedDelay, MsgEnvelope, TimingModel};
 use crate::outcome::{CommitRecord, Outcome};
 use gcl_types::{Config, Duration, GlobalTime, LocalTime, PartyId, SkewSchedule, Value};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Entry point: `Simulation::build(config)` returns a [`SimulationBuilder`].
@@ -99,6 +105,16 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
         self
     }
 
+    /// Event budget after which the run stops (default: 20 million). A
+    /// truncated run still yields a well-formed [`Outcome`]; metrics that
+    /// need every honest party to commit (e.g.
+    /// [`Outcome::good_case_latency`]) come back `None`.
+    #[must_use]
+    pub fn max_events(mut self, budget: u64) -> Self {
+        self.max_events = budget;
+        self
+    }
+
     /// Delivery fallback for `Never` on honest links under asynchrony.
     #[must_use]
     pub fn async_fallback(mut self, d: Duration) -> Self {
@@ -151,7 +167,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
         let SimulationBuilder {
             config,
             timing,
-            mut oracle,
+            oracle,
             skew,
             slots,
             broadcaster,
@@ -170,9 +186,19 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
             honest.push(h);
         }
 
-        let mut queue: EventQueue<M> = EventQueue::new();
+        let mut net = Router {
+            queue: EventQueue::new(),
+            oracle,
+            link_seq: vec![0u64; n * n],
+            last_delivery_of_round: Vec::new(),
+            messages_sent: 0,
+            timing,
+            async_fallback,
+            n,
+            honest,
+        };
         for p in config.parties() {
-            queue.push(skew.start_of(p), EventKind::Start(p));
+            net.queue.push(skew.start_of(p), EventKind::Start(p));
         }
 
         let mut started = vec![false; n];
@@ -180,21 +206,22 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
         let mut committed: Vec<Option<CommitRecord>> = vec![None; n];
         // None = nothing delivered yet; Some(r) = max round tag delivered.
         let mut max_round: Vec<Option<u32>> = vec![None; n];
-        let mut last_delivery_of_round: Vec<GlobalTime> = Vec::new();
-        let note_delivery = |table: &mut Vec<GlobalTime>, round: u32, at: GlobalTime| {
-            if table.len() <= round as usize {
-                table.resize(round as usize + 1, GlobalTime::ZERO);
-            }
-            table[round as usize] = table[round as usize].max(at);
-        };
-        let mut link_seq: HashMap<(u32, u32), u64> = HashMap::new();
         let mut trace = Vec::new();
+        // Honest parties still running — O(1) replacement for an O(n)
+        // "is everyone done" scan per event.
+        let mut honest_live = net.honest.iter().filter(|&&h| h).count();
+
+        // Scratch buffers for handler effects, drained after every event —
+        // the steady-state loop reuses their capacity instead of
+        // allocating fresh vectors per event.
+        let mut sends: Vec<SendOp<M>> = Vec::new();
+        let mut timers: Vec<(Duration, u64)> = Vec::new();
+        let mut commits: Vec<Value> = Vec::new();
 
         let mut events_processed: u64 = 0;
-        let mut messages_sent: u64 = 0;
         let mut now = GlobalTime::ZERO;
 
-        while let Some(ev) = queue.pop() {
+        while let Some(ev) = net.queue.pop() {
             if ev.at > max_time || events_processed >= max_events {
                 break;
             }
@@ -202,7 +229,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
             events_processed += 1;
 
             // All honest parties done => nothing left to observe.
-            if (0..n).all(|i| !honest[i] || terminated[i]) {
+            if honest_live == 0 {
                 break;
             }
 
@@ -223,7 +250,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                     if !started[to.as_usize()] && !terminated[to.as_usize()] {
                         // Delivered before the recipient's protocol start:
                         // buffer by rescheduling at its start instant.
-                        queue.push(
+                        net.queue.push(
                             skew.start_of(to),
                             EventKind::Deliver {
                                 to,
@@ -275,21 +302,28 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                 me: party,
                 config,
                 now_local: local,
-                sends: Vec::new(),
-                timers: Vec::new(),
-                commits: Vec::new(),
+                sends: &mut sends,
+                timers: &mut timers,
+                commits: &mut commits,
                 terminate: false,
             };
 
             match action {
                 Action::Start => strategies[slot].start(&mut ctx),
-                Action::Message(from, msg) => strategies[slot].on_message(from, msg, &mut ctx),
+                Action::Message(from, msg) => {
+                    // Hand the payload to the party by value: inline
+                    // payloads move, the last in-flight copy of a
+                    // multicast unwraps for free, earlier ones clone
+                    // lazily — a dropped message is never cloned at all.
+                    strategies[slot].on_message(from, msg.into_msg(), &mut ctx)
+                }
                 Action::Timer(tag) => strategies[slot].on_timer(tag, &mut ctx),
             }
+            let halted = ctx.terminate;
 
             // Effects: commits first (they logically precede sends in the
             // same handler for metric purposes — same instant regardless).
-            for value in ctx.commits {
+            for value in commits.drain(..) {
                 if committed[slot].is_none() {
                     let round = max_round[slot].map_or(0, |r| r + 1);
                     committed[slot] = Some(CommitRecord {
@@ -311,72 +345,129 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
             }
 
             let out_round = max_round[slot].map_or(0, |r| r + 1);
-            for (to, msg) in ctx.sends {
-                messages_sent += 1;
-                if to == party {
-                    // Self-delivery: immediate, not adversary-controlled.
-                    note_delivery(&mut last_delivery_of_round, out_round, now);
-                    queue.push(
-                        now,
-                        EventKind::Deliver {
-                            to,
-                            from: party,
-                            msg,
-                            round: out_round,
-                        },
-                    );
-                    continue;
-                }
-                let seq = link_seq
-                    .entry((party.index(), to.index()))
-                    .and_modify(|s| *s += 1)
-                    .or_insert(0);
-                let env = MsgEnvelope {
-                    from: party,
-                    to,
-                    sent_at: now,
-                    msg: &msg,
-                    from_honest: honest[slot],
-                    to_honest: honest[to.as_usize()],
-                    link_seq: *seq,
-                };
-                let choice = oracle.delay(&env);
-                let honest_link = env.honest_link();
-                if let Some(at) = clamp_delivery(timing, now, choice, honest_link, async_fallback) {
-                    note_delivery(&mut last_delivery_of_round, out_round, at);
-                    queue.push(
-                        at,
-                        EventKind::Deliver {
-                            to,
-                            from: party,
-                            msg,
-                            round: out_round,
-                        },
-                    );
+            for op in sends.drain(..) {
+                match op {
+                    SendOp::One(to, m) => net.route(party, to, Payload::Owned(m), now, out_round),
+                    SendOp::All { except, msg } => {
+                        // Multicast fast path: one shared payload, n
+                        // pointer bumps, destinations in id order (exactly
+                        // the default `Context::multicast` order).
+                        let skip = except.map_or(u32::MAX, |p| p.index());
+                        for i in 0..n as u32 {
+                            if i == skip {
+                                continue;
+                            }
+                            let to = PartyId::new(i);
+                            net.route(
+                                party,
+                                to,
+                                Payload::Multicast(Shared::clone(&msg)),
+                                now,
+                                out_round,
+                            );
+                        }
+                    }
                 }
             }
 
-            for (delay, tag) in ctx.timers {
-                queue.push(now + delay, EventKind::Timer { party, tag });
+            for (delay, tag) in timers.drain(..) {
+                net.queue.push(now + delay, EventKind::Timer { party, tag });
             }
 
-            if ctx.terminate {
+            if halted && !terminated[slot] {
                 terminated[slot] = true;
+                if net.honest[slot] {
+                    honest_live -= 1;
+                }
             }
         }
 
         Outcome {
             config,
-            honest,
+            honest: net.honest,
             commits: committed.into_iter().flatten().collect(),
             terminated,
             broadcaster,
             broadcaster_start: skew.start_of(broadcaster),
             end_time: now,
             events_processed,
-            messages_sent,
-            last_delivery_of_round,
+            messages_sent: net.messages_sent,
+            peak_queue_depth: net.queue.peak(),
+            last_delivery_of_round: net.last_delivery_of_round,
             trace,
+        }
+    }
+}
+
+/// Routing state for every point-to-point message of the run: the event
+/// queue, the adversary's oracle, and flat per-link sequence counters.
+struct Router<M> {
+    queue: EventQueue<M>,
+    oracle: Box<dyn DelayOracle<M>>,
+    /// Per-(from, to) message counters, indexed `from * n + to` — a flat
+    /// array beats a `HashMap<(u32, u32), u64>` by the hash per message.
+    link_seq: Vec<u64>,
+    last_delivery_of_round: Vec<GlobalTime>,
+    messages_sent: u64,
+    timing: TimingModel,
+    async_fallback: Duration,
+    n: usize,
+    honest: Vec<bool>,
+}
+
+impl<M> Router<M> {
+    fn note_delivery(&mut self, round: u32, at: GlobalTime) {
+        let table = &mut self.last_delivery_of_round;
+        if table.len() <= round as usize {
+            table.resize(round as usize + 1, GlobalTime::ZERO);
+        }
+        table[round as usize] = table[round as usize].max(at);
+    }
+
+    /// Asks the oracle for a delay, clamps it to the timing model, and
+    /// enqueues the delivery (or drops it, on an unconstrained link).
+    fn route(&mut self, from: PartyId, to: PartyId, msg: Payload<M>, now: GlobalTime, round: u32) {
+        self.messages_sent += 1;
+        if to == from {
+            // Self-delivery: immediate, not adversary-controlled.
+            self.note_delivery(round, now);
+            self.queue.push(
+                now,
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg,
+                    round,
+                },
+            );
+            return;
+        }
+        let counter = &mut self.link_seq[from.as_usize() * self.n + to.as_usize()];
+        let seq = *counter;
+        *counter += 1;
+        let env = MsgEnvelope {
+            from,
+            to,
+            sent_at: now,
+            msg: msg.get(),
+            from_honest: self.honest[from.as_usize()],
+            to_honest: self.honest[to.as_usize()],
+            link_seq: seq,
+        };
+        let choice = self.oracle.delay(&env);
+        let honest_link = env.honest_link();
+        if let Some(at) = clamp_delivery(self.timing, now, choice, honest_link, self.async_fallback)
+        {
+            self.note_delivery(round, at);
+            self.queue.push(
+                at,
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg,
+                    round,
+                },
+            );
         }
     }
 }
@@ -393,21 +484,34 @@ impl<M> fmt::Debug for SimulationBuilder<M> {
 
 enum Action<M> {
     Start,
-    Message(PartyId, M),
+    Message(PartyId, Payload<M>),
     Timer(u64),
 }
 
-struct CtxImpl<M> {
+/// One buffered send effect. Multicasts stay *one* entry carrying a shared
+/// payload; they are fanned out at drain time by the router.
+enum SendOp<M> {
+    One(PartyId, M),
+    All {
+        except: Option<PartyId>,
+        msg: Shared<M>,
+    },
+}
+
+/// The runner-side [`Context`]: handler effects land in scratch buffers
+/// borrowed from (and drained by) the event loop, so steady-state events
+/// allocate nothing.
+struct CtxImpl<'a, M> {
     me: PartyId,
     config: Config,
     now_local: LocalTime,
-    sends: Vec<(PartyId, M)>,
-    timers: Vec<(Duration, u64)>,
-    commits: Vec<Value>,
+    sends: &'a mut Vec<SendOp<M>>,
+    timers: &'a mut Vec<(Duration, u64)>,
+    commits: &'a mut Vec<Value>,
     terminate: bool,
 }
 
-impl<M> Context<M> for CtxImpl<M> {
+impl<M> Context<M> for CtxImpl<'_, M> {
     fn me(&self) -> PartyId {
         self.me
     }
@@ -418,7 +522,7 @@ impl<M> Context<M> for CtxImpl<M> {
         self.now_local
     }
     fn send(&mut self, to: PartyId, msg: M) {
-        self.sends.push((to, msg));
+        self.sends.push(SendOp::One(to, msg));
     }
     fn set_timer(&mut self, delay: Duration, tag: u64) {
         self.timers.push((delay, tag));
@@ -428,6 +532,24 @@ impl<M> Context<M> for CtxImpl<M> {
     }
     fn terminate(&mut self) {
         self.terminate = true;
+    }
+    fn multicast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        self.sends.push(SendOp::All {
+            except: None,
+            msg: Shared::new(msg),
+        });
+    }
+    fn multicast_except(&mut self, msg: M, skip: PartyId)
+    where
+        M: Clone,
+    {
+        self.sends.push(SendOp::All {
+            except: Some(skip),
+            msg: Shared::new(msg),
+        });
     }
 }
 
@@ -665,6 +787,36 @@ mod tests {
         let _ = Simulation::build(cfg)
             .honest_at(PartyId::new(0), Flood { input: None })
             .run();
+    }
+
+    #[test]
+    fn max_events_budget_truncates_run() {
+        let full = flood_sim(10);
+        assert!(full.events_processed() > 2);
+        let cfg = Config::new(4, 1).unwrap();
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::lockstep(Duration::from_micros(10)))
+            .oracle(FixedDelay::new(Duration::from_micros(10)))
+            .max_events(2)
+            .spawn_honest(|p| Flood {
+                input: (p == PartyId::new(0)).then_some(Value::new(3)),
+            })
+            .run();
+        assert_eq!(o.events_processed(), 2, "budget caps the loop");
+        assert!(!o.all_honest_committed());
+        assert_eq!(o.good_case_latency(), None);
+    }
+
+    #[test]
+    fn peak_queue_depth_reported() {
+        // Four start events are enqueued up front, so the high-water mark
+        // is at least n even before any message traffic.
+        let o = flood_sim(10);
+        assert!(
+            o.peak_queue_depth() >= 4,
+            "peak {} should cover the start events",
+            o.peak_queue_depth()
+        );
     }
 
     #[test]

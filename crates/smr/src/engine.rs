@@ -263,6 +263,23 @@ impl Context<VbbMsg> for SubCtx<'_> {
             },
         );
     }
+    // Forward multicasts as multicasts (not n sends) so slot-tagged
+    // signature messages ride the runtime's shared-payload fast path.
+    fn multicast(&mut self, msg: VbbMsg) {
+        self.outer.multicast(SmrMsg {
+            slot: self.slot,
+            inner: msg,
+        });
+    }
+    fn multicast_except(&mut self, msg: VbbMsg, skip: PartyId) {
+        self.outer.multicast_except(
+            SmrMsg {
+                slot: self.slot,
+                inner: msg,
+            },
+            skip,
+        );
+    }
     fn set_timer(&mut self, delay: Duration, tag: u64) {
         self.outer
             .set_timer(delay, self.slot.index() * SLOT_TAG_STRIDE + tag);

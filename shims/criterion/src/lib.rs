@@ -5,11 +5,92 @@
 //! statistical machinery it times `sample_size` runs of each closure and
 //! reports min/median wall-clock time per iteration — enough to compare
 //! protocol scenarios and to keep `cargo bench` runnable offline.
+//!
+//! # JSON summaries
+//!
+//! Setting `GCL_BENCH_JSON=<path>` (or calling
+//! [`Criterion::with_json_summary`]) makes every measured benchmark also
+//! land in a machine-readable summary file:
+//!
+//! ```json
+//! {"schema": "gcl-bench/criterion/v1",
+//!  "rows": [{"bench": "...", "mean_ns": 1, "median_ns": 1,
+//!            "min_ns": 1, "samples": 10}]}
+//! ```
+//!
+//! This is the same shape as the repo-root `BENCH_sim.json` trajectory
+//! (schema + rows), so all bench targets feed one format. The file is
+//! rewritten after each benchmark; rows merge **by bench name** with
+//! whatever the file already holds, so a whole `cargo bench` run — five
+//! separate bench binaries — accumulates into one summary, and re-runs
+//! update rows in place. Delete the file to start a fresh set.
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Process-wide accumulated JSON rows, keyed by summary path so that
+/// concurrent writers (e.g. parallel tests) with distinct paths don't mix.
+static JSON_ROWS: Mutex<Vec<(PathBuf, String)>> = Mutex::new(Vec::new());
+
+/// Escapes `\` and `"` so arbitrary bench names (ids are built from any
+/// `Display` value) can't break the JSON document.
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json_summary(path: &Path, bench: &str, samples: &[Duration]) {
+    let bench = &escape_json(bench);
+    let n = samples.len() as u128;
+    let total: u128 = samples.iter().map(Duration::as_nanos).sum();
+    let mut sorted: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    sorted.sort_unstable();
+    let row = format!(
+        "{{\"bench\": \"{bench}\", \"mean_ns\": {}, \"median_ns\": {}, \
+         \"min_ns\": {}, \"samples\": {n}}}",
+        total / n.max(1),
+        sorted[sorted.len() / 2],
+        sorted[0],
+    );
+    let mut all = JSON_ROWS.lock().expect("summary lock");
+    if !all.iter().any(|(p, _)| p == path) {
+        // First touch of this path in this process: seed with the rows an
+        // earlier bench binary (same `cargo bench` invocation) left on
+        // disk, so sibling targets accumulate instead of clobbering.
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if existing.starts_with("{\n  \"schema\": \"gcl-bench/criterion/v1\"") {
+                for line in existing.lines() {
+                    let row = line.trim().trim_end_matches(',');
+                    if row.starts_with("{\"bench\": ") {
+                        all.push((path.to_path_buf(), row.to_string()));
+                    }
+                }
+            }
+        }
+    }
+    // Re-measuring a bench updates its row in place.
+    let name_key = format!("{{\"bench\": \"{bench}\",");
+    all.retain(|(p, r)| !(p == path && r.starts_with(&name_key)));
+    all.push((path.to_path_buf(), row));
+    let mut doc = String::from("{\n  \"schema\": \"gcl-bench/criterion/v1\",\n  \"rows\": [\n");
+    let rows: Vec<&str> = all
+        .iter()
+        .filter(|(p, _)| p == path)
+        .map(|(_, r)| r.as_str())
+        .collect();
+    for (i, r) in rows.iter().enumerate() {
+        doc.push_str("    ");
+        doc.push_str(r);
+        doc.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    doc.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
+}
 
 /// Identifier of one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -144,6 +225,7 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     default_sample_size: usize,
     filter: Option<String>,
+    json_summary: Option<PathBuf>,
 }
 
 impl Default for Criterion {
@@ -155,6 +237,7 @@ impl Default for Criterion {
         Criterion {
             default_sample_size: 10,
             filter,
+            json_summary: std::env::var_os("GCL_BENCH_JSON").map(PathBuf::from),
         }
     }
 }
@@ -162,6 +245,14 @@ impl Default for Criterion {
 impl Criterion {
     /// Applies CLI configuration (no-op beyond `Default` in the shim).
     pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Also writes every measured benchmark into the JSON summary at
+    /// `path` (shim extension; see the crate docs for the format). The
+    /// `GCL_BENCH_JSON` env var sets this for `Criterion::default()`.
+    pub fn with_json_summary(mut self, path: impl Into<PathBuf>) -> Self {
+        self.json_summary = Some(path.into());
         self
     }
 
@@ -201,6 +292,9 @@ impl Criterion {
         if samples.is_empty() {
             println!("{name}: no samples recorded");
             return;
+        }
+        if let Some(path) = &self.json_summary {
+            write_json_summary(path, name, &samples);
         }
         samples.sort_unstable();
         let median = samples[samples.len() / 2];
@@ -244,6 +338,7 @@ mod tests {
         let mut c = Criterion {
             default_sample_size: 10,
             filter: None,
+            json_summary: None,
         };
         let mut runs = 0u32;
         {
@@ -263,12 +358,86 @@ mod tests {
         let mut c = Criterion {
             default_sample_size: 4,
             filter: Some("only_this".into()),
+            json_summary: None,
         };
         let mut runs = 0u32;
         c.bench_function("something_else", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 0);
         c.bench_function("only_this_one", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn json_summary_accumulates_valid_rows() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-shim-summary-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion {
+            default_sample_size: 3,
+            filter: None,
+            json_summary: None,
+        }
+        .with_json_summary(&path);
+        c.bench_function("first", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("second", |b| b.iter(|| black_box(2 + 2)));
+        let text = std::fs::read_to_string(&path).expect("summary written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"schema\": \"gcl-bench/criterion/v1\""));
+        assert!(text.contains("\"bench\": \"first\""));
+        assert!(text.contains("\"bench\": \"second\""));
+        assert!(text.contains("\"mean_ns\": "));
+        assert!(text.contains("\"median_ns\": "));
+        // Rough well-formedness: balanced braces/brackets, one row per line.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn json_summary_merges_with_prior_process_rows() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-merge-{}.json", std::process::id()));
+        // A summary left behind by a "previous bench binary".
+        std::fs::write(
+            &path,
+            "{\n  \"schema\": \"gcl-bench/criterion/v1\",\n  \"rows\": [\n    \
+             {\"bench\": \"older/target\", \"mean_ns\": 5, \"median_ns\": 5, \
+             \"min_ns\": 5, \"samples\": 1}\n  ]\n}\n",
+        )
+        .unwrap();
+        let mut c = Criterion {
+            default_sample_size: 2,
+            filter: None,
+            json_summary: None,
+        }
+        .with_json_summary(&path);
+        c.bench_function("newer/target", |b| b.iter(|| black_box(1 + 1)));
+        let text = std::fs::read_to_string(&path).expect("summary written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"bench\": \"older/target\""), "{text}");
+        assert!(text.contains("\"bench\": \"newer/target\""), "{text}");
+    }
+
+    #[test]
+    fn json_summary_escapes_hostile_names() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-escape-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion {
+            default_sample_size: 1,
+            filter: None,
+            json_summary: None,
+        }
+        .with_json_summary(&path);
+        c.bench_function("quote\"and\\slash", |b| b.iter(|| black_box(0)));
+        let text = std::fs::read_to_string(&path).expect("summary written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("quote\\\"and\\\\slash"), "{text}");
+        // The document must still have balanced quoting: an even number of
+        // unescaped double quotes.
+        let unescaped = text.replace("\\\\", "").replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0, "{text}");
     }
 
     #[test]
