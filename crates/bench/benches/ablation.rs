@@ -1,43 +1,25 @@
-//! Ablation benches for the design choices `DESIGN.md` calls out.
+//! Ablation benches for the design choices `DESIGN.md` calls out — every
+//! measured point a registry spec with one knob turned.
 //!
 //! * `delta_sweep` — the δ/Δ separation: good-case latency of `2δ`-BB must
 //!   track the *actual* δ, not the conservative Δ (prints the series).
-//! * `equivocation_window` — the cost of safety: the early-commit strawman
-//!   (no Δ wait) vs Figure 5; the strawman is faster and unsafe — the
-//!   simulated latencies quantify exactly what the Δ window buys.
 //! * `majority_scaling` — dishonest-majority latency vs `n/(n−f)`.
+//! * `brb2_scale_n` — the 2-round BRB as `n` grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcl_bench::scenarios::{self, BIG_DELTA};
-use gcl_crypto::Keychain;
-use gcl_sim::{FixedDelay, Simulation, TimingModel};
-use gcl_types::{Config, Duration, PartyId, Value};
+use gcl_bench::scenarios::BIG_DELTA;
+use gcl_bench::{canonical, run};
+use gcl_types::Duration;
 
 fn print_ablations_once() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         eprintln!("--- ablation: delta sweep (2delta-BB, n=4, f=1, Delta=1000us) ---");
         for delta_us in [25u64, 50, 100, 200, 400] {
-            let delta = Duration::from_micros(delta_us);
-            let cfg = Config::new(4, 1).unwrap();
-            let chain = Keychain::generate(4, 209);
-            let o = Simulation::build(cfg)
-                .timing(TimingModel::Synchrony {
-                    delta,
-                    big_delta: BIG_DELTA,
-                })
-                .oracle(FixedDelay::new(delta))
-                .spawn_honest(|p| {
-                    gcl_core::sync::TwoDeltaBb::new(
-                        cfg,
-                        chain.signer(p),
-                        chain.pki(),
-                        BIG_DELTA,
-                        PartyId::new(0),
-                        (p == PartyId::new(0)).then_some(Value::new(1)),
-                    )
-                })
-                .run();
+            let spec = canonical("bb_2delta", 4, 1)
+                .with_seed(209)
+                .with_bounds(Duration::from_micros(delta_us), BIG_DELTA);
+            let o = run(&spec);
             eprintln!(
                 "delta={delta_us:>4}us -> latency={} (2*delta = {}us; Delta stays 1000us)",
                 o.good_case_latency().unwrap(),
@@ -65,16 +47,17 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     for (n, f) in [(4usize, 2usize), (6, 4), (10, 8)] {
+        let spec = canonical("bb_majority", n, f);
         g.bench_with_input(
             BenchmarkId::new("majority_scaling", format!("n{n}f{f}")),
             &(n, f),
-            |b, &(n, f)| b.iter(|| scenarios::run_majority(n, f)),
+            |b, _| b.iter(|| run(&spec)),
         );
     }
     for n in [4usize, 7, 10, 13] {
-        let f = (n - 1) / 3;
-        g.bench_with_input(BenchmarkId::new("brb2_scale_n", n), &n, |b, &n| {
-            b.iter(|| scenarios::run_brb2(n, f))
+        let spec = canonical("brb2", n, (n - 1) / 3);
+        g.bench_with_input(BenchmarkId::new("brb2_scale_n", n), &n, |b, _| {
+            b.iter(|| run(&spec))
         });
     }
     g.finish();

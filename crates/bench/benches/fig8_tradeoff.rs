@@ -1,8 +1,10 @@
 //! Criterion sweep of the Figure 8 tradeoff, plus a one-shot print of the
-//! simulated latency/message series.
+//! simulated latency/message series. Each point is the `bb_unsync`
+//! registry spec at grid resolution `m`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcl_bench::scenarios;
+use gcl_bench::run;
+use gcl_bench::scenarios::fig8_spec;
 
 fn print_series_once() {
     static ONCE: std::sync::Once = std::sync::Once::new();
@@ -23,8 +25,9 @@ fn bench_fig8(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_tradeoff");
     g.sample_size(10);
     for m in [1u64, 5, 10, 20] {
-        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            b.iter(|| scenarios::run_unsync(5, 2, m))
+        let spec = fig8_spec(m);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| run(&spec))
         });
     }
     g.finish();

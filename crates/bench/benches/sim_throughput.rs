@@ -2,12 +2,12 @@
 //!
 //! The `throughput` binary is the canonical `BENCH_sim.json` producer
 //! (best-of-N wall time, events/sec); this bench exposes the same
-//! scenarios to `cargo bench` so they can be compared run-over-run with
-//! every other bench target — and, with `GCL_BENCH_JSON=<path>`, feed the
-//! same JSON trajectory format through the criterion shim.
+//! registry specs to `cargo bench` so they can be compared run-over-run
+//! with every other bench target — and, with `GCL_BENCH_JSON=<path>`,
+//! feed the same JSON trajectory format through the criterion shim.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcl_bench::throughput::{run_dolev_strong, run_flood, run_smr};
+use gcl_bench::{canonical, run};
 
 fn print_throughput_once() {
     static ONCE: std::sync::Once = std::sync::Once::new();
@@ -28,16 +28,18 @@ fn bench_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_throughput");
     g.sample_size(10);
     for n in [16usize, 64] {
-        g.bench_with_input(BenchmarkId::new("flood", n), &n, |b, &n| {
-            b.iter(|| run_flood(n))
+        let spec = canonical("flood", n, (n - 1) / 3);
+        g.bench_with_input(BenchmarkId::new("flood", n), &n, |b, _| {
+            b.iter(|| run(&spec))
         });
     }
     g.sample_size(5);
-    g.bench_function("flood/256", |b| b.iter(|| run_flood(256)));
-    g.bench_function("dolev_strong/n32_f10", |b| {
-        b.iter(|| run_dolev_strong(32, 10))
-    });
-    g.bench_function("smr/200_commands", |b| b.iter(|| run_smr(200, 8)));
+    let spec = canonical("flood", 256, 85);
+    g.bench_function("flood/256", |b| b.iter(|| run(&spec)));
+    let spec = canonical("dolev_strong", 32, 10);
+    g.bench_function("dolev_strong/n32_f10", |b| b.iter(|| run(&spec)));
+    let spec = canonical("smr", 4, 1).with_workload(200, 8);
+    g.bench_function("smr/200_commands", |b| b.iter(|| run(&spec)));
     g.finish();
 }
 

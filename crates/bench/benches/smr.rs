@@ -1,38 +1,16 @@
-//! SMR benches: steady-state decision latency of the 2-round engine vs the
-//! 3-round PBFT baseline, and pipelining throughput.
+//! SMR benches: steady-state decision latency of the 2-round engine and
+//! pipelining throughput — every point the `smr` registry family with its
+//! workload params varied.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcl_crypto::Keychain;
-use gcl_sim::{FixedDelay, Outcome, Simulation, TimingModel};
-use gcl_smr::{Counter, SlotEngine};
-use gcl_types::{Config, Duration, GlobalTime, Value};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use gcl_bench::{canonical, run};
+use gcl_sim::ScenarioSpec;
+use gcl_types::Duration;
 
-const DELTA: Duration = Duration::from_micros(100);
-
-fn run_smr(n: usize, f: usize, slots: u64, pipeline: usize) -> Outcome {
-    let cfg = Config::new(n, f).unwrap();
-    let chain = Keychain::generate(n, 210);
-    let workload: Vec<Value> = (1..=slots).map(Value::new).collect();
-    Simulation::build(cfg)
-        .timing(TimingModel::PartialSynchrony {
-            gst: GlobalTime::ZERO,
-            big_delta: DELTA,
-        })
-        .oracle(FixedDelay::new(DELTA))
-        .spawn_honest(move |p| {
-            SlotEngine::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                DELTA,
-                workload.clone(),
-                pipeline,
-                Arc::new(Mutex::new(Counter::default())),
-            )
-        })
-        .run()
+fn smr_spec(n: usize, f: usize, slots: u64, pipeline: usize) -> ScenarioSpec {
+    canonical("smr", n, f)
+        .with_seed(210)
+        .with_workload(slots, pipeline)
 }
 
 fn print_smr_once() {
@@ -40,7 +18,7 @@ fn print_smr_once() {
     ONCE.call_once(|| {
         eprintln!("--- SMR: 50 slots on n=4, f=1 (2-round engine) ---");
         for pipeline in [1usize, 2, 4, 8] {
-            let o = run_smr(4, 1, 50, pipeline);
+            let o = run(&smr_spec(4, 1, 50, pipeline));
             eprintln!(
                 "pipeline={pipeline}: wall {} for 50 slots ({} per slot)",
                 o.end_time(),
@@ -56,13 +34,15 @@ fn bench_smr(c: &mut Criterion) {
     let mut g = c.benchmark_group("smr");
     g.sample_size(10);
     for pipeline in [1usize, 4] {
+        let spec = smr_spec(4, 1, 20, pipeline);
         g.bench_with_input(
             BenchmarkId::new("counter_20slots_pipeline", pipeline),
             &pipeline,
-            |b, &pl| b.iter(|| run_smr(4, 1, 20, pl)),
+            |b, _| b.iter(|| run(&spec)),
         );
     }
-    g.bench_function("counter_20slots_n9f2", |b| b.iter(|| run_smr(9, 2, 20, 4)));
+    let spec = smr_spec(9, 2, 20, 4);
+    g.bench_function("counter_20slots_n9f2", |b| b.iter(|| run(&spec)));
     g.finish();
 }
 

@@ -1,8 +1,9 @@
 //! Criterion benches over every Table 1 scenario, plus a one-shot print of
-//! the simulated-latency reproduction itself.
+//! the simulated-latency reproduction itself. Each benched scenario is a
+//! registry spec — the same cells the tables measure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcl_bench::scenarios;
+use gcl_bench::{canonical, run};
 
 fn print_reproduction_once() {
     static ONCE: std::sync::Once = std::sync::Once::new();
@@ -30,36 +31,25 @@ fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
 
-    g.bench_function(BenchmarkId::new("brb2_async", "n4f1"), |b| {
-        b.iter(|| scenarios::run_brb2(4, 1))
-    });
-    g.bench_function(BenchmarkId::new("bracha_async", "n4f1"), |b| {
-        b.iter(|| scenarios::run_bracha(4, 1))
-    });
-    g.bench_function(BenchmarkId::new("vbb_5f_minus_1", "n4f1"), |b| {
-        b.iter(|| scenarios::run_vbb(4, 1))
-    });
-    g.bench_function(BenchmarkId::new("vbb_5f_minus_1", "n9f2"), |b| {
-        b.iter(|| scenarios::run_vbb(9, 2))
-    });
-    g.bench_function(BenchmarkId::new("pbft3", "n8f2"), |b| {
-        b.iter(|| scenarios::run_pbft(8, 2))
-    });
-    g.bench_function(BenchmarkId::new("bb_2delta", "n4f1"), |b| {
-        b.iter(|| scenarios::run_2delta(4, 1))
-    });
-    g.bench_function(BenchmarkId::new("bb_third", "n3f1"), |b| {
-        b.iter(|| scenarios::run_third(3, 1))
-    });
-    g.bench_function(BenchmarkId::new("bb_sync_start", "n5f2"), |b| {
-        b.iter(|| scenarios::run_sync_start(5, 2))
-    });
-    g.bench_function(BenchmarkId::new("bb_unsync_m10", "n5f2"), |b| {
-        b.iter(|| scenarios::run_unsync(5, 2, 10))
-    });
-    g.bench_function(BenchmarkId::new("bb_majority", "n4f2"), |b| {
-        b.iter(|| scenarios::run_majority(4, 2))
-    });
+    // (bench id, family, n, f) — one registry spec per benched cell.
+    let cells = [
+        ("brb2_async", "brb2", 4, 1),
+        ("bracha_async", "bracha", 4, 1),
+        ("vbb_5f_minus_1", "vbb5f1", 4, 1),
+        ("vbb_5f_minus_1", "vbb5f1", 9, 2),
+        ("pbft3", "pbft3", 8, 2),
+        ("bb_2delta", "bb_2delta", 4, 1),
+        ("bb_third", "bb_third", 3, 1),
+        ("bb_sync_start", "bb_sync_start", 5, 2),
+        ("bb_unsync_m10", "bb_unsync", 5, 2),
+        ("bb_majority", "bb_majority", 4, 2),
+    ];
+    for (id, family, n, f) in cells {
+        let spec = canonical(family, n, f);
+        g.bench_function(BenchmarkId::new(id, format!("n{n}f{f}")), |b| {
+            b.iter(|| run(&spec))
+        });
+    }
     g.finish();
 }
 

@@ -1,12 +1,22 @@
-//! A minimal JSON reader for the bench trajectory files.
+//! A minimal JSON reader **and the one shared writer** for the bench
+//! trajectory files.
 //!
 //! The container builds offline (no `serde_json`), and the CI smoke job
 //! must detect a malformed `BENCH_sim.json`, so this is a small strict
-//! recursive-descent parser for the full JSON grammar minus `\u` escapes
-//! (the bench writer never emits them). Swap for `serde_json` when a
-//! registry is reachable.
+//! recursive-descent parser for the full JSON grammar (including `\uXXXX`
+//! escapes with surrogate pairs). Swap for `serde_json` when a registry
+//! is reachable.
+//!
+//! Every trajectory document the workspace emits — the throughput bin's
+//! `BENCH_sim.json`, the sweep bin's report, and the criterion shim's
+//! `GCL_BENCH_JSON` summaries — is the same *schema-plus-rows* shape and
+//! is rendered by one serializer: [`RowsDoc`]. There used to be two
+//! hand-rolled emitters (`throughput::render_json` and the criterion
+//! shim's writer); they both build a `RowsDoc` now, so the on-disk format
+//! can only drift in one place.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +67,179 @@ impl Value {
             Value::Object(m) => Some(m),
             _ => None,
         }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object member `k`, if this is an object containing it.
+    pub fn field(&self, k: &str) -> Option<&Value> {
+        self.as_object()?.get(k)
+    }
+
+    /// Object member `k`'s string payload — the one row-reader idiom for
+    /// every schema-plus-rows document (see [`RowsDoc`]).
+    pub fn field_str(&self, k: &str) -> Option<&str> {
+        self.field(k)?.as_str()
+    }
+
+    /// Object member `k` as a float.
+    pub fn field_f64(&self, k: &str) -> Option<f64> {
+        self.field(k)?.as_f64()
+    }
+
+    /// Object member `k` truncated to `u64` (row counters and ns fields).
+    pub fn field_u64(&self, k: &str) -> Option<u64> {
+        self.field_f64(k).map(|x| x as u64)
+    }
+
+    /// Object member `k` as a boolean.
+    pub fn field_bool(&self, k: &str) -> Option<bool> {
+        self.field(k)?.as_bool()
+    }
+}
+
+/// A writable JSON scalar for [`RowsDoc`] fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JVal {
+    /// An unsigned integer, rendered exactly (no `f64` precision loss).
+    U64(u64),
+    /// A float rendered with one decimal (the trajectory format for
+    /// rates like events/sec).
+    F1(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null` (e.g. "no latency: not every honest party committed").
+    Null,
+}
+
+impl JVal {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JVal::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            JVal::F1(x) => {
+                let _ = write!(out, "{x:.1}");
+            }
+            JVal::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            JVal::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JVal::Null => out.push_str("null"),
+        }
+    }
+}
+
+/// Escapes `\`, `"` and every control character (named escapes where JSON
+/// has them, `\u00XX` otherwise) so arbitrary labels — e.g. criterion
+/// bench ids built from any `Display` value — can't produce a document a
+/// conforming parser rejects.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// One field of a row or of the document header.
+pub type Field = (&'static str, JVal);
+
+/// The workspace's shared *schema-plus-rows* document writer: a `schema`
+/// string, optional scalar header fields, and an array of flat rows, one
+/// row per line. Output round-trips through [`parse`].
+///
+/// # Examples
+///
+/// ```
+/// use gcl_bench::json::{parse, JVal, RowsDoc};
+///
+/// let mut doc = RowsDoc::new("gcl-bench/example/v1");
+/// doc.top("mode", JVal::Str("quick".into()));
+/// doc.row(vec![("name", JVal::Str("a".into())), ("x", JVal::U64(1))]);
+/// let text = doc.render();
+/// assert!(parse(&text).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowsDoc {
+    schema: &'static str,
+    top: Vec<Field>,
+    rows: Vec<Vec<Field>>,
+}
+
+impl RowsDoc {
+    /// An empty document carrying `schema`.
+    pub fn new(schema: &'static str) -> Self {
+        RowsDoc {
+            schema,
+            top: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a scalar header field (rendered between `schema` and
+    /// `rows`).
+    pub fn top(&mut self, key: &'static str, val: JVal) -> &mut Self {
+        self.top.push((key, val));
+        self
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, fields: Vec<Field>) -> &mut Self {
+        self.rows.push(fields);
+        self
+    }
+
+    /// Renders the document (pretty header, one row per line — the exact
+    /// layout of every committed trajectory file).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", escape(self.schema));
+        for (key, val) in &self.top {
+            let _ = write!(out, "  \"{}\": ", escape(key));
+            val.render_into(&mut out);
+            out.push_str(",\n");
+        }
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            for (j, (key, val)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": ", escape(key));
+                val.render_into(&mut out);
+            }
+            out.push('}');
+            out.push_str(if i + 1 == self.rows.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }
 
@@ -198,18 +381,21 @@ impl Parser<'_> {
                 Some(b'\\') => {
                     self.pos += 1;
                     let esc = self.peek().ok_or("unterminated escape")?;
-                    s.push(match esc {
-                        b'"' => '"',
-                        b'\\' => '\\',
-                        b'/' => '/',
-                        b'n' => '\n',
-                        b't' => '\t',
-                        b'r' => '\r',
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => s.push(self.unicode_escape()?),
                         other => {
                             return Err(format!("unsupported escape \\{}", other as char));
                         }
-                    });
-                    self.pos += 1;
+                    }
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so byte
@@ -225,6 +411,49 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (the `\u` is consumed),
+    /// combining a UTF-16 surrogate pair into one scalar when present.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let unit = self.hex4()?;
+        match unit {
+            0xD800..=0xDBFF => {
+                // High surrogate: a low surrogate must follow.
+                if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                    self.pos += 2;
+                    let low = self.hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&low) {
+                        return Err(format!("invalid low surrogate {low:04x}"));
+                    }
+                    let scalar =
+                        0x10000 + ((u32::from(unit) - 0xD800) << 10) + (u32::from(low) - 0xDC00);
+                    char::from_u32(scalar).ok_or_else(|| "invalid surrogate pair".to_string())
+                } else {
+                    Err(format!("lone high surrogate \\u{unit:04x}"))
+                }
+            }
+            0xDC00..=0xDFFF => Err(format!("lone low surrogate \\u{unit:04x}")),
+            _ => char::from_u32(u32::from(unit)).ok_or_else(|| "invalid scalar".to_string()),
+        }
+    }
+
+    /// Reads exactly four hex digits (`from_str_radix` alone would also
+    /// accept a leading `+`, which JSON forbids).
+    fn hex4(&mut self) -> Result<u16, String> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or("truncated \\u escape")?;
+        if !digits.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("invalid \\u escape {digits:?}"));
+        }
+        let v = u16::from_str_radix(digits, 16)
+            .map_err(|_| format!("invalid \\u escape {digits:?}"))?;
+        self.pos = end;
+        Ok(v)
     }
 
     fn number(&mut self) -> Result<Value, String> {
@@ -289,5 +518,85 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
         assert_eq!(parse("{}").unwrap(), Value::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn rows_doc_round_trips_through_parser() {
+        let mut doc = RowsDoc::new("gcl-bench/test/v1");
+        doc.top("mode", JVal::Str("full".into()))
+            .top("threads", JVal::U64(4));
+        doc.row(vec![
+            ("name", JVal::Str("a \"quoted\"\nname".into())),
+            ("events", JVal::U64(u64::MAX)),
+            ("rate", JVal::F1(123.456)),
+            ("ok", JVal::Bool(true)),
+            ("latency", JVal::Null),
+        ]);
+        doc.row(vec![("name", JVal::Str("b".into()))]);
+        let text = doc.render();
+        let v = parse(&text).expect("round trip");
+        let obj = v.as_object().unwrap();
+        assert_eq!(
+            obj.get("schema").unwrap().as_str(),
+            Some("gcl-bench/test/v1")
+        );
+        assert_eq!(obj.get("mode").unwrap().as_str(), Some("full"));
+        assert_eq!(obj.get("threads").unwrap().as_f64(), Some(4.0));
+        let rows = obj.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        let r0 = rows[0].as_object().unwrap();
+        assert_eq!(r0.get("name").unwrap().as_str(), Some("a \"quoted\"\nname"));
+        assert_eq!(r0.get("rate").unwrap().as_f64(), Some(123.5));
+        assert_eq!(r0.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(r0.get("latency"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn unicode_escapes_parse_including_surrogate_pairs() {
+        assert_eq!(
+            parse("\"\\u0041\\u00e9\"").unwrap(),
+            Value::String("Aé".to_string())
+        );
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".to_string())
+        );
+        assert!(parse("\"\\ud83d\"").is_err(), "lone high surrogate");
+        assert!(parse("\"\\udc00\"").is_err(), "lone low surrogate");
+        assert!(parse("\"\\u12g4\"").is_err(), "bad hex digit");
+        assert!(parse("\"\\u12\"").is_err(), "truncated escape");
+        assert!(parse("\"\\u+0ff\"").is_err(), "leading '+' is not hex");
+        assert_eq!(
+            parse("\"\\b\\f\"").unwrap(),
+            Value::String("\u{8}\u{c}".to_string())
+        );
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        // A hostile bench id with an ANSI escape and a backspace must
+        // still render into a document a strict parser accepts.
+        let hostile = "evil\u{1b}[31m\u{8}name";
+        let mut doc = RowsDoc::new("s");
+        doc.row(vec![("name", JVal::Str(hostile.to_string()))]);
+        let text = doc.render();
+        assert!(
+            !text.contains('\u{1b}') && !text.contains('\u{8}'),
+            "raw control bytes must not reach the document"
+        );
+        let v = parse(&text).expect("round trip");
+        let rows = v.as_object().unwrap().get("rows").unwrap();
+        let row = rows.as_array().unwrap()[0].as_object().unwrap();
+        assert_eq!(row.get("name").unwrap().as_str(), Some(hostile));
+    }
+
+    #[test]
+    fn rows_doc_empty_rows_is_valid() {
+        let doc = RowsDoc::new("s");
+        let v = parse(&doc.render()).unwrap();
+        assert_eq!(
+            v.as_object().unwrap().get("rows").unwrap().as_array(),
+            Some(&[][..])
+        );
     }
 }

@@ -1,5 +1,9 @@
 //! Measurement harness: every row of the paper's Table 1 and every
-//! figure-derived series, regenerated from the implementations.
+//! figure-derived series, regenerated from the implementations — all of
+//! it driven by the scenario registry ([`registry`]): protocol families
+//! register once in `gcl_core` (plus the bench-owned `flood`/`smr`
+//! here), and tables, figures, throughput rows, sweeps and property
+//! suites build [`gcl_sim::ScenarioSpec`] values against that registry.
 //!
 //! Binaries (`cargo run -p gcl_bench --release --bin <name>`):
 //!
@@ -11,6 +15,9 @@
 //! * `throughput` — simulator events/sec on the fixed [`throughput`]
 //!   scenarios; writes the repo-root `BENCH_sim.json` trajectory point and
 //!   backs the CI `bench-smoke` regression gate (`--quick --check`).
+//! * `sweep` — the multi-threaded scenario grid: every registered family ×
+//!   shapes × adversary mixes × seeds, audited for safety/validity and
+//!   emitted as a `gcl-bench/sweep/v1` report (CI `sweep-smoke` gate).
 //!
 //! Criterion benches (`cargo bench -p gcl_bench`) time the same scenarios
 //! as wall-clock simulator throughput; set `GCL_BENCH_JSON=<path>` to get
@@ -21,7 +28,26 @@
 
 pub mod json;
 pub mod scenarios;
+pub mod sweep;
 pub mod throughput;
 
-pub use scenarios::{fig8_rows, majority_rows, table1_rows, Fig8Row, MajorityRow, Table1Row};
+use gcl_sim::ScenarioRegistry;
+use std::sync::OnceLock;
+
+/// The workspace-wide scenario registry: every `gcl_core` protocol family
+/// plus the bench-owned `flood` and `smr` families. Built once per
+/// process; all bench consumers share it.
+pub fn registry() -> &'static ScenarioRegistry {
+    static REG: OnceLock<ScenarioRegistry> = OnceLock::new();
+    REG.get_or_init(|| {
+        let mut reg = gcl_core::registry();
+        throughput::register(&mut reg);
+        reg
+    })
+}
+
+pub use scenarios::{
+    canonical, fig8_rows, majority_rows, run, table1_rows, Fig8Row, MajorityRow, Table1Row,
+};
+pub use sweep::{default_grid, grid, render_report, validate_report, GridOptions, ReportSummary};
 pub use throughput::{throughput_rows, ThroughputRow};

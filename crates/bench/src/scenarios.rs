@@ -1,33 +1,48 @@
-//! The measured scenarios behind every table/figure row.
+//! The measured scenarios behind every table/figure row — all built from
+//! registry [`ScenarioSpec`]s.
+//!
+//! Until PR 3 this module hand-wired one `run_*` function per protocol
+//! (534 lines of builder glue, duplicated again in `throughput.rs`, four
+//! criterion benches, the examples and the integration suites). Every
+//! consumer now goes through [`crate::registry`]: a row is a spec plus
+//! presentation metadata, and adding a protocol variant is **one**
+//! `register_fn` in its `gcl_core` module.
 
-use gcl_core::asynchrony::{BrachaBrb, TwoRoundBrb};
-use gcl_core::dishonest::BbMajority;
+use crate::registry;
 use gcl_core::lower_bounds::theorem19;
-use gcl_core::psync::{PbftPsyncVbb, VbbFiveFMinusOne};
-use gcl_core::sync::{SyncStartBb, ThirdBb, TwoDeltaBb, UnsyncBb};
-use gcl_crypto::Keychain;
-use gcl_sim::{FixedDelay, Outcome, Silent, Simulation, TimingModel};
-use gcl_types::{accept_all, Config, Duration, GlobalTime, PartyId, SkewSchedule, Value};
+use gcl_sim::{Outcome, ScenarioSpec, SkewChoice};
+use gcl_types::{Config, Duration};
 
 /// Canonical δ for all scenarios: 100µs.
 pub const DELTA: Duration = Duration::from_micros(100);
 /// Canonical conservative Δ: 1000µs (δ ≪ Δ, as in practice).
 pub const BIG_DELTA: Duration = Duration::from_micros(1_000);
 
-const INPUT: Value = Value::new(42);
-
-fn sync_model() -> TimingModel {
-    TimingModel::Synchrony {
-        delta: DELTA,
-        big_delta: BIG_DELTA,
-    }
+/// The registered family's canonical spec at shape `(n, f)` — keychain
+/// seed, timing model, δ/Δ, skew and adversary mix all come from the
+/// family's registration.
+///
+/// # Panics
+///
+/// Panics if `family` is not registered.
+pub fn canonical(family: &str, n: usize, f: usize) -> ScenarioSpec {
+    registry()
+        .spec(family)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .with_shape(n, f)
 }
 
-fn psync_model() -> TimingModel {
-    TimingModel::PartialSynchrony {
-        gst: GlobalTime::ZERO,
-        big_delta: DELTA,
-    }
+/// Runs one spec through the registry.
+///
+/// # Panics
+///
+/// Panics (with the offending label) if the spec's family is unknown or
+/// the shape is outside the family's resilience band — the canonical
+/// tables are all statically in-band.
+pub fn run(spec: &ScenarioSpec) -> Outcome {
+    registry()
+        .run(spec)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.label()))
 }
 
 /// One measured row of the Table 1 reproduction.
@@ -62,190 +77,122 @@ impl Table1Row {
     }
 }
 
-/// Good case of the 2-round BRB (async row of Table 1).
-pub fn run_brb2(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 200);
-    Simulation::build(cfg)
-        .timing(TimingModel::Asynchrony)
-        .oracle(FixedDelay::new(DELTA))
-        .spawn_honest(|p| {
-            TwoRoundBrb::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                PartyId::new(0),
-                (p == PartyId::new(0)).then_some(INPUT),
-            )
-        })
-        .run()
+/// Presentation metadata + the paper bound for one Table 1 band; the
+/// measurements come from the family's registry spec.
+struct Table1Def {
+    family: &'static str,
+    problem: &'static str,
+    resilience: &'static str,
+    protocol: &'static str,
+    shapes: &'static [(usize, usize)],
+    paper: fn(Config) -> String,
+    /// The bound at the canonical δ/Δ; `rounds` flags round-counted rows.
+    bound_us: fn(Config) -> u64,
+    rounds_counted: bool,
 }
 
-/// Good case of Bracha's BRB (the 3-round unauthenticated baseline).
-pub fn run_bracha(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    Simulation::build(cfg)
-        .timing(TimingModel::Asynchrony)
-        .oracle(FixedDelay::new(DELTA))
-        .spawn_honest(|p| {
-            BrachaBrb::new(
-                cfg,
-                p,
-                PartyId::new(0),
-                (p == PartyId::new(0)).then_some(INPUT),
-            )
-        })
-        .run()
-}
-
-/// Good case of the (5f−1)-psync-VBB.
-pub fn run_vbb(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 201);
-    Simulation::build(cfg)
-        .timing(psync_model())
-        .oracle(FixedDelay::new(DELTA))
-        .spawn_honest(|p| {
-            VbbFiveFMinusOne::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                accept_all(),
-                DELTA,
-                (p == PartyId::new(0)).then_some(INPUT),
-            )
-        })
-        .run()
-}
-
-/// Good case of PBFT-style 3-round psync-VBB.
-pub fn run_pbft(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 202);
-    Simulation::build(cfg)
-        .timing(psync_model())
-        .oracle(FixedDelay::new(DELTA))
-        .spawn_honest(|p| {
-            PbftPsyncVbb::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                accept_all(),
-                DELTA,
-                (p == PartyId::new(0)).then_some(INPUT),
-            )
-        })
-        .run()
-}
-
-/// Good case of 2δ-BB (f < n/3), unsynchronized start.
-pub fn run_2delta(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 203);
-    Simulation::build(cfg)
-        .timing(sync_model())
-        .oracle(FixedDelay::new(DELTA))
-        .spawn_honest(|p| {
-            TwoDeltaBb::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                BIG_DELTA,
-                PartyId::new(0),
-                (p == PartyId::new(0)).then_some(INPUT),
-            )
-        })
-        .run()
-}
-
-/// Good case of (Δ+δ)-n/3-BB (f = n/3), unsynchronized start.
-pub fn run_third(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 204);
-    Simulation::build(cfg)
-        .timing(sync_model())
-        .oracle(FixedDelay::new(DELTA))
-        .spawn_honest(|p| {
-            ThirdBb::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                BIG_DELTA,
-                PartyId::new(0),
-                (p == PartyId::new(0)).then_some(INPUT),
-            )
-        })
-        .run()
-}
-
-/// Good case of (Δ+δ)-BB (n/3 < f < n/2), synchronized start.
-pub fn run_sync_start(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 205);
-    Simulation::build(cfg)
-        .timing(sync_model())
-        .oracle(FixedDelay::new(DELTA))
-        .spawn_honest(|p| {
-            SyncStartBb::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                BIG_DELTA,
-                PartyId::new(0),
-                (p == PartyId::new(0)).then_some(INPUT),
-            )
-        })
-        .run()
-}
-
-/// Good case of (Δ+1.5δ)-BB (n/3 < f < n/2), unsynchronized start with
-/// skew 0.5δ, grid resolution `m`.
-pub fn run_unsync(n: usize, f: usize, m: u64) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 206);
-    let late: Vec<(PartyId, Duration)> = (1..n as u32)
-        .filter(|i| i % 2 == 1)
-        .map(|i| (PartyId::new(i), DELTA.halved()))
-        .collect();
-    Simulation::build(cfg)
-        .timing(sync_model())
-        .oracle(FixedDelay::new(DELTA))
-        .skew(SkewSchedule::with_late_parties(n, &late))
-        .spawn_honest(|p| {
-            UnsyncBb::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                BIG_DELTA,
-                m,
-                PartyId::new(0),
-                (p == PartyId::new(0)).then_some(INPUT),
-            )
-        })
-        .run()
-}
-
-/// Good case of the dishonest-majority BB with all `f` Byzantine silent.
-pub fn run_majority(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 207);
-    let mut b = Simulation::build(cfg)
-        .timing(TimingModel::lockstep(BIG_DELTA))
-        .oracle(FixedDelay::new(BIG_DELTA));
-    for i in (n - f) as u32..n as u32 {
-        b = b.byzantine(PartyId::new(i), Silent::new());
-    }
-    b.spawn_honest(|p| {
-        BbMajority::new(
-            cfg,
-            chain.signer(p),
-            chain.pki(),
-            BIG_DELTA,
-            PartyId::new(0),
-            (p == PartyId::new(0)).then_some(INPUT),
-        )
-    })
-    .run()
+/// The declarative Table 1: every band, its family key, and its bound.
+fn table1_defs() -> Vec<Table1Def> {
+    const D: u64 = DELTA.as_micros();
+    const BIG: u64 = BIG_DELTA.as_micros();
+    vec![
+        Table1Def {
+            family: "brb2",
+            problem: "BRB / asynchrony",
+            resilience: "n >= 3f+1",
+            protocol: "2-round-BRB (Fig 1)",
+            shapes: &[(4, 1), (7, 2), (10, 3)],
+            paper: |_| "2 rounds".into(),
+            bound_us: |_| 2 * D,
+            rounds_counted: true,
+        },
+        Table1Def {
+            family: "bracha",
+            problem: "BRB / asynchrony (baseline)",
+            resilience: "n >= 3f+1",
+            protocol: "Bracha'87",
+            shapes: &[(4, 1)],
+            paper: |_| "3 rounds (unauth UB)".into(),
+            bound_us: |_| 3 * D,
+            rounds_counted: true,
+        },
+        Table1Def {
+            family: "vbb5f1",
+            problem: "psync-BB / partial synchrony",
+            resilience: "n >= 5f-1",
+            protocol: "(5f-1)-psync-VBB (Fig 3)",
+            shapes: &[(4, 1), (9, 2), (14, 3)],
+            paper: |_| "2 rounds".into(),
+            bound_us: |_| 2 * D,
+            rounds_counted: true,
+        },
+        Table1Def {
+            family: "pbft3",
+            problem: "psync-BB / partial synchrony",
+            resilience: "3f+1 <= n <= 5f-2",
+            protocol: "PBFT-style (3 rounds)",
+            shapes: &[(8, 2), (11, 3)],
+            paper: |_| "3 rounds".into(),
+            bound_us: |_| 3 * D,
+            rounds_counted: true,
+        },
+        Table1Def {
+            family: "bb_2delta",
+            problem: "BB / synchrony",
+            resilience: "0 < f < n/3",
+            protocol: "2delta-BB (Fig 10)",
+            shapes: &[(4, 1), (10, 3)],
+            paper: |_| "2*delta".into(),
+            bound_us: |_| 2 * D,
+            rounds_counted: false,
+        },
+        Table1Def {
+            family: "bb_third",
+            problem: "BB / synchrony",
+            resilience: "f = n/3",
+            protocol: "(Delta+delta)-n/3-BB (Fig 5)",
+            shapes: &[(3, 1), (6, 2)],
+            paper: |_| "Delta + delta".into(),
+            bound_us: |_| BIG + D,
+            rounds_counted: false,
+        },
+        Table1Def {
+            family: "bb_sync_start",
+            problem: "BB / synchrony (sync start)",
+            resilience: "n/3 < f < n/2",
+            protocol: "(Delta+delta)-BB (Fig 6)",
+            shapes: &[(5, 2), (7, 3)],
+            paper: |_| "Delta + delta".into(),
+            bound_us: |_| BIG + D,
+            rounds_counted: false,
+        },
+        Table1Def {
+            family: "bb_unsync",
+            problem: "BB / synchrony (unsync start)",
+            resilience: "n/3 < f < n/2",
+            protocol: "(Delta+1.5delta)-BB (Fig 9)",
+            shapes: &[(5, 2), (7, 3)],
+            paper: |_| "Delta + 1.5*delta".into(),
+            // + σ = 0.5δ slack for the skewed laggards.
+            bound_us: |_| BIG + D + D / 2 + D / 2,
+            rounds_counted: false,
+        },
+        Table1Def {
+            family: "bb_majority",
+            problem: "BB / synchrony (dishonest majority)",
+            resilience: "n/2 <= f < n",
+            protocol: "TrustCast fast-path (Wan et al.)",
+            shapes: &[(4, 2), (6, 4), (10, 8)],
+            paper: |cfg| {
+                format!(
+                    "[{}Delta, O(n/(n-f))Delta]",
+                    cfg.majority_lower_bound_factor()
+                )
+            },
+            bound_us: |cfg| theorem19::upper_bound(cfg, BIG_DELTA).as_micros(),
+            rounds_counted: false,
+        },
+    ]
 }
 
 fn lat(o: &Outcome) -> u64 {
@@ -254,142 +201,25 @@ fn lat(o: &Outcome) -> u64 {
         .as_micros()
 }
 
-/// Every row of Table 1, measured.
+/// Every row of Table 1, measured from registry specs.
 pub fn table1_rows() -> Vec<Table1Row> {
-    let d = DELTA.as_micros();
-    let big = BIG_DELTA.as_micros();
     let mut rows = Vec::new();
-
-    for (n, f) in [(4, 1), (7, 2), (10, 3)] {
-        let o = run_brb2(n, f);
-        rows.push(Table1Row {
-            problem: "BRB / asynchrony",
-            resilience: "n >= 3f+1",
-            protocol: "2-round-BRB (Fig 1)",
-            n,
-            f,
-            paper: "2 rounds".into(),
-            measured_us: lat(&o),
-            rounds: o.good_case_rounds(),
-            bound_us: 2 * d,
-        });
-    }
-    {
-        let o = run_bracha(4, 1);
-        rows.push(Table1Row {
-            problem: "BRB / asynchrony (baseline)",
-            resilience: "n >= 3f+1",
-            protocol: "Bracha'87",
-            n: 4,
-            f: 1,
-            paper: "3 rounds (unauth UB)".into(),
-            measured_us: lat(&o),
-            rounds: o.good_case_rounds(),
-            bound_us: 3 * d,
-        });
-    }
-    for (n, f) in [(4, 1), (9, 2), (14, 3)] {
-        let o = run_vbb(n, f);
-        rows.push(Table1Row {
-            problem: "psync-BB / partial synchrony",
-            resilience: "n >= 5f-1",
-            protocol: "(5f-1)-psync-VBB (Fig 3)",
-            n,
-            f,
-            paper: "2 rounds".into(),
-            measured_us: lat(&o),
-            rounds: o.good_case_rounds(),
-            bound_us: 2 * d,
-        });
-    }
-    for (n, f) in [(8, 2), (11, 3)] {
-        let o = run_pbft(n, f);
-        rows.push(Table1Row {
-            problem: "psync-BB / partial synchrony",
-            resilience: "3f+1 <= n <= 5f-2",
-            protocol: "PBFT-style (3 rounds)",
-            n,
-            f,
-            paper: "3 rounds".into(),
-            measured_us: lat(&o),
-            rounds: o.good_case_rounds(),
-            bound_us: 3 * d,
-        });
-    }
-    for (n, f) in [(4, 1), (10, 3)] {
-        let o = run_2delta(n, f);
-        rows.push(Table1Row {
-            problem: "BB / synchrony",
-            resilience: "0 < f < n/3",
-            protocol: "2delta-BB (Fig 10)",
-            n,
-            f,
-            paper: "2*delta".into(),
-            measured_us: lat(&o),
-            rounds: None,
-            bound_us: 2 * d,
-        });
-    }
-    for (n, f) in [(3, 1), (6, 2)] {
-        let o = run_third(n, f);
-        rows.push(Table1Row {
-            problem: "BB / synchrony",
-            resilience: "f = n/3",
-            protocol: "(Delta+delta)-n/3-BB (Fig 5)",
-            n,
-            f,
-            paper: "Delta + delta".into(),
-            measured_us: lat(&o),
-            rounds: None,
-            bound_us: big + d,
-        });
-    }
-    for (n, f) in [(5, 2), (7, 3)] {
-        let o = run_sync_start(n, f);
-        rows.push(Table1Row {
-            problem: "BB / synchrony (sync start)",
-            resilience: "n/3 < f < n/2",
-            protocol: "(Delta+delta)-BB (Fig 6)",
-            n,
-            f,
-            paper: "Delta + delta".into(),
-            measured_us: lat(&o),
-            rounds: None,
-            bound_us: big + d,
-        });
-    }
-    for (n, f) in [(5, 2), (7, 3)] {
-        let o = run_unsync(n, f, 10);
-        rows.push(Table1Row {
-            problem: "BB / synchrony (unsync start)",
-            resilience: "n/3 < f < n/2",
-            protocol: "(Delta+1.5delta)-BB (Fig 9)",
-            n,
-            f,
-            paper: "Delta + 1.5*delta".into(),
-            measured_us: lat(&o),
-            rounds: None,
-            // + σ = 0.5δ slack for the skewed laggards.
-            bound_us: big + d + d / 2 + d / 2,
-        });
-    }
-    for (n, f) in [(4, 2), (6, 4), (10, 8)] {
-        let cfg = Config::new(n, f).expect("config");
-        let o = run_majority(n, f);
-        rows.push(Table1Row {
-            problem: "BB / synchrony (dishonest majority)",
-            resilience: "n/2 <= f < n",
-            protocol: "TrustCast fast-path (Wan et al.)",
-            n,
-            f,
-            paper: format!(
-                "[{}Delta, O(n/(n-f))Delta]",
-                cfg.majority_lower_bound_factor()
-            ),
-            measured_us: lat(&o),
-            rounds: None,
-            bound_us: theorem19::upper_bound(cfg, BIG_DELTA).as_micros(),
-        });
+    for def in table1_defs() {
+        for &(n, f) in def.shapes {
+            let cfg = Config::new(n, f).expect("config");
+            let o = run(&canonical(def.family, n, f));
+            rows.push(Table1Row {
+                problem: def.problem,
+                resilience: def.resilience,
+                protocol: def.protocol,
+                n,
+                f,
+                paper: (def.paper)(cfg),
+                measured_us: lat(&o),
+                rounds: def.rounds_counted.then(|| o.good_case_rounds()).flatten(),
+                bound_us: (def.bound_us)(cfg),
+            });
+        }
     }
     rows
 }
@@ -407,28 +237,20 @@ pub struct Fig8Row {
     pub messages: u64,
 }
 
-/// The Figure 8 sweep: latency and message cost vs grid resolution `m`
-/// (synchronized start so the measurement is exact).
+/// The spec behind one Figure 8 point: the `bb_unsync` family at
+/// `(5, 2)`, synchronized start (so the measurement is exact), grid `m`.
+pub fn fig8_spec(m: u64) -> ScenarioSpec {
+    canonical("bb_unsync", 5, 2)
+        .with_seed(208)
+        .with_skew(SkewChoice::Synchronized)
+        .with_m(m)
+}
+
+/// The Figure 8 sweep: latency and message cost vs grid resolution `m`.
 pub fn fig8_rows(ms: &[u64]) -> Vec<Fig8Row> {
-    let cfg = Config::new(5, 2).expect("config");
-    let chain = Keychain::generate(5, 208);
     ms.iter()
         .map(|&m| {
-            let o = Simulation::build(cfg)
-                .timing(sync_model())
-                .oracle(FixedDelay::new(DELTA))
-                .spawn_honest(|p| {
-                    UnsyncBb::new(
-                        cfg,
-                        chain.signer(p),
-                        chain.pki(),
-                        BIG_DELTA,
-                        m,
-                        PartyId::new(0),
-                        (p == PartyId::new(0)).then_some(INPUT),
-                    )
-                })
-                .run();
+            let o = run(&fig8_spec(m));
             // Predicted: commit at δ + Δ + 0.5·d* with d* = δ rounded up to
             // the grid = min over grid points ≥ δ; the paper's summary form
             // is (1 + 1/2m)Δ + 1.5δ.
@@ -460,13 +282,14 @@ pub struct MajorityRow {
     pub upper_bound_us: u64,
 }
 
-/// The Theorem 19 / Section 5.5 scaling series.
+/// The Theorem 19 / Section 5.5 scaling series (the `bb_majority` family
+/// with its canonical all-`f`-silent adversary mix).
 pub fn majority_rows(pairs: &[(usize, usize)]) -> Vec<MajorityRow> {
     pairs
         .iter()
         .map(|&(n, f)| {
             let cfg = Config::new(n, f).expect("config");
-            let o = run_majority(n, f);
+            let o = run(&canonical("bb_majority", n, f));
             MajorityRow {
                 n,
                 f,
@@ -508,6 +331,24 @@ mod tests {
                 "(5f-1)-psync-VBB (Fig 3)" => assert_eq!(row.rounds, Some(2)),
                 "PBFT-style (3 rounds)" => assert_eq!(row.rounds, Some(3)),
                 _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn table1_shapes_all_inside_registered_bands() {
+        let reg = crate::registry();
+        for def in table1_defs() {
+            let family = reg
+                .family(def.family)
+                .unwrap_or_else(|| panic!("table references unregistered family {:?}", def.family));
+            for &(n, f) in def.shapes {
+                assert!(
+                    family.admission().admits(n, f),
+                    "{}: ({n}, {f}) outside {}",
+                    def.family,
+                    family.admission().describe()
+                );
             }
         }
     }

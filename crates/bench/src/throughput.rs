@@ -7,43 +7,43 @@
 //! root; CI re-measures in `--quick` mode and fails on a >3x regression
 //! against the committed baseline.
 //!
-//! Scenarios (all deterministic):
+//! The measured scenarios are registry specs like everything else
+//! (see [`rows_under_measure`]); this module also registers the two
+//! bench-owned families:
 //!
-//! * `flood_n{16,64,256}` — all-to-all flood: every party multicasts once,
-//!   commits after hearing from everyone. Pure hot-loop stress (`O(n²)`
-//!   messages, trivial per-message protocol work).
-//! * `dolev_strong_n64_f21` — signature chains relayed over `f + 1`
-//!   lock-step rounds: payloads that are expensive to clone.
-//! * `brb2_n256_f85` — the paper's 2-round BRB at scale: `O(n²)` messages
-//!   carrying signature bundles.
-//! * `smr_1k` — the SMR engine committing 1000 commands: long-running
-//!   pipelined slots.
+//! * `flood` — all-to-all flood: every party multicasts once, commits
+//!   after hearing from everyone. Pure hot-loop stress (`O(n²)` messages,
+//!   trivial per-message protocol work).
+//! * `smr` — the SMR engine committing a counter workload: long-running
+//!   pipelined slots (family params pick the workload/pipeline shape).
 
-use crate::scenarios::run_brb2;
-use gcl_core::sync::DolevStrongBb;
-use gcl_crypto::Keychain;
-use gcl_sim::{Context, FixedDelay, Outcome, Protocol, Simulation, TimingModel};
+use crate::json::{JVal, RowsDoc};
+use crate::scenarios::canonical;
+use gcl_sim::{Admission, Context, Protocol, ScenarioRegistry, ScenarioSpec, ValidityMode};
 use gcl_smr::{Counter, SlotEngine};
-use gcl_types::{Config, Duration, GlobalTime, PartyId, Value};
+use gcl_types::{Duration, PartyId, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// All-to-all flood: every party multicasts its id at start and commits
-/// once it has heard from all `n` parties. `O(n²)` messages with trivial
-/// handlers — the purest stress test of the event loop itself.
+/// `commit_value` once it has heard from all `n` parties. `O(n²)` messages
+/// with trivial handlers — the purest stress test of the event loop
+/// itself.
 #[derive(Debug)]
 pub struct AllToAllFlood {
     heard: u64,
     n: u64,
+    commit_value: Value,
 }
 
 impl AllToAllFlood {
     /// A fresh flood participant for an `n`-party run.
-    pub fn new(n: usize) -> Self {
+    pub fn new(n: usize, commit_value: Value) -> Self {
         AllToAllFlood {
             heard: 0,
             n: n as u64,
+            commit_value,
         }
     }
 }
@@ -58,69 +58,46 @@ impl Protocol for AllToAllFlood {
     fn on_message(&mut self, _from: PartyId, _msg: Value, ctx: &mut dyn Context<Value>) {
         self.heard += 1;
         if self.heard == self.n {
-            ctx.commit(Value::new(0));
+            ctx.commit(self.commit_value);
             ctx.terminate();
         }
     }
 }
 
-/// Runs the all-to-all flood scenario.
-pub fn run_flood(n: usize) -> Outcome {
-    let cfg = Config::new(n, (n - 1) / 3).expect("config");
-    let delta = Duration::from_micros(10);
-    Simulation::build(cfg)
-        .timing(TimingModel::lockstep(delta))
-        .oracle(FixedDelay::new(delta))
-        .spawn_honest(|_| AllToAllFlood::new(n))
-        .run()
-}
-
-/// Runs stand-alone Dolev–Strong broadcast (`f + 1` lock-step rounds of
-/// growing signature chains).
-pub fn run_dolev_strong(n: usize, f: usize) -> Outcome {
-    let cfg = Config::new(n, f).expect("config");
-    let chain = Keychain::generate(n, 220);
-    let delta = Duration::from_micros(100);
-    Simulation::build(cfg)
-        .timing(TimingModel::lockstep(delta))
-        .oracle(FixedDelay::new(delta))
-        .spawn_honest(|p| {
-            DolevStrongBb::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                delta,
-                PartyId::new(0),
-                (p == PartyId::new(0)).then_some(Value::new(7)),
-            )
-        })
-        .run()
-}
-
-/// Runs the SMR engine on an `n = 4` counter log of `commands` commands.
-pub fn run_smr(commands: u64, pipeline: usize) -> Outcome {
-    let cfg = Config::new(4, 1).expect("config");
-    let chain = Keychain::generate(4, 221);
-    let delta = Duration::from_micros(100);
-    let workload: Vec<Value> = (1..=commands).map(Value::new).collect();
-    Simulation::build(cfg)
-        .timing(TimingModel::PartialSynchrony {
-            gst: GlobalTime::ZERO,
-            big_delta: delta,
-        })
-        .oracle(FixedDelay::new(delta))
-        .spawn_honest(move |p| {
-            SlotEngine::new(
-                cfg,
-                chain.signer(p),
-                chain.pki(),
-                delta,
-                workload.clone(),
-                pipeline,
-                Arc::new(Mutex::new(Counter::default())),
-            )
-        })
-        .run()
+/// Registers the bench-owned scenario families (`flood`, `smr`).
+pub(crate) fn register(reg: &mut ScenarioRegistry) {
+    reg.register_fn(
+        "flood",
+        "all-to-all flood — pure event-loop stress, O(n^2) messages",
+        Admission::Any,
+        ValidityMode::Broadcast,
+        ScenarioSpec::lockstep("flood", 16, 5, Duration::from_micros(10)),
+        |spec| spec.run_protocol(|_| AllToAllFlood::new(spec.n, spec.input)),
+    );
+    reg.register_fn(
+        "smr",
+        "SMR slot engine on a counter log — pipelined 2-round commits",
+        Admission::TwoRoundPsync,
+        // Commit values are workload slots, not the broadcast input.
+        ValidityMode::AgreementOnly,
+        ScenarioSpec::psync("smr", 4, 1).with_seed(221),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            let chain = gcl_crypto::Keychain::generate(spec.n, spec.seed);
+            let workload: Vec<Value> = (1..=spec.params.commands).map(Value::new).collect();
+            spec.run_protocol(|p| {
+                SlotEngine::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    spec.big_delta,
+                    workload.clone(),
+                    spec.params.pipeline,
+                    Arc::new(Mutex::new(Counter::default())),
+                )
+            })
+        },
+    );
 }
 
 /// One measured scenario of the throughput trajectory.
@@ -155,13 +132,22 @@ const MIN_TOTAL_NS: u64 = 5_000_000;
 /// Hard cap on repetitions (keeps the floor from ballooning tiny runs).
 const MAX_REPS: u32 = 64;
 
-fn measure(
-    scenario: &str,
-    n: usize,
-    f: usize,
-    min_reps: u32,
-    mut run: impl FnMut() -> Outcome,
-) -> ThroughputRow {
+/// The fixed trajectory scenarios: stable key → registry spec.
+pub fn rows_under_measure() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        ("flood_n16", canonical("flood", 16, 5)),
+        ("flood_n64", canonical("flood", 64, 21)),
+        ("flood_n256", canonical("flood", 256, 85)),
+        ("dolev_strong_n64_f21", canonical("dolev_strong", 64, 21)),
+        ("brb2_n256_f85", canonical("brb2", 256, 85)),
+        ("smr_1k", canonical("smr", 4, 1).with_workload(1_000, 8)),
+    ]
+}
+
+/// Measures one spec under a stable scenario key: best-of-`min_reps`
+/// wall time (repeating up to the cumulative floor), with the row's
+/// `(n, f)` taken from the spec itself.
+pub fn measure(scenario: &str, spec: &ScenarioSpec, min_reps: u32) -> ThroughputRow {
     let mut best_ns = u64::MAX;
     let mut total_ns: u64 = 0;
     let mut reps = 0;
@@ -170,7 +156,7 @@ fn measure(
     let mut peak_queue = 0;
     while reps < min_reps || (total_ns < MIN_TOTAL_NS && reps < MAX_REPS) {
         let start = Instant::now();
-        let o = run();
+        let o = crate::scenarios::run(spec);
         let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         events = o.events_processed();
         messages = o.messages_sent();
@@ -181,8 +167,8 @@ fn measure(
     }
     ThroughputRow {
         scenario: scenario.to_string(),
-        n,
-        f,
+        n: spec.n,
+        f: spec.f,
         events,
         messages,
         peak_queue,
@@ -197,76 +183,56 @@ fn measure(
 /// sub-millisecond scenarios repeat up to the cumulative wall-time floor.
 pub fn throughput_rows(quick: bool) -> Vec<ThroughputRow> {
     let reps = if quick { 1 } else { 3 };
-    vec![
-        measure("flood_n16", 16, 5, reps, || run_flood(16)),
-        measure("flood_n64", 64, 21, reps, || run_flood(64)),
-        measure("flood_n256", 256, 85, reps, || run_flood(256)),
-        measure("dolev_strong_n64_f21", 64, 21, reps, || {
-            run_dolev_strong(64, 21)
-        }),
-        measure("brb2_n256_f85", 256, 85, reps, || run_brb2(256, 85)),
-        measure("smr_1k", 4, 1, reps, || run_smr(1000, 8)),
-    ]
+    rows_under_measure()
+        .iter()
+        .map(|(key, spec)| measure(key, spec, reps))
+        .collect()
 }
 
-/// Renders rows as the `BENCH_sim.json` document.
+/// Renders rows as the `BENCH_sim.json` document (via the shared
+/// [`RowsDoc`] serializer).
 pub fn render_json(rows: &[ThroughputRow], mode: &str) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"schema\": \"gcl-bench/sim-throughput/v1\",\n");
-    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    out.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"n\": {}, \"f\": {}, \"events\": {}, \
-             \"messages\": {}, \"peak_queue\": {}, \"wall_ns\": {}, \
-             \"events_per_sec\": {:.1}, \"reps\": {}}}{}\n",
-            // Scenario keys are compile-time constants today; escape anyway
-            // so a future dynamic name can't produce a malformed document.
-            r.scenario.replace('\\', "\\\\").replace('"', "\\\""),
-            r.n,
-            r.f,
-            r.events,
-            r.messages,
-            r.peak_queue,
-            r.wall_ns,
-            r.events_per_sec,
-            r.reps,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    let mut doc = RowsDoc::new("gcl-bench/sim-throughput/v1");
+    doc.top("mode", JVal::Str(mode.to_string()));
+    for r in rows {
+        doc.row(vec![
+            ("scenario", JVal::Str(r.scenario.clone())),
+            ("n", JVal::U64(r.n as u64)),
+            ("f", JVal::U64(r.f as u64)),
+            ("events", JVal::U64(r.events)),
+            ("messages", JVal::U64(r.messages)),
+            ("peak_queue", JVal::U64(r.peak_queue)),
+            ("wall_ns", JVal::U64(r.wall_ns)),
+            ("events_per_sec", JVal::F1(r.events_per_sec)),
+            ("reps", JVal::U64(u64::from(r.reps))),
+        ]);
     }
-    out.push_str("  ]\n}\n");
-    out
+    doc.render()
 }
 
 /// Parses a `BENCH_sim.json` document back into rows (used by the CI
 /// regression check; any structural problem is an `Err`).
 pub fn parse_json(text: &str) -> Result<Vec<ThroughputRow>, String> {
     let doc = crate::json::parse(text)?;
-    let obj = doc.as_object().ok_or("top level must be an object")?;
-    let schema = obj
-        .get("schema")
-        .and_then(crate::json::Value::as_str)
-        .ok_or("missing schema")?;
+    doc.as_object().ok_or("top level must be an object")?;
+    let schema = doc.field_str("schema").ok_or("missing schema")?;
     if schema != "gcl-bench/sim-throughput/v1" {
         return Err(format!("unknown schema {schema:?}"));
     }
-    let rows = obj
-        .get("rows")
+    let rows = doc
+        .field("rows")
         .and_then(crate::json::Value::as_array)
         .ok_or("missing rows array")?;
     rows.iter()
         .map(|row| {
-            let row = row.as_object().ok_or("row must be an object")?;
+            row.as_object().ok_or("row must be an object")?;
             let str_field = |k: &str| -> Result<String, String> {
-                row.get(k)
-                    .and_then(crate::json::Value::as_str)
+                row.field_str(k)
                     .map(str::to_string)
                     .ok_or_else(|| format!("row missing string field {k:?}"))
             };
             let num_field = |k: &str| -> Result<f64, String> {
-                row.get(k)
-                    .and_then(crate::json::Value::as_f64)
+                row.field_f64(k)
                     .ok_or_else(|| format!("row missing numeric field {k:?}"))
             };
             Ok(ThroughputRow {
@@ -318,16 +284,17 @@ mod tests {
 
     #[test]
     fn flood_commits_and_counts_n_squared_messages() {
-        let o = run_flood(8);
+        let o = crate::scenarios::run(&canonical("flood", 8, 2));
         assert!(o.all_honest_committed());
         assert_eq!(o.messages_sent(), 64, "n^2 point-to-point messages");
+        assert_eq!(o.committed_value(), Some(Value::new(42)), "commits input");
     }
 
     #[test]
     fn json_round_trips() {
         let rows = vec![
-            measure("flood_n8", 8, 2, 1, || run_flood(8)),
-            measure("flood_n8_again", 8, 2, 1, || run_flood(8)),
+            measure("flood_n8", &canonical("flood", 8, 2), 1),
+            measure("flood_n8_again", &canonical("flood", 8, 2), 1),
         ];
         let text = render_json(&rows, "test");
         let parsed = parse_json(&text).expect("parses");
@@ -373,5 +340,13 @@ mod tests {
         assert!(parse_json("{").is_err());
         assert!(parse_json("{\"schema\": \"wrong\", \"rows\": []}").is_err());
         assert!(parse_json("{\"schema\": \"gcl-bench/sim-throughput/v1\"}").is_err());
+    }
+
+    #[test]
+    fn trajectory_specs_are_admissible() {
+        let reg = crate::registry();
+        for (key, spec) in rows_under_measure() {
+            assert!(reg.validate(&spec).is_ok(), "{key} must be runnable");
+        }
     }
 }

@@ -1,25 +1,23 @@
-//! Determinism regression suite: the hot-loop rewrite (scratch buffers,
-//! flat link counters, bucketed event queue, shared-payload multicast)
-//! must change **no semantics**. Every `scenarios` entry point is pinned
-//! to the exact `Outcome` fields the pre-refactor runner produced
-//! (captured at commit `a1831c1`): events processed, point-to-point
-//! messages, good-case latency, and commit round. Any divergence —
-//! a reordered delivery, a dropped clone, a changed tie-break — shows up
-//! here as a hard failure.
+//! Determinism regression suite: neither the hot-loop rewrite (PR 2) nor
+//! the scenario-registry refactor (PR 3) may change **any semantics**.
+//! Every canonical registry spec is pinned to the exact `Outcome` fields
+//! the pre-refactor runner produced (captured at commit `a1831c1`):
+//! events processed, point-to-point messages, good-case latency, and
+//! commit round. Any divergence — a reordered delivery, a dropped clone,
+//! a changed tie-break, a spec that assembles its simulation differently
+//! than the old hand-wired `run_*` glue — shows up here as a hard
+//! failure.
 
-use gcl_bench::scenarios::{
-    run_2delta, run_bracha, run_brb2, run_majority, run_pbft, run_sync_start, run_third,
-    run_unsync, run_vbb,
-};
-use gcl_bench::throughput::{run_dolev_strong, run_flood, run_smr};
-use gcl_sim::Outcome;
+use gcl_bench::{canonical, registry, run};
+use gcl_sim::{Outcome, ScenarioSpec};
 
 /// `(label, events_processed, messages_sent, good_case_latency_us,
 /// good_case_rounds)` — values recorded on the pre-refactor runner.
 type Reference = (&'static str, u64, u64, Option<u64>, Option<u32>);
 
-fn check(reference: Reference, outcome: &Outcome) {
+fn check(reference: Reference, spec: &ScenarioSpec) {
     let (label, events, messages, latency_us, rounds) = reference;
+    let outcome: Outcome = run(spec);
     assert_eq!(
         outcome.events_processed(),
         events,
@@ -44,59 +42,81 @@ fn check(reference: Reference, outcome: &Outcome) {
 
 #[test]
 fn brb2_matches_pre_refactor_runner() {
-    check(("brb2_4_1", 21, 32, Some(200), Some(2)), &run_brb2(4, 1));
-    check(("brb2_7_2", 50, 98, Some(200), Some(2)), &run_brb2(7, 2));
+    check(
+        ("brb2_4_1", 21, 32, Some(200), Some(2)),
+        &canonical("brb2", 4, 1),
+    );
+    check(
+        ("brb2_7_2", 50, 98, Some(200), Some(2)),
+        &canonical("brb2", 7, 2),
+    );
 }
 
 #[test]
 fn bracha_matches_pre_refactor_runner() {
     check(
         ("bracha_4_1", 38, 36, Some(300), Some(3)),
-        &run_bracha(4, 1),
+        &canonical("bracha", 4, 1),
     );
 }
 
 #[test]
 fn vbb_matches_pre_refactor_runner() {
-    check(("vbb_4_1", 21, 32, Some(200), Some(2)), &run_vbb(4, 1));
-    check(("vbb_9_2", 82, 162, Some(200), Some(2)), &run_vbb(9, 2));
+    check(
+        ("vbb_4_1", 21, 32, Some(200), Some(2)),
+        &canonical("vbb5f1", 4, 1),
+    );
+    check(
+        ("vbb_9_2", 82, 162, Some(200), Some(2)),
+        &canonical("vbb5f1", 9, 2),
+    );
 }
 
 #[test]
 fn pbft_matches_pre_refactor_runner() {
-    check(("pbft_8_2", 131, 192, Some(300), Some(3)), &run_pbft(8, 2));
+    check(
+        ("pbft_8_2", 131, 192, Some(300), Some(3)),
+        &canonical("pbft3", 8, 2),
+    );
 }
 
 #[test]
 fn sync_bb_matches_pre_refactor_runner() {
     check(
         ("2delta_4_1", 96, 80, Some(200), Some(2)),
-        &run_2delta(4, 1),
+        &canonical("bb_2delta", 4, 1),
     );
-    check(("third_3_1", 60, 45, Some(1100), Some(3)), &run_third(3, 1));
+    check(
+        ("third_3_1", 60, 45, Some(1100), Some(3)),
+        &canonical("bb_third", 3, 1),
+    );
     check(
         ("third_6_2", 324, 288, Some(1100), Some(3)),
-        &run_third(6, 2),
+        &canonical("bb_third", 6, 2),
     );
     check(
         ("sync_start_5_2", 190, 150, Some(1100), Some(3)),
-        &run_sync_start(5, 2),
+        &canonical("bb_sync_start", 5, 2),
     );
+    // The canonical `bb_unsync` spec carries the odd-half-δ skew and
+    // grid m = 10 in its registration.
     check(
         ("unsync_5_2_m10", 744, 620, Some(1150), Some(12)),
-        &run_unsync(5, 2, 10),
+        &canonical("bb_unsync", 5, 2),
     );
 }
 
 #[test]
 fn majority_matches_pre_refactor_runner() {
+    // The canonical `bb_majority` spec carries the all-`f`-silent
+    // trailing adversary mix in its registration.
     check(
         ("majority_4_2", 38, 31, Some(4000), Some(4)),
-        &run_majority(4, 2),
+        &canonical("bb_majority", 4, 2),
     );
     check(
         ("majority_6_4", 58, 51, Some(5000), Some(4)),
-        &run_majority(6, 4),
+        &canonical("bb_majority", 6, 4),
     );
 }
 
@@ -104,26 +124,65 @@ fn majority_matches_pre_refactor_runner() {
 fn throughput_scenarios_match_pre_refactor_runner() {
     check(
         ("throughput_flood_16", 272, 256, Some(10), Some(1)),
-        &run_flood(16),
+        &canonical("flood", 16, 5),
     );
     check(
         ("throughput_ds_16_5", 352, 240, Some(1800), Some(2)),
-        &run_dolev_strong(16, 5),
+        &canonical("dolev_strong", 16, 5),
     );
     check(
         ("throughput_smr_50", 1637, 1600, Some(2600), Some(26)),
-        &run_smr(50, 4),
+        &canonical("smr", 4, 1).with_workload(50, 4),
     );
 }
 
 #[test]
 fn repeated_runs_are_bit_identical() {
-    // Same build, same seed, same everything: the runner has no hidden
-    // nondeterminism (hash maps, pointer ordering, wall clocks).
-    let (a, b) = (run_unsync(5, 2, 10), run_unsync(5, 2, 10));
+    // Same spec, same seed, same everything: the registry path has no
+    // hidden nondeterminism (hash maps, pointer ordering, wall clocks).
+    let spec = canonical("bb_unsync", 5, 2);
+    let (a, b) = (run(&spec), run(&spec));
     assert_eq!(a.events_processed(), b.events_processed());
     assert_eq!(a.messages_sent(), b.messages_sent());
     assert_eq!(a.peak_queue_depth(), b.peak_queue_depth());
     assert_eq!(a.good_case_latency(), b.good_case_latency());
     assert_eq!(a.good_case_rounds(), b.good_case_rounds());
+}
+
+#[test]
+fn sweep_of_200_cells_is_deterministic_across_thread_counts() {
+    // The acceptance bar for the sweep engine: a ≥200-cell grid across
+    // ≥4 worker threads produces the same report as a single-threaded
+    // run of the same grid and base seed — scheduling must not leak into
+    // any audited number.
+    use gcl_bench::sweep::{grid, GridOptions};
+    use gcl_sim::Sweep;
+    let opts = GridOptions {
+        shapes_per_family: 4,
+        seeds: 1,
+        jitter: true,
+        crashes: true,
+        // Keep the debug-build suite snappy: the n = 14 smr cells cost
+        // more than the rest of the grid combined under `cargo test`.
+        max_parties: 10,
+    };
+    let cells = grid(opts);
+    assert!(cells.len() >= 200, "only {} cells", cells.len());
+    let four = Sweep::new(registry())
+        .cells(cells.clone())
+        .threads(4)
+        .seed(99)
+        .run();
+    let eight = Sweep::new(registry())
+        .cells(cells)
+        .threads(8)
+        .seed(99)
+        .run();
+    assert_eq!(four.threads, 4);
+    assert!(
+        four.deterministic_eq(&eight),
+        "sweep report depends on thread count / scheduling"
+    );
+    assert_eq!(four.safety_violations().count(), 0);
+    assert_eq!(four.validity_violations().count(), 0);
 }

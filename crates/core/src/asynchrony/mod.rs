@@ -15,3 +15,41 @@ mod brb2;
 
 pub use bracha::{BrachaBrb, BrachaMsg};
 pub use brb2::{Brb2Msg, EquivocatingBroadcaster, SignedVote, TwoRoundBrb};
+
+use gcl_crypto::Keychain;
+use gcl_sim::{Admission, ScenarioRegistry, ScenarioSpec, ValidityMode};
+
+/// Registers this module's scenario families (`brb2`, `bracha`).
+pub(crate) fn register(reg: &mut ScenarioRegistry) {
+    reg.register_fn(
+        "brb2",
+        "2-round BRB (Fig 1) — tight asynchronous good case",
+        Admission::Brb,
+        ValidityMode::Broadcast,
+        ScenarioSpec::asynchronous("brb2", 4, 1).with_seed(200),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            let chain = Keychain::generate(spec.n, spec.seed);
+            spec.run_protocol(|p| {
+                TwoRoundBrb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    spec.broadcaster,
+                    spec.input_for(p),
+                )
+            })
+        },
+    );
+    reg.register_fn(
+        "bracha",
+        "Bracha'87 BRB — 3-round unauthenticated baseline",
+        Admission::Brb,
+        ValidityMode::Broadcast,
+        ScenarioSpec::asynchronous("bracha", 4, 1),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            spec.run_protocol(|p| BrachaBrb::new(cfg, p, spec.broadcaster, spec.input_for(p)))
+        },
+    );
+}

@@ -11,3 +11,34 @@ mod trustcast;
 
 pub use bb_majority::{BbMajority, MajProposal, MajVote, MajorityMsg};
 pub use trustcast::{trustcast_deadline, TrustCast, TrustCastMsg, TrustGraph};
+
+use gcl_crypto::Keychain;
+use gcl_sim::{Admission, AdversaryMix, ScenarioRegistry, ScenarioSpec, ValidityMode};
+use gcl_types::Duration;
+
+/// Registers this module's scenario family (`bb_majority`).
+pub(crate) fn register(reg: &mut ScenarioRegistry) {
+    reg.register_fn(
+        "bb_majority",
+        "TrustCast fast-path BB (Wan et al.) — n/2 <= f < n",
+        Admission::Majority,
+        ValidityMode::Broadcast,
+        ScenarioSpec::lockstep("bb_majority", 4, 2, Duration::from_micros(1_000))
+            .with_seed(207)
+            .with_adversary(AdversaryMix::TrailingSilent { count: u32::MAX }),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            let chain = Keychain::generate(spec.n, spec.seed);
+            spec.run_protocol(|p| {
+                BbMajority::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    spec.big_delta,
+                    spec.broadcaster,
+                    spec.input_for(p),
+                )
+            })
+        },
+    );
+}

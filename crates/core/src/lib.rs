@@ -26,3 +26,77 @@ pub mod lower_bounds;
 pub mod psync;
 pub mod strawman;
 pub mod sync;
+
+use gcl_sim::ScenarioRegistry;
+
+/// Registers every protocol family of this crate into `reg` — one call
+/// per module, one registration per family. Adding a protocol variant is
+/// one `register_fn` in its module; every registry consumer (tables,
+/// sweeps, property suites, examples) picks it up automatically.
+pub fn register_families(reg: &mut ScenarioRegistry) {
+    asynchrony::register(reg);
+    psync::register(reg);
+    sync::register(reg);
+    dishonest::register(reg);
+    strawman::register(reg);
+}
+
+/// A fresh registry holding every family of this crate.
+///
+/// # Examples
+///
+/// ```
+/// let reg = gcl_core::registry();
+/// let spec = reg.spec("brb2").unwrap();
+/// let outcome = reg.run(&spec).unwrap();
+/// assert!(outcome.agreement_holds());
+/// assert_eq!(outcome.good_case_rounds(), Some(2));
+/// ```
+pub fn registry() -> ScenarioRegistry {
+    let mut reg = ScenarioRegistry::new();
+    register_families(&mut reg);
+    reg
+}
+
+#[cfg(test)]
+mod registry_tests {
+    #[test]
+    fn all_families_registered_and_canonical_specs_run() {
+        let reg = super::registry();
+        let expected = [
+            "bb_2delta",
+            "bb_majority",
+            "bb_sync_start",
+            "bb_third",
+            "bb_unsync",
+            "bracha",
+            "brb2",
+            "dolev_strong",
+            "early_commit_bb",
+            "fab2",
+            "one_round_brb",
+            "pbft3",
+            "vbb5f1",
+        ];
+        assert_eq!(reg.keys().collect::<Vec<_>>(), expected);
+        for key in reg.keys() {
+            let family = reg.family(key).unwrap();
+            let spec = family.canonical();
+            assert_eq!(spec.family, key, "canonical spec key matches");
+            assert!(
+                family.admission().admits(spec.n, spec.f),
+                "{key}: canonical shape in band"
+            );
+            let o = reg.run(&spec).unwrap_or_else(|e| panic!("{key}: {e}"));
+            assert!(o.agreement_holds(), "{key}: agreement on canonical run");
+            assert!(
+                family.upholds_validity(&spec, &o),
+                "{key}: validity on canonical run"
+            );
+            assert!(
+                o.all_honest_committed(),
+                "{key}: canonical good case commits"
+            );
+        }
+    }
+}

@@ -18,3 +18,53 @@ mod vbb5f1;
 pub use cert::{Certificate, LeaderSigned, Lock, TimeoutMsg, VoteMsg};
 pub use pbft3::{PbftMsg, PbftPsyncVbb, PreparedCert};
 pub use vbb5f1::{EquivocatingLeader, Proof, StatusMsg, VbbFiveFMinusOne, VbbMsg};
+
+use gcl_crypto::Keychain;
+use gcl_sim::{Admission, ScenarioRegistry, ScenarioSpec, ValidityMode};
+use gcl_types::accept_all;
+
+/// Registers this module's scenario families (`vbb5f1`, `pbft3`).
+pub(crate) fn register(reg: &mut ScenarioRegistry) {
+    reg.register_fn(
+        "vbb5f1",
+        "(5f-1)-psync-VBB (Fig 3) — 2-round good case",
+        Admission::TwoRoundPsync,
+        ValidityMode::Broadcast,
+        ScenarioSpec::psync("vbb5f1", 4, 1).with_seed(201),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            let chain = Keychain::generate(spec.n, spec.seed);
+            spec.run_protocol(|p| {
+                VbbFiveFMinusOne::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    accept_all(),
+                    spec.big_delta,
+                    spec.input_for(p),
+                )
+            })
+        },
+    );
+    reg.register_fn(
+        "pbft3",
+        "PBFT-style 3-round psync-VBB baseline",
+        Admission::Brb,
+        ValidityMode::Broadcast,
+        ScenarioSpec::psync("pbft3", 4, 1).with_seed(202),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            let chain = Keychain::generate(spec.n, spec.seed);
+            spec.run_protocol(|p| {
+                PbftPsyncVbb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    accept_all(),
+                    spec.big_delta,
+                    spec.input_for(p),
+                )
+            })
+        },
+    );
+}

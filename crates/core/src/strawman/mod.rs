@@ -24,3 +24,67 @@ mod one_round_brb;
 pub use early_commit_bb::{EarlyCommitBb, EarlyMsg, EarlyVote};
 pub use fab2::{fab_proposal, fab_vote, FabMsg, FabProposal, FabTwoRound, FabViewChange, FabVote};
 pub use one_round_brb::{OneRoundBrb, OneRoundMsg};
+
+use gcl_crypto::Keychain;
+use gcl_sim::{Admission, ScenarioRegistry, ScenarioSpec, ValidityMode};
+
+/// Registers this module's scenario families (`one_round_brb`, `fab2`,
+/// `early_commit_bb`).
+///
+/// The strawmen overclaim *latency*, not crash tolerance: under the
+/// crash/silent adversary mixes a [`ScenarioSpec`] can express they stay
+/// safe — only the scripted lower-bound executions (equivocation,
+/// double votes) in [`crate::lower_bounds`] split them.
+pub(crate) fn register(reg: &mut ScenarioRegistry) {
+    reg.register_fn(
+        "one_round_brb",
+        "1-round BRB strawman — below the Theorem 4 bound",
+        Admission::Brb,
+        ValidityMode::Broadcast,
+        ScenarioSpec::asynchronous("one_round_brb", 4, 1),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            spec.run_protocol(|p| OneRoundBrb::new(cfg, p, spec.broadcaster, spec.input_for(p)))
+        },
+    );
+    reg.register_fn(
+        "fab2",
+        "FaB-style 2-round commit with plain-majority view change",
+        Admission::Brb,
+        ValidityMode::Broadcast,
+        ScenarioSpec::psync("fab2", 8, 2).with_seed(212),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            let chain = Keychain::generate(spec.n, spec.seed);
+            spec.run_protocol(|p| {
+                FabTwoRound::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    spec.big_delta,
+                    spec.input_for(p),
+                )
+            })
+        },
+    );
+    reg.register_fn(
+        "early_commit_bb",
+        "early-commit BB strawman — skips the Delta equivocation window",
+        Admission::ExactThird,
+        ValidityMode::Broadcast,
+        ScenarioSpec::synchronous("early_commit_bb", 3, 1).with_seed(213),
+        |spec| {
+            let cfg = spec.config().expect("validated");
+            let chain = Keychain::generate(spec.n, spec.seed);
+            spec.run_protocol(|p| {
+                EarlyCommitBb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    spec.broadcaster,
+                    spec.input_for(p),
+                )
+            })
+        },
+    );
+}

@@ -60,7 +60,9 @@ mod event;
 mod network;
 mod outcome;
 mod runner;
+mod scenario;
 mod strategies;
+mod sweep;
 
 pub use context::{Context, Protocol, Strategy};
 pub use event::TraceEntry;
@@ -70,4 +72,10 @@ pub use network::{
 };
 pub use outcome::{CommitRecord, Outcome};
 pub use runner::{Simulation, SimulationBuilder};
+pub use scenario::{
+    derive_cell_seed, Admission, AdversaryMix, AdversaryRole, DelayChoice, FamilyParams, FnFamily,
+    ScenarioError, ScenarioFamily, ScenarioRegistry, ScenarioSpec, SkewChoice, TimingKind,
+    ValidityMode,
+};
 pub use strategies::{Crashing, Scripted, ScriptedAction, Silent};
+pub use sweep::{CellReport, Sweep, SweepReport};

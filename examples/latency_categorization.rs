@@ -1,32 +1,19 @@
 //! The complete categorization, live: sweeps every resilience regime of
-//! Table 1 and prints measured good-case latency against the tight bound.
+//! Table 1 and prints measured good-case latency against the tight bound —
+//! every measurement a registry [`gcl::sim::ScenarioSpec`], no per-protocol
+//! wiring.
 //!
 //! ```sh
 //! cargo run --release --example latency_categorization
 //! ```
+//!
+//! Adding a protocol variant to this output takes **one** registration in
+//! its `gcl_core` module (`register_fn(key, description, band, validity,
+//! canonical_spec, runner)`); the catalog printed below, the tables, the
+//! sweep grid and the property suites all pick it up from the registry.
 
-use gcl_bench_is_not_a_dependency::*;
-
-// The bench crate owns the scenario harness; examples re-derive a compact
-// version here so the example is self-contained on the public API.
-mod gcl_bench_is_not_a_dependency {
-    pub use gcl::core::dishonest::BbMajority;
-    pub use gcl::core::psync::VbbFiveFMinusOne;
-    pub use gcl::core::sync::{SyncStartBb, ThirdBb, TwoDeltaBb, UnsyncBb};
-    pub use gcl::crypto::Keychain;
-    pub use gcl::sim::{FixedDelay, Outcome, Silent, Simulation, TimingModel};
-    pub use gcl::types::{accept_all, Config, Duration, GlobalTime, PartyId, SkewSchedule, Value};
-}
-
-const DELTA: Duration = Duration::from_micros(100);
-const BIG_DELTA: Duration = Duration::from_micros(1_000);
-
-fn sync() -> TimingModel {
-    TimingModel::Synchrony {
-        delta: DELTA,
-        big_delta: BIG_DELTA,
-    }
-}
+use gcl::core::registry;
+use gcl::sim::{Outcome, ScenarioRegistry};
 
 fn show(label: &str, bound: &str, o: &Outcome) {
     println!(
@@ -35,158 +22,78 @@ fn show(label: &str, bound: &str, o: &Outcome) {
     );
 }
 
-fn main() {
-    let input = Value::new(7);
-    println!("Good-case latency categorization (δ = {DELTA}, Δ = {BIG_DELTA})\n");
+fn run_row(reg: &ScenarioRegistry, family: &str, n: usize, f: usize) -> Outcome {
+    let spec = reg.spec(family).expect("registered").with_shape(n, f);
+    reg.run(&spec).expect("shape in band")
+}
 
-    {
-        // 0 < f < n/3 — 2δ.
-        let cfg = Config::new(4, 1).expect("config");
-        let chain = Keychain::generate(4, 2);
-        let o = Simulation::build(cfg)
-            .timing(sync())
-            .oracle(FixedDelay::new(DELTA))
-            .spawn_honest(|p| {
-                TwoDeltaBb::new(
-                    cfg,
-                    chain.signer(p),
-                    chain.pki(),
-                    BIG_DELTA,
-                    PartyId::new(0),
-                    (p == PartyId::new(0)).then_some(input),
-                )
-            })
-            .run();
-        show("0 < f < n/3          2δ-BB, n=4 f=1", "2δ = 200us", &o);
+fn main() {
+    let reg = registry();
+
+    println!("Registered protocol families ({}):", reg.len());
+    for key in reg.keys() {
+        let fam = reg.family(key).expect("listed");
+        println!(
+            "  {key:<16} [{:<14}] {}",
+            fam.admission().describe(),
+            fam.describe()
+        );
     }
-    {
-        // f = n/3 — Δ + δ.
-        let cfg = Config::new(3, 1).expect("config");
-        let chain = Keychain::generate(3, 3);
-        let o = Simulation::build(cfg)
-            .timing(sync())
-            .oracle(FixedDelay::new(DELTA))
-            .spawn_honest(|p| {
-                ThirdBb::new(
-                    cfg,
-                    chain.signer(p),
-                    chain.pki(),
-                    BIG_DELTA,
-                    PartyId::new(0),
-                    (p == PartyId::new(0)).then_some(input),
-                )
-            })
-            .run();
-        show(
+
+    println!("\nGood-case latency categorization (δ = 100us, Δ = 1000us)\n");
+
+    // (family, n, f, band label, bound label) — presentation only; the
+    // execution comes entirely from the registry spec.
+    let rows = [
+        (
+            "bb_2delta",
+            4,
+            1,
+            "0 < f < n/3          2δ-BB, n=4 f=1",
+            "2δ = 200us",
+        ),
+        (
+            "bb_third",
+            3,
+            1,
             "f = n/3              (Δ+δ)-n/3-BB, n=3 f=1",
             "Δ+δ = 1100us",
-            &o,
-        );
-    }
-    {
-        // n/3 < f < n/2, synchronized start — Δ + δ.
-        let cfg = Config::new(5, 2).expect("config");
-        let chain = Keychain::generate(5, 4);
-        let o = Simulation::build(cfg)
-            .timing(sync())
-            .oracle(FixedDelay::new(DELTA))
-            .spawn_honest(|p| {
-                SyncStartBb::new(
-                    cfg,
-                    chain.signer(p),
-                    chain.pki(),
-                    BIG_DELTA,
-                    PartyId::new(0),
-                    (p == PartyId::new(0)).then_some(input),
-                )
-            })
-            .run();
-        show("n/3 < f < n/2 sync   (Δ+δ)-BB, n=5 f=2", "Δ+δ = 1100us", &o);
-    }
-    {
-        // n/3 < f < n/2, unsynchronized start — Δ + 1.5δ (!).
-        let cfg = Config::new(5, 2).expect("config");
-        let chain = Keychain::generate(5, 5);
-        let o = Simulation::build(cfg)
-            .timing(sync())
-            .oracle(FixedDelay::new(DELTA))
-            .skew(SkewSchedule::with_late_parties(
-                5,
-                &[(PartyId::new(1), DELTA.halved())],
-            ))
-            .spawn_honest(|p| {
-                UnsyncBb::new(
-                    cfg,
-                    chain.signer(p),
-                    chain.pki(),
-                    BIG_DELTA,
-                    10,
-                    PartyId::new(0),
-                    (p == PartyId::new(0)).then_some(input),
-                )
-            })
-            .run();
-        show(
+        ),
+        (
+            "bb_sync_start",
+            5,
+            2,
+            "n/3 < f < n/2 sync   (Δ+δ)-BB, n=5 f=2",
+            "Δ+δ = 1100us",
+        ),
+        (
+            "bb_unsync",
+            5,
+            2,
             "n/3 < f < n/2 unsync (Δ+1.5δ)-BB, n=5 f=2",
             "Δ+1.5δ = 1150us",
+        ),
+    ];
+    for (family, n, f, label, bound) in rows {
+        show(label, bound, &run_row(&reg, family, n, f));
+    }
+
+    // n/2 ≤ f — Θ(n/(n−f))Δ; the canonical bb_majority spec carries its
+    // all-f-silent adversary mix.
+    for (n, f) in [(4usize, 2usize), (10, 8)] {
+        let o = run_row(&reg, "bb_majority", n, f);
+        let k = n / (n - f);
+        show(
+            &format!("n/2 ≤ f              TrustCast BB, n={n} f={f}"),
+            &format!("Θ({k}·Δ)"),
             &o,
         );
     }
-    {
-        // n/2 ≤ f — Θ(n/(n−f))Δ with silent Byzantine parties.
-        for (n, f) in [(4usize, 2usize), (10, 8)] {
-            let cfg = Config::new(n, f).expect("config");
-            let chain = Keychain::generate(n, 6);
-            let mut b = Simulation::build(cfg)
-                .timing(TimingModel::lockstep(BIG_DELTA))
-                .oracle(FixedDelay::new(BIG_DELTA));
-            for i in (n - f) as u32..n as u32 {
-                b = b.byzantine(PartyId::new(i), Silent::new());
-            }
-            let o = b
-                .spawn_honest(|p| {
-                    BbMajority::new(
-                        cfg,
-                        chain.signer(p),
-                        chain.pki(),
-                        BIG_DELTA,
-                        PartyId::new(0),
-                        (p == PartyId::new(0)).then_some(input),
-                    )
-                })
-                .run();
-            let k = n / (n - f);
-            show(
-                &format!("n/2 ≤ f              TrustCast BB, n={n} f={f}"),
-                &format!("Θ({k}·Δ)"),
-                &o,
-            );
-        }
-    }
-    {
-        // Partial synchrony comparison at n = 4 (the Liskov question).
-        let cfg = Config::new(4, 1).expect("config");
-        let chain = Keychain::generate(4, 7);
-        let o = Simulation::build(cfg)
-            .timing(TimingModel::PartialSynchrony {
-                gst: GlobalTime::ZERO,
-                big_delta: DELTA,
-            })
-            .oracle(FixedDelay::new(DELTA))
-            .spawn_honest(|p| {
-                VbbFiveFMinusOne::new(
-                    cfg,
-                    chain.signer(p),
-                    chain.pki(),
-                    accept_all(),
-                    DELTA,
-                    (p == PartyId::new(0)).then_some(input),
-                )
-            })
-            .run();
-        println!(
-            "\npsync n=4 f=1: (5f−1)-VBB commits in {} rounds — PBFT's 3 rounds are NOT optimal.",
-            o.good_case_rounds().expect("commits")
-        );
-    }
+
+    // Partial synchrony comparison at n = 4 (the Liskov question).
+    let o = run_row(&reg, "vbb5f1", 4, 1);
+    println!(
+        "\npsync n=4 f=1: (5f−1)-VBB commits in {} rounds — PBFT's 3 rounds are NOT optimal.",
+        o.good_case_rounds().expect("commits")
+    );
 }

@@ -25,6 +25,7 @@
 //! separate bench binaries — accumulates into one summary, and re-runs
 //! update rows in place. Delete the file to start a fresh set.
 
+use gcl_bench::json::{self, JVal, RowsDoc};
 use std::fmt::Display;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -32,62 +33,103 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// One accumulated summary row.
+#[derive(Debug, Clone)]
+struct SummaryRow {
+    bench: String,
+    mean_ns: u64,
+    median_ns: u64,
+    min_ns: u64,
+    samples: u64,
+}
+
+impl SummaryRow {
+    fn fields(&self) -> Vec<(&'static str, JVal)> {
+        vec![
+            ("bench", JVal::Str(self.bench.clone())),
+            ("mean_ns", JVal::U64(self.mean_ns)),
+            ("median_ns", JVal::U64(self.median_ns)),
+            ("min_ns", JVal::U64(self.min_ns)),
+            ("samples", JVal::U64(self.samples)),
+        ]
+    }
+}
+
 /// Process-wide accumulated JSON rows, keyed by summary path so that
 /// concurrent writers (e.g. parallel tests) with distinct paths don't mix.
-static JSON_ROWS: Mutex<Vec<(PathBuf, String)>> = Mutex::new(Vec::new());
+static JSON_ROWS: Mutex<Vec<(PathBuf, SummaryRow)>> = Mutex::new(Vec::new());
 
-/// Escapes `\` and `"` so arbitrary bench names (ids are built from any
-/// `Display` value) can't break the JSON document.
-fn escape_json(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// The summary schema — the same schema-plus-rows family as every other
+/// trajectory document; rendering goes through [`RowsDoc`].
+const SUMMARY_SCHEMA: &str = "gcl-bench/criterion/v1";
+
+/// Re-reads the rows an earlier bench binary (same `cargo bench`
+/// invocation, separate process) left on disk, so sibling targets
+/// accumulate into one summary instead of clobbering it.
+fn rows_on_disk(path: &Path) -> Vec<SummaryRow> {
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = json::parse(&existing) else {
+        return Vec::new();
+    };
+    if doc.field_str("schema") != Some(SUMMARY_SCHEMA) {
+        return Vec::new();
+    }
+    let mut rows = Vec::new();
+    for row in doc
+        .field("rows")
+        .and_then(json::Value::as_array)
+        .unwrap_or(&[])
+    {
+        if let (Some(bench), Some(mean), Some(median), Some(min), Some(samples)) = (
+            row.field_str("bench"),
+            row.field_u64("mean_ns"),
+            row.field_u64("median_ns"),
+            row.field_u64("min_ns"),
+            row.field_u64("samples"),
+        ) {
+            rows.push(SummaryRow {
+                bench: bench.to_string(),
+                mean_ns: mean,
+                median_ns: median,
+                min_ns: min,
+                samples,
+            });
+        }
+    }
+    rows
 }
 
 fn write_json_summary(path: &Path, bench: &str, samples: &[Duration]) {
-    let bench = &escape_json(bench);
-    let n = samples.len() as u128;
+    let n = samples.len() as u64;
     let total: u128 = samples.iter().map(Duration::as_nanos).sum();
-    let mut sorted: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    let mut sorted: Vec<u64> = samples
+        .iter()
+        .map(|d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
+        .collect();
     sorted.sort_unstable();
-    let row = format!(
-        "{{\"bench\": \"{bench}\", \"mean_ns\": {}, \"median_ns\": {}, \
-         \"min_ns\": {}, \"samples\": {n}}}",
-        total / n.max(1),
-        sorted[sorted.len() / 2],
-        sorted[0],
-    );
+    let row = SummaryRow {
+        bench: bench.to_string(),
+        mean_ns: (total / u128::from(n.max(1))).min(u128::from(u64::MAX)) as u64,
+        median_ns: sorted[sorted.len() / 2],
+        min_ns: sorted[0],
+        samples: n,
+    };
     let mut all = JSON_ROWS.lock().expect("summary lock");
     if !all.iter().any(|(p, _)| p == path) {
-        // First touch of this path in this process: seed with the rows an
-        // earlier bench binary (same `cargo bench` invocation) left on
-        // disk, so sibling targets accumulate instead of clobbering.
-        if let Ok(existing) = std::fs::read_to_string(path) {
-            if existing.starts_with("{\n  \"schema\": \"gcl-bench/criterion/v1\"") {
-                for line in existing.lines() {
-                    let row = line.trim().trim_end_matches(',');
-                    if row.starts_with("{\"bench\": ") {
-                        all.push((path.to_path_buf(), row.to_string()));
-                    }
-                }
-            }
+        for prior in rows_on_disk(path) {
+            all.push((path.to_path_buf(), prior));
         }
     }
     // Re-measuring a bench updates its row in place.
-    let name_key = format!("{{\"bench\": \"{bench}\",");
-    all.retain(|(p, r)| !(p == path && r.starts_with(&name_key)));
+    all.retain(|(p, r)| !(p == path && r.bench == bench));
     all.push((path.to_path_buf(), row));
-    let mut doc = String::from("{\n  \"schema\": \"gcl-bench/criterion/v1\",\n  \"rows\": [\n");
-    let rows: Vec<&str> = all
-        .iter()
-        .filter(|(p, _)| p == path)
-        .map(|(_, r)| r.as_str())
-        .collect();
-    for (i, r) in rows.iter().enumerate() {
-        doc.push_str("    ");
-        doc.push_str(r);
-        doc.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    let mut doc = RowsDoc::new(SUMMARY_SCHEMA);
+    for (_, row) in all.iter().filter(|(p, _)| p == path) {
+        doc.row(row.fields());
     }
-    doc.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(path, doc) {
+    if let Err(e) = std::fs::write(path, doc.render()) {
         eprintln!("criterion shim: cannot write {}: {e}", path.display());
     }
 }

@@ -63,3 +63,8 @@ fn adversary_gallery_runs_to_completion() {
 fn smr_kv_runs_to_completion() {
     run_example("smr_kv");
 }
+
+#[test]
+fn scenario_sweep_runs_to_completion() {
+    run_example("scenario_sweep");
+}
