@@ -1,0 +1,169 @@
+//! Sim-vs-net conformance: every registered scenario family, one spec,
+//! two execution backends, the same committed value.
+//!
+//! The paper's claims are about *real* good-case latency, so the workspace
+//! keeps two execution targets honest against each other: the
+//! deterministic simulator (exact δ/Δ, the source of every measured
+//! number) and `gcl_net`'s thread-per-party wall-clock runtime. This
+//! module builds, for each registered family, a **wall-safe** variant of
+//! its canonical spec — millisecond-scale bounds so protocol timeouts
+//! (≥ 4Δ) dwarf scheduler noise, reshaped to `(4, 1)` where the family's
+//! band admits it — and runs it on both backends. On an honest-broadcaster
+//! good case the two executions must agree with each other: same
+//! committed value, agreement and full honest commitment on the net side.
+//!
+//! The suite doubles as the regression gate for the net runtime's early
+//! termination: ~15 runs against multi-second deadlines complete in
+//! about a second *only* because honest termination exits each run early
+//! (`crates/bench/tests/net_conformance.rs` enforces a hard 30 s ceiling,
+//! and CI's `net-smoke` job runs it in release).
+
+use crate::registry;
+use gcl_net::NetBackend;
+use gcl_sim::{ScenarioRegistry, ScenarioSpec};
+use gcl_types::{Duration as SimDuration, Value};
+use std::time::{Duration, Instant};
+
+/// Wall-clock δ for conformance runs: 2 ms injected link latency —
+/// comfortably above channel/scheduler overhead, far below any timeout.
+pub const WALL_DELTA: SimDuration = SimDuration::from_millis(2);
+
+/// Wall-clock Δ floor. Every family's Δ is scaled 20× from canonical and
+/// raised to at least this, so view-change and round timers (≥ 4Δ on the
+/// tightest family, i.e. ≥ 80 ms here) cannot fire spuriously even when a
+/// noisy machine stalls a party thread for tens of milliseconds. Timers
+/// never fire on the good-case path, so the floor costs no wall time.
+pub const WALL_BIG_DELTA_FLOOR: SimDuration = SimDuration::from_millis(20);
+
+/// The wall-safe conformance spec of one registered family: the family's
+/// canonical spec (its seed, skew, adversary mix and input are kept, so
+/// e.g. `bb_majority` still runs its trailing-silent population), reshaped
+/// to `(4, 1)` when the resilience band admits it, with millisecond-scale
+/// bounds and a trimmed SMR workload.
+///
+/// # Panics
+///
+/// Panics if `key` is not registered.
+pub fn wall_spec(reg: &ScenarioRegistry, key: &str) -> ScenarioSpec {
+    let family = reg
+        .family(key)
+        .unwrap_or_else(|| panic!("family {key:?} not registered"));
+    let mut spec = family.canonical();
+    if family.admission().admits(4, 1) {
+        spec = spec.with_shape(4, 1);
+    }
+    let big = SimDuration::from_micros(
+        (spec.big_delta.as_micros() * 20).max(WALL_BIG_DELTA_FLOOR.as_micros()),
+    );
+    spec = spec.with_bounds(WALL_DELTA, big);
+    if key == "smr" {
+        // 12 commands keep the multi-slot pipeline honest without turning
+        // the cell into the slowest run of the suite.
+        spec = spec.with_workload(12, 4);
+    }
+    spec
+}
+
+/// One family's sim-vs-net comparison.
+#[derive(Debug, Clone)]
+pub struct ConformanceCell {
+    /// Registered family key.
+    pub family: &'static str,
+    /// Parties in the spec both backends ran.
+    pub n: usize,
+    /// Fault budget of that spec.
+    pub f: usize,
+    /// The simulator's committed value (agreement already folded in:
+    /// `None` means disagreement or nobody committed).
+    pub sim_value: Option<Value>,
+    /// The net backend's committed value.
+    pub net_value: Option<Value>,
+    /// Whether every honest party committed on the net backend.
+    pub net_all_committed: bool,
+    /// Whether agreement held on the net backend.
+    pub net_agreement: bool,
+    /// Wall time of the net run.
+    pub wall: Duration,
+}
+
+impl ConformanceCell {
+    /// The conformance criterion: the net run upholds agreement, commits
+    /// everywhere honest, and lands on exactly the simulator's value.
+    pub fn holds(&self) -> bool {
+        self.net_agreement && self.net_all_committed && self.sim_value == self.net_value
+    }
+
+    /// One-line human rendering (used in assertion messages and the
+    /// example).
+    pub fn describe(&self) -> String {
+        format!(
+            "{} (n={}, f={}): sim={:?} net={:?} agreement={} all_committed={} wall={:?}",
+            self.family,
+            self.n,
+            self.f,
+            self.sim_value,
+            self.net_value,
+            self.net_agreement,
+            self.net_all_committed,
+            self.wall
+        )
+    }
+}
+
+/// Runs every registered family on both backends (net runs bounded by
+/// `deadline` each) and reports the comparisons in registry key order.
+pub fn conformance_cells(deadline: Duration) -> Vec<ConformanceCell> {
+    let reg = registry();
+    let net = NetBackend::new().deadline(deadline);
+    reg.keys()
+        .map(|key| {
+            let spec = wall_spec(reg, key);
+            let sim = reg
+                .run(&spec)
+                .unwrap_or_else(|e| panic!("{key}: sim run rejected: {e}"));
+            let started = Instant::now();
+            let net_outcome = reg
+                .run_on(&spec, &net)
+                .unwrap_or_else(|e| panic!("{key}: net run rejected: {e}"));
+            ConformanceCell {
+                family: key,
+                n: spec.n,
+                f: spec.f,
+                sim_value: sim.committed_value(),
+                net_value: net_outcome.committed_value(),
+                net_all_committed: net_outcome.all_honest_committed(),
+                net_agreement: net_outcome.agreement_holds(),
+                wall: started.elapsed(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_specs_are_admissible_and_wall_safe() {
+        let reg = registry();
+        for key in reg.keys() {
+            let spec = wall_spec(reg, key);
+            assert!(reg.validate(&spec).is_ok(), "{key}: wall spec in band");
+            assert_eq!(spec.delta, WALL_DELTA, "{key}");
+            assert!(spec.big_delta >= WALL_BIG_DELTA_FLOOR, "{key}");
+            if reg.family(key).unwrap().admission().admits(4, 1) {
+                assert_eq!((spec.n, spec.f), (4, 1), "{key}: reshaped to (4, 1)");
+            }
+        }
+    }
+
+    #[test]
+    fn wall_specs_keep_canonical_identity() {
+        let reg = registry();
+        let canonical = reg.spec("bb_majority").unwrap();
+        let spec = wall_spec(reg, "bb_majority");
+        assert_eq!(spec.adversary, canonical.adversary, "adversary mix kept");
+        assert_eq!(spec.seed, canonical.seed, "keychain seed kept");
+        assert_eq!(spec.input, canonical.input, "input kept");
+    }
+}

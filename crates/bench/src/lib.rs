@@ -22,10 +22,15 @@
 //! Criterion benches (`cargo bench -p gcl_bench`) time the same scenarios
 //! as wall-clock simulator throughput; set `GCL_BENCH_JSON=<path>` to get
 //! a machine-readable summary in the same schema-plus-rows format.
+//!
+//! [`conformance`] runs every registered family on *both* execution
+//! backends — the simulator and `gcl_net`'s thread runtime — and compares
+//! committed values (the CI `net-smoke` gate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conformance;
 pub mod json;
 pub mod scenarios;
 pub mod sweep;
@@ -46,6 +51,7 @@ pub fn registry() -> &'static ScenarioRegistry {
     })
 }
 
+pub use conformance::{conformance_cells, wall_spec, ConformanceCell};
 pub use scenarios::{
     canonical, fig8_rows, majority_rows, run, table1_rows, Fig8Row, MajorityRow, Table1Row,
 };

@@ -72,7 +72,7 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::Any,
         ValidityMode::Broadcast,
         ScenarioSpec::lockstep("flood", 16, 5, Duration::from_micros(10)),
-        |spec| spec.run_protocol(|_| AllToAllFlood::new(spec.n, spec.input)),
+        |spec, backend| spec.run_protocol_on(backend, |_| AllToAllFlood::new(spec.n, spec.input)),
     );
     reg.register_fn(
         "smr",
@@ -81,11 +81,11 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         // Commit values are workload slots, not the broadcast input.
         ValidityMode::AgreementOnly,
         ScenarioSpec::psync("smr", 4, 1).with_seed(221),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = gcl_crypto::Keychain::generate(spec.n, spec.seed);
             let workload: Vec<Value> = (1..=spec.params.commands).map(Value::new).collect();
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 SlotEngine::new(
                     cfg,
                     chain.signer(p),

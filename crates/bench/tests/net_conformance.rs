@@ -1,0 +1,38 @@
+//! The two-backend conformance gate (CI job `net-smoke`).
+//!
+//! Every registered scenario family runs on the deterministic simulator
+//! AND on `gcl_net`'s thread-per-party wall-clock runtime, from the same
+//! wall-safe spec, and must commit the same value. The suite's hard wall
+//! ceiling is the regression gate for the net runtime's early-termination
+//! protocol: each cell runs against a 2 s deadline, so ~15 families only
+//! fit under the ceiling if honest termination exits every run early
+//! (the pre-fix runtime slept each run's full budget unconditionally).
+
+use gcl_bench::conformance::conformance_cells;
+use std::time::{Duration, Instant};
+
+#[test]
+fn every_family_commits_the_same_value_on_both_backends() {
+    let started = Instant::now();
+    let cells = conformance_cells(Duration::from_secs(2));
+    assert!(
+        cells.len() >= 15,
+        "expected the full family catalog, got {}",
+        cells.len()
+    );
+    for cell in &cells {
+        assert!(
+            cell.sim_value.is_some(),
+            "{}: the honest good case must commit on the simulator",
+            cell.family
+        );
+        assert!(cell.holds(), "backend divergence: {}", cell.describe());
+    }
+    let wall = started.elapsed();
+    assert!(
+        wall < Duration::from_secs(30),
+        "net conformance took {wall:?}; with early termination working, \
+         ~15 good-case runs must finish far below the 30 s ceiling \
+         (sleep-to-deadline would need >30 s on its own)"
+    );
+}

@@ -27,10 +27,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::Brb,
         ValidityMode::Broadcast,
         ScenarioSpec::asynchronous("brb2", 4, 1).with_seed(200),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 TwoRoundBrb::new(
                     cfg,
                     chain.signer(p),
@@ -47,9 +47,11 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::Brb,
         ValidityMode::Broadcast,
         ScenarioSpec::asynchronous("bracha", 4, 1),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
-            spec.run_protocol(|p| BrachaBrb::new(cfg, p, spec.broadcaster, spec.input_for(p)))
+            spec.run_protocol_on(backend, |p| {
+                BrachaBrb::new(cfg, p, spec.broadcaster, spec.input_for(p))
+            })
         },
     );
 }

@@ -26,10 +26,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         ScenarioSpec::lockstep("bb_majority", 4, 2, Duration::from_micros(1_000))
             .with_seed(207)
             .with_adversary(AdversaryMix::TrailingSilent { count: u32::MAX }),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 BbMajority::new(
                     cfg,
                     chain.signer(p),

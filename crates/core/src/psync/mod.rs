@@ -31,10 +31,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::TwoRoundPsync,
         ValidityMode::Broadcast,
         ScenarioSpec::psync("vbb5f1", 4, 1).with_seed(201),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 VbbFiveFMinusOne::new(
                     cfg,
                     chain.signer(p),
@@ -52,10 +52,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::Brb,
         ValidityMode::Broadcast,
         ScenarioSpec::psync("pbft3", 4, 1).with_seed(202),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 PbftPsyncVbb::new(
                     cfg,
                     chain.signer(p),

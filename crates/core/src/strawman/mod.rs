@@ -42,9 +42,11 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::Brb,
         ValidityMode::Broadcast,
         ScenarioSpec::asynchronous("one_round_brb", 4, 1),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
-            spec.run_protocol(|p| OneRoundBrb::new(cfg, p, spec.broadcaster, spec.input_for(p)))
+            spec.run_protocol_on(backend, |p| {
+                OneRoundBrb::new(cfg, p, spec.broadcaster, spec.input_for(p))
+            })
         },
     );
     reg.register_fn(
@@ -53,10 +55,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::Brb,
         ValidityMode::Broadcast,
         ScenarioSpec::psync("fab2", 8, 2).with_seed(212),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 FabTwoRound::new(
                     cfg,
                     chain.signer(p),
@@ -73,10 +75,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::ExactThird,
         ValidityMode::Broadcast,
         ScenarioSpec::synchronous("early_commit_bb", 3, 1).with_seed(213),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 EarlyCommitBb::new(
                     cfg,
                     chain.signer(p),

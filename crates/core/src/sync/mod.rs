@@ -44,10 +44,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::UnderThird,
         ValidityMode::Broadcast,
         ScenarioSpec::synchronous("bb_2delta", 4, 1).with_seed(203),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 TwoDeltaBb::new(
                     cfg,
                     chain.signer(p),
@@ -65,10 +65,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::ExactThird,
         ValidityMode::Broadcast,
         ScenarioSpec::synchronous("bb_third", 3, 1).with_seed(204),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 ThirdBb::new(
                     cfg,
                     chain.signer(p),
@@ -86,10 +86,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         Admission::ThirdToHalf,
         ValidityMode::Broadcast,
         ScenarioSpec::synchronous("bb_sync_start", 5, 2).with_seed(205),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 SyncStartBb::new(
                     cfg,
                     chain.signer(p),
@@ -109,10 +109,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         ScenarioSpec::synchronous("bb_unsync", 5, 2)
             .with_seed(206)
             .with_skew(SkewChoice::OddHalfDelta),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 UnsyncBb::new(
                     cfg,
                     chain.signer(p),
@@ -133,10 +133,10 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
         ScenarioSpec::lockstep("dolev_strong", 16, 5, Duration::from_micros(100))
             .with_seed(220)
             .with_input(Value::new(7)),
-        |spec| {
+        |spec, backend| {
             let cfg = spec.config().expect("validated");
             let chain = Keychain::generate(spec.n, spec.seed);
-            spec.run_protocol(|p| {
+            spec.run_protocol_on(backend, |p| {
                 DolevStrongBb::new(
                     cfg,
                     chain.signer(p),

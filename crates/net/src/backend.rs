@@ -1,0 +1,251 @@
+//! The wall-clock execution backend for the scenario registry.
+//!
+//! [`NetBackend`] implements [`gcl_sim::Backend`], which makes `gcl_net` a
+//! first-class execution target for **every** registered scenario family:
+//! `registry.run_on(&spec, &NetBackend::new())` runs the same spec the
+//! simulator runs — same protocol constructors, same adversary
+//! population, same audits — over real OS threads and wall clocks.
+//!
+//! The spec maps onto the thread engine as follows:
+//!
+//! * **δ / jitter** — [`ScenarioSpec::link_delays`] becomes the injected
+//!   per-link wall latency matrix (microseconds are interpreted as real
+//!   microseconds): fixed δ on every link, or seeded per-link uniform
+//!   draws, clamped to the timing model's honest bound.
+//! * **Skew** — [`ScenarioSpec::skew_schedule`] becomes per-party thread
+//!   start offsets; a late party's messages buffer in its channel until
+//!   its local clock starts, as in the simulator.
+//! * **Adversary mix** — the registry hands this backend the same
+//!   pre-wrapped slots the simulator would spawn: silent slots run a mute
+//!   thread, crashing slots run the honest code until their seeded budget
+//!   expires and then ignore every event (a mid-run-killed party).
+//! * **Deadline** — [`NetBackend::deadline`] bounds each run; honest
+//!   termination exits early, so good-case runs return in milliseconds.
+//!
+//! The returned [`Outcome`] supports the same agreement/validity audits as
+//! a simulated one. Interpret its *latency* numbers as wall-clock
+//! measurements (thread spawn, scheduler jitter and channel overhead are
+//! all in there) — for the paper's exact δ/Δ tables, trust the simulator;
+//! for evidence the protocols survive real concurrency and real clocks,
+//! trust this backend.
+
+use crate::runtime::{run_slots, EnginePlan};
+use gcl_sim::{
+    Backend, CommitRecord, ErasedMsg, ErasedSlot, Outcome, OutcomeParts, ScenarioError,
+    ScenarioRegistry, ScenarioSpec,
+};
+use gcl_types::{GlobalTime, LocalTime, PartyId};
+use std::time::Duration;
+
+/// Converts a simulated duration (integer µs) to a wall-clock one.
+fn wall(d: gcl_types::Duration) -> Duration {
+    Duration::from_micros(d.as_micros())
+}
+
+/// Truncates a wall-clock duration back to integer microseconds.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Runs registry scenarios over threads and wall clocks. See the
+/// [module docs](self) for the spec-to-environment mapping.
+///
+/// # Examples
+///
+/// ```
+/// use gcl_net::NetBackend;
+/// use gcl_types::Duration;
+///
+/// let reg = gcl_core::registry();
+/// // Millisecond-scale bounds: wall-clock noise is tiny next to them.
+/// let spec = reg
+///     .spec("brb2")
+///     .unwrap()
+///     .with_bounds(Duration::from_millis(2), Duration::from_millis(20));
+/// let outcome = NetBackend::new().run(&reg, &spec).unwrap();
+/// assert!(outcome.agreement_holds());
+/// assert_eq!(outcome.committed_value(), Some(spec.input));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NetBackend {
+    deadline: Duration,
+}
+
+impl NetBackend {
+    /// A backend with the default 2-second per-run deadline.
+    pub const fn new() -> Self {
+        NetBackend {
+            deadline: Duration::from_secs(2),
+        }
+    }
+
+    /// Replaces the per-run wall-clock deadline. Honest termination exits
+    /// earlier; the deadline only caps runs where some honest party never
+    /// terminates.
+    #[must_use]
+    pub const fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Convenience: validate and run one spec through a registry on this
+    /// backend (`registry.run_on(spec, self)`).
+    ///
+    /// # Errors
+    ///
+    /// Everything `ScenarioRegistry::validate` rejects.
+    pub fn run(
+        &self,
+        registry: &ScenarioRegistry,
+        spec: &ScenarioSpec,
+    ) -> Result<Outcome, ScenarioError> {
+        registry.run_on(spec, self)
+    }
+}
+
+impl Default for NetBackend {
+    fn default() -> Self {
+        NetBackend::new()
+    }
+}
+
+impl Backend for NetBackend {
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    fn execute(&self, spec: &ScenarioSpec, slots: Vec<ErasedSlot>) -> Outcome {
+        let config = spec.config().expect("validated by the registry");
+        let n = config.n();
+        let skew = spec.skew_schedule();
+        let raw = run_slots::<ErasedMsg>(
+            EnginePlan {
+                config,
+                links: spec.link_delays().into_iter().map(wall).collect(),
+                starts: (0..n)
+                    .map(|i| {
+                        wall(
+                            skew.start_of(PartyId::new(i as u32))
+                                .since(GlobalTime::ZERO),
+                        )
+                    })
+                    .collect(),
+                deadline: self.deadline,
+            },
+            slots.into_iter().map(|s| (s.strategy, s.honest)).collect(),
+        );
+        // The Outcome keeps each party's first commit (the simulator's
+        // contract); the raw multi-commit stream stays an engine-level
+        // observation.
+        let commits = raw
+            .commits
+            .iter()
+            .filter(|c| c.first)
+            .map(|c| CommitRecord {
+                party: c.party,
+                value: c.value,
+                global: GlobalTime::from_micros(micros(c.elapsed)),
+                local: LocalTime::from_micros(micros(c.local)),
+                round: c.round,
+                step: c.step,
+            })
+            .collect();
+        Outcome::from(OutcomeParts {
+            config,
+            honest: raw.honest,
+            commits,
+            terminated: raw.terminated,
+            broadcaster: spec.broadcaster,
+            broadcaster_start: skew.start_of(spec.broadcaster),
+            end_time: GlobalTime::from_micros(micros(raw.elapsed)),
+            events_processed: raw.events_handled,
+            messages_sent: raw.messages_sent,
+            peak_queue_depth: raw.peak_queue,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_sim::{AdversaryMix, SkewChoice};
+    use gcl_types::Duration as SimDuration;
+
+    /// Wall-safe bounds: δ' = 2 ms links, Δ' = 20 ms timers — protocol
+    /// timeouts (≥ 4Δ) then dwarf thread-scheduling noise.
+    fn brb_spec() -> ScenarioSpec {
+        gcl_core::registry()
+            .spec("brb2")
+            .unwrap()
+            .with_bounds(SimDuration::from_millis(2), SimDuration::from_millis(20))
+    }
+
+    #[test]
+    fn brb_family_runs_on_net_backend() {
+        let reg = gcl_core::registry();
+        let spec = brb_spec();
+        let o = NetBackend::new().run(&reg, &spec).unwrap();
+        assert!(o.agreement_holds());
+        assert!(o.all_honest_committed());
+        assert!(o.all_honest_terminated());
+        assert_eq!(o.committed_value(), Some(spec.input));
+        assert!(o.messages_sent() > 0);
+        assert!(o.events_processed() > 0);
+        // Wall latency is noisy but must at least cover the two injected
+        // 2 ms hops of the good case.
+        let lat = o.good_case_latency().expect("all committed");
+        assert!(lat >= SimDuration::from_millis(4), "latency {lat}");
+        // Round accounting carries over: causal tags put the commit in
+        // round 2, exactly the simulator's (and the paper's) good case.
+        assert_eq!(o.good_case_rounds(), Some(2));
+    }
+
+    #[test]
+    fn net_backend_honors_adversary_and_skew() {
+        let reg = gcl_core::registry();
+        let spec = brb_spec()
+            .with_adversary(AdversaryMix::TrailingSilent { count: 1 })
+            .with_skew(SkewChoice::OddHalfDelta);
+        let o = NetBackend::new().run(&reg, &spec).unwrap();
+        assert!(!o.is_honest(PartyId::new(3)), "trailing slot is Byzantine");
+        assert!(
+            o.commit_of(PartyId::new(3)).is_none(),
+            "silent never commits"
+        );
+        assert!(o.agreement_holds());
+        assert!(o.all_honest_committed(), "f = 1 silence is tolerated");
+        assert_eq!(o.committed_value(), Some(spec.input));
+    }
+
+    #[test]
+    fn inadmissible_spec_rejected_before_spawning_threads() {
+        let reg = gcl_core::registry();
+        let spec = brb_spec().with_shape(4, 2);
+        assert!(NetBackend::new().run(&reg, &spec).is_err());
+    }
+
+    #[test]
+    fn deadline_caps_a_run_that_cannot_terminate() {
+        // Crash the broadcaster before it proposes: honest parties wait
+        // forever, so the run must return at the deadline with no commits —
+        // and not hang.
+        let reg = gcl_core::registry();
+        let spec = brb_spec().with_adversary(AdversaryMix::CrashAt {
+            party: PartyId::new(0),
+            handled: 0,
+        });
+        let started = std::time::Instant::now();
+        let o = NetBackend::new()
+            .deadline(Duration::from_millis(200))
+            .run(&reg, &spec)
+            .unwrap();
+        assert!(o.commits().is_empty());
+        assert!(!o.all_honest_terminated());
+        let wall = started.elapsed();
+        assert!(
+            wall >= Duration::from_millis(200),
+            "waited out the deadline"
+        );
+        assert!(wall < Duration::from_secs(5), "but not much longer");
+    }
+}

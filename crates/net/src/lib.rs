@@ -1,16 +1,53 @@
 //! A real (non-simulated) runtime: every party is an OS thread, links are
 //! channels with injected latency, clocks are wall clocks.
 //!
-//! The protocols in `gcl-core` are written against [`gcl_sim::Context`] and
-//! run **unmodified** here — demonstrating they are not simulator-bound.
-//! The runtime implements the same semantics: local clocks start at thread
-//! spawn, timers fire on the wall clock, `multicast` includes the sender.
+//! # The two-backend architecture
 //!
-//! This runtime is for demonstration and integration testing (examples,
-//! smoke tests); latency *measurements* for the paper's tables use the
-//! deterministic simulator, where δ and Δ are exact.
+//! The workspace has two execution targets behind one scenario layer:
+//!
+//! * **`gcl_sim`** — the deterministic discrete-event simulator. δ and Δ
+//!   are exact, executions replay bit-for-bit, and a million-event run
+//!   costs milliseconds. Every *measured* number in the paper tables
+//!   (Table 1, Figure 8, the throughput trajectory) comes from here.
+//! * **`gcl_net`** (this crate) — threads, channels and wall clocks. The
+//!   protocols in `gcl-core` are written against [`gcl_sim::Context`] and
+//!   run **unmodified** here, demonstrating they are not simulator-bound:
+//!   real concurrency, real message races, real timer drift.
+//!
+//! [`NetBackend`] implements [`gcl_sim::Backend`], so any
+//! [`gcl_sim::ScenarioSpec`] admitted by a
+//! [`gcl_sim::ScenarioRegistry`] runs on either target:
+//!
+//! ```text
+//! registry.run(&spec)                      // simulator (exact, fast)
+//! registry.run_on(&spec, &NetBackend::new()) // threads + wall clocks
+//! ```
+//!
+//! The spec's δ/jitter become injected per-link latencies, its skew
+//! schedule becomes per-thread start offsets, and its adversary mix
+//! becomes muted or mid-run-crashing party threads. Outcomes convert to
+//! the same [`gcl_sim::Outcome`] audits (agreement, validity, commits) the
+//! simulator reports, which is what the workspace's `net_conformance`
+//! suite checks: every registered family commits the same value on both
+//! backends.
+//!
+//! **When to trust which numbers:** wall-clock latencies from this crate
+//! include thread spawn, scheduler jitter and channel overhead — treat
+//! them as *evidence of liveness under real concurrency*, not as
+//! measurements of δ-bounds. Pick spec bounds well above scheduler noise
+//! (milliseconds, not the simulator's canonical 100 µs) so protocol
+//! timeouts (≥ 4Δ) stay far from spurious firing. For exact good-case
+//! latency claims — `2δ` vs `3δ` vs `Δ + 1.5δ` — use the simulator, where
+//! those quantities are the model, not an estimate.
+//!
+//! Runs exit as soon as every honest party terminates; the wall-clock
+//! budget passed to [`NetRuntime::run_for`] (or
+//! [`NetBackend::deadline`]) is only the fallback horizon for executions
+//! where some honest party never can.
 //!
 //! # Examples
+//!
+//! The typed demo API, for running one protocol directly:
 //!
 //! ```
 //! use gcl_core::asynchrony::TwoRoundBrb;
@@ -23,7 +60,8 @@
 //! let chain = Keychain::generate(4, 33);
 //! let outcome = NetRuntime::new(cfg)
 //!     .link_latency(Duration::from_millis(1))
-//!     .run_for(Duration::from_millis(300), |p| {
+//!     // A deadline, not a sentence: the run returns in a few ms.
+//!     .run_for(Duration::from_secs(5), |p| {
 //!         TwoRoundBrb::new(
 //!             cfg, chain.signer(p), chain.pki(), PartyId::new(0),
 //!             (p == PartyId::new(0)).then_some(Value::new(5)),
@@ -33,10 +71,15 @@
 //! assert_eq!(outcome.committed_value(), Some(Value::new(5)));
 //! # Ok::<(), gcl_types::ConfigError>(())
 //! ```
+//!
+//! The registry path, for running any registered family (see
+//! [`NetBackend`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod runtime;
 
+pub use backend::NetBackend;
 pub use runtime::{NetCommit, NetOutcome, NetRuntime};

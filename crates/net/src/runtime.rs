@@ -1,10 +1,33 @@
 //! Threads + channels + wall clocks.
+//!
+//! One engine ([`run_slots`]) drives both public entry points: the typed
+//! [`NetRuntime`] demo API and the registry-facing
+//! [`NetBackend`](crate::NetBackend). Every party is an OS thread; a
+//! dispatcher thread owns a min-heap of future deliveries (per-link
+//! injected latency) and timer expiries. Three properties are load-bearing
+//! and covered by unit tests here:
+//!
+//! * **Early termination.** Party threads signal a completion channel when
+//!   their strategy terminates; the engine stops as soon as every *honest*
+//!   party has terminated. The wall-clock budget is a deadline, not a
+//!   sentence — a good-case 4-party broadcast over 1 ms links returns in
+//!   single-digit milliseconds even with a multi-second budget.
+//! * **Shared-payload multicast.** [`NetCtx`] overrides
+//!   [`Context::multicast`]: an n-way fan-out allocates the payload once
+//!   behind an `Arc` and the n in-flight deliveries share it, cloning
+//!   lazily at delivery (the last copy unwraps). This mirrors the
+//!   simulator's `Rc` fast path — `Arc` because deliveries cross threads.
+//! * **Stable delivery ties.** The dispatcher stamps every submission with
+//!   a dispatcher-global sequence number on receipt, so heap ties at one
+//!   instant pop in arrival order instead of racing two parties' private
+//!   counters against each other.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use gcl_sim::{Context, Protocol};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use gcl_sim::{Context, Protocol, Strategy};
 use gcl_types::{Config, Duration as SimDuration, LocalTime, PartyId, Value};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
+use std::fmt;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -21,6 +44,14 @@ pub struct NetCommit {
 }
 
 /// Everything observable after a threaded run.
+///
+/// [`NetOutcome::commits`] is the **raw commit stream**: every `commit`
+/// call of every party, in wall-clock order — multi-commit workloads (the
+/// SMR engine's per-replica log digests, diagnostics) are visible here.
+/// The audit accessors ([`NetOutcome::agreement_holds`],
+/// [`NetOutcome::committed_value`], [`NetOutcome::latency`]) follow the
+/// [`Context::commit`] contract and judge each party by its *first*
+/// commit, exactly as the simulator does.
 #[derive(Debug)]
 pub struct NetOutcome {
     commits: Vec<NetCommit>,
@@ -28,15 +59,33 @@ pub struct NetOutcome {
 }
 
 impl NetOutcome {
-    /// All commits in commit order.
+    pub(crate) fn new(commits: Vec<NetCommit>, n: usize) -> Self {
+        NetOutcome { commits, n }
+    }
+
+    /// All commits in wall-clock order (every call, not just the first per
+    /// party).
     pub fn commits(&self) -> &[NetCommit] {
         &self.commits
     }
 
-    /// No two parties committed different values.
+    /// Each party's first commit, in wall-clock order.
+    pub fn first_commits(&self) -> Vec<&NetCommit> {
+        let mut seen = vec![false; self.n];
+        let mut firsts = Vec::new();
+        for c in &self.commits {
+            if !seen[c.party.as_usize()] {
+                seen[c.party.as_usize()] = true;
+                firsts.push(c);
+            }
+        }
+        firsts
+    }
+
+    /// No two parties' (first) commits disagree.
     pub fn agreement_holds(&self) -> bool {
         let mut first = None;
-        for c in &self.commits {
+        for c in self.first_commits() {
             match first {
                 None => first = Some(c.value),
                 Some(v) if v != c.value => return false,
@@ -51,33 +100,69 @@ impl NetOutcome {
         if !self.agreement_holds() {
             return None;
         }
-        self.commits.first().map(|c| c.value)
+        self.first_commits().first().map(|c| c.value)
     }
 
     /// Whether every party committed.
     pub fn all_committed(&self) -> bool {
-        let mut seen = vec![false; self.n];
-        for c in &self.commits {
-            seen[c.party.as_usize()] = true;
-        }
-        seen.iter().all(|s| *s)
+        self.first_commits().len() == self.n
     }
 
-    /// Time from start to the last commit, if all committed.
+    /// Time from start to the last first-commit, if all committed.
     pub fn latency(&self) -> Option<Duration> {
         if !self.all_committed() {
             return None;
         }
-        self.commits.iter().map(|c| c.elapsed).max()
+        self.first_commits().iter().map(|c| c.elapsed).max()
+    }
+}
+
+/// A delivery payload. Multicasts share one `Arc`-backed allocation across
+/// all `n` in-flight copies; unicasts and timer-free self-sends stay
+/// inline. Mirrors the simulator's `Rc` payload — atomic because the net
+/// runtime's deliveries cross threads.
+pub(crate) enum NetPayload<M> {
+    /// The sole in-flight copy.
+    Owned(M),
+    /// One of the in-flight copies of a multicast.
+    Shared(Arc<M>),
+}
+
+impl<M: Clone> NetPayload<M> {
+    /// By-value extraction at delivery: inline payloads move, the last
+    /// in-flight copy of a multicast unwraps for free, earlier ones clone
+    /// lazily.
+    pub(crate) fn into_msg(self) -> M {
+        match self {
+            NetPayload::Owned(m) => m,
+            NetPayload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
     }
 }
 
 enum Event<M> {
-    Msg(PartyId, M),
+    Msg {
+        from: PartyId,
+        /// Causal-depth round tag, as in the simulator.
+        round: u32,
+        payload: NetPayload<M>,
+    },
     Timer(u64),
     Stop,
 }
 
+/// A delivery request as submitted by a party thread. The dispatcher
+/// stamps the global tiebreak sequence on receipt — party threads carry no
+/// ordering state of their own.
+struct Submit<M> {
+    due: Instant,
+    to: PartyId,
+    event: Event<M>,
+}
+
+/// A heap entry: min-order on `(due, seq)` with `seq` dispatcher-global,
+/// so ties at one instant pop in arrival order (stable replay under zero
+/// injected latency).
 struct Scheduled<M> {
     due: Instant,
     seq: u64,
@@ -93,6 +178,7 @@ impl<M> PartialEq for Scheduled<M> {
 impl<M> Eq for Scheduled<M> {}
 impl<M> Ord for Scheduled<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
         other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
     }
 }
@@ -102,7 +188,327 @@ impl<M> PartialOrd for Scheduled<M> {
     }
 }
 
-/// The threaded runtime.
+/// Everything the engine needs to know about the environment of one run.
+pub(crate) struct EnginePlan {
+    pub config: Config,
+    /// Injected wall latency per `(from, to)` link, `from * n + to`
+    /// indexing, zero on the diagonal.
+    pub links: Vec<Duration>,
+    /// Per-party protocol start offsets (wall-clock skew schedule).
+    pub starts: Vec<Duration>,
+    /// Hard wall-clock budget; honest termination exits earlier.
+    pub deadline: Duration,
+}
+
+/// One commit as recorded by the engine (all commits, not just firsts).
+pub(crate) struct RawCommit {
+    pub party: PartyId,
+    pub value: Value,
+    /// Since engine start.
+    pub elapsed: Duration,
+    /// Since the party's own start.
+    pub local: Duration,
+    /// Causal round tag at the commit (1 + max delivered round).
+    pub round: u32,
+    /// The party's handled-event count at the commit.
+    pub step: u64,
+    /// Whether this is the party's first commit.
+    pub first: bool,
+}
+
+/// Raw observations of one engine run.
+pub(crate) struct RawRun {
+    pub commits: Vec<RawCommit>,
+    pub terminated: Vec<bool>,
+    pub honest: Vec<bool>,
+    /// Handler invocations summed over all parties.
+    pub events_handled: u64,
+    /// Point-to-point messages scheduled (multicast counts `n`).
+    pub messages_sent: u64,
+    /// High-water mark of the dispatcher heap.
+    pub peak_queue: usize,
+    /// Wall time from engine start to shutdown.
+    pub elapsed: Duration,
+}
+
+/// How long the dispatcher sleeps when it has nothing scheduled, and how
+/// long party threads wait per `recv` poll. Pure wake-up granularity — a
+/// submission or a stop interrupts either immediately via the channel.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Spawns one thread per slot plus a dispatcher, runs until every honest
+/// slot terminates or the deadline passes, and collects the observations.
+pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
+    plan: EnginePlan,
+    slots: Vec<(Box<dyn Strategy<M>>, bool)>,
+) -> RawRun {
+    let n = plan.config.n();
+    assert_eq!(slots.len(), n, "one slot per party");
+    assert_eq!(plan.links.len(), n * n, "full link matrix");
+    assert_eq!(plan.starts.len(), n, "one start offset per party");
+    let honest: Vec<bool> = slots.iter().map(|(_, h)| *h).collect();
+    let epoch = Instant::now();
+    let commits: Arc<Mutex<Vec<RawCommit>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Parties submit future deliveries here; the dispatcher stamps the
+    // global tiebreak sequence and owns the clock-ordered heap.
+    let (sched_tx, sched_rx) = unbounded::<Submit<M>>();
+    let (done_tx, done_rx) = unbounded::<()>();
+    let mut party_txs: Vec<Sender<Event<M>>> = Vec::with_capacity(n);
+    let mut party_rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        party_txs.push(tx);
+        party_rxs.push(rx);
+    }
+
+    let dispatcher_txs = party_txs.clone();
+    let dispatcher = thread::spawn(move || {
+        let mut heap: BinaryHeap<Scheduled<M>> = BinaryHeap::new();
+        let mut next_seq: u64 = 0;
+        let mut messages: u64 = 0;
+        let mut peak: usize = 0;
+        loop {
+            let timeout = heap
+                .peek()
+                .map(|s| s.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(IDLE_POLL);
+            match sched_rx.recv_timeout(timeout) {
+                Ok(sub) => {
+                    if matches!(sub.event, Event::Stop) {
+                        // Propagate stop to every party and exit; events
+                        // still in the heap are past the run's horizon.
+                        for tx in &dispatcher_txs {
+                            let _ = tx.send(Event::Stop);
+                        }
+                        return (messages, peak);
+                    }
+                    if matches!(sub.event, Event::Msg { .. }) {
+                        messages += 1;
+                    }
+                    heap.push(Scheduled {
+                        due: sub.due,
+                        seq: next_seq,
+                        to: sub.to,
+                        event: sub.event,
+                    });
+                    next_seq += 1;
+                    peak = peak.max(heap.len());
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return (messages, peak),
+            }
+            while heap.peek().is_some_and(|s| s.due <= Instant::now()) {
+                let s = heap.pop().expect("peeked");
+                let _ = dispatcher_txs[s.to.as_usize()].send(s.event);
+            }
+        }
+    });
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, ((mut strategy, is_honest), rx)) in slots.into_iter().zip(party_rxs).enumerate() {
+        let me = PartyId::new(i as u32);
+        let config = plan.config;
+        let start_offset = plan.starts[i];
+        let links: Vec<Duration> = plan.links[i * n..(i + 1) * n].to_vec();
+        let sched = sched_tx.clone();
+        let done = done_tx.clone();
+        let commits = Arc::clone(&commits);
+        handles.push(thread::spawn(move || {
+            // Wall-clock skew: messages arriving before the start buffer in
+            // the channel; the local clock begins after the offset.
+            if !start_offset.is_zero() {
+                thread::sleep(start_offset);
+            }
+            let local_start = Instant::now();
+            let mut max_round: Option<u32> = None;
+            let mut handled: u64 = 0;
+            let mut committed = false;
+            let run = |strategy: &mut Box<dyn Strategy<M>>,
+                       ev: Option<Event<M>>,
+                       max_round: &mut Option<u32>,
+                       handled: &mut u64,
+                       committed: &mut bool|
+             -> bool {
+                *handled += 1;
+                let mut ctx = NetCtx {
+                    me,
+                    config,
+                    now: LocalTime::from_micros(local_start.elapsed().as_micros() as u64),
+                    sends: Vec::new(),
+                    mcasts: Vec::new(),
+                    timers: Vec::new(),
+                    commit_values: Vec::new(),
+                    terminate: false,
+                };
+                match ev {
+                    None => strategy.start(&mut ctx),
+                    Some(Event::Msg {
+                        from,
+                        round,
+                        payload,
+                    }) => {
+                        *max_round = Some(max_round.map_or(round, |r| r.max(round)));
+                        strategy.on_message(from, payload.into_msg(), &mut ctx);
+                    }
+                    Some(Event::Timer(tag)) => strategy.on_timer(tag, &mut ctx),
+                    // Stop never reaches a handler: both call sites
+                    // intercept it, and treating it as termination here
+                    // would corrupt the honest-done count.
+                    Some(Event::Stop) => unreachable!("Stop is intercepted before dispatch"),
+                }
+                let out_round = max_round.map_or(0, |r| r + 1);
+                if !ctx.commit_values.is_empty() {
+                    let elapsed = epoch.elapsed();
+                    let local = local_start.elapsed();
+                    let mut log = commits.lock();
+                    for value in ctx.commit_values {
+                        log.push(RawCommit {
+                            party: me,
+                            value,
+                            elapsed,
+                            local,
+                            round: out_round,
+                            step: *handled,
+                            first: !*committed,
+                        });
+                        *committed = true;
+                    }
+                }
+                for (to, msg) in ctx.sends {
+                    let _ = sched.send(Submit {
+                        due: Instant::now() + links[to.as_usize()],
+                        to,
+                        event: Event::Msg {
+                            from: me,
+                            round: out_round,
+                            payload: NetPayload::Owned(msg),
+                        },
+                    });
+                }
+                for (skip, msg) in ctx.mcasts {
+                    // Fast path: one payload allocation, n pointer bumps,
+                    // destinations in id order (the default multicast
+                    // order).
+                    let shared = Arc::new(msg);
+                    for t in 0..n as u32 {
+                        let to = PartyId::new(t);
+                        if Some(to) == skip {
+                            continue;
+                        }
+                        let _ = sched.send(Submit {
+                            due: Instant::now() + links[to.as_usize()],
+                            to,
+                            event: Event::Msg {
+                                from: me,
+                                round: out_round,
+                                payload: NetPayload::Shared(Arc::clone(&shared)),
+                            },
+                        });
+                    }
+                }
+                for (delay, tag) in ctx.timers {
+                    let _ = sched.send(Submit {
+                        due: Instant::now() + Duration::from_micros(delay.as_micros()),
+                        to: me,
+                        event: Event::Timer(tag),
+                    });
+                }
+                ctx.terminate
+            };
+
+            let finish = |handled: u64| {
+                if is_honest {
+                    let _ = done.send(());
+                }
+                (true, handled)
+            };
+            if run(
+                &mut strategy,
+                None,
+                &mut max_round,
+                &mut handled,
+                &mut committed,
+            ) {
+                return finish(handled);
+            }
+            loop {
+                match rx.recv_timeout(IDLE_POLL) {
+                    Ok(Event::Stop) => return (false, handled),
+                    Ok(ev) => {
+                        if run(
+                            &mut strategy,
+                            Some(ev),
+                            &mut max_round,
+                            &mut handled,
+                            &mut committed,
+                        ) {
+                            return finish(handled);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return (false, handled),
+                }
+            }
+        }));
+    }
+    drop(done_tx);
+
+    // Early-exit protocol: every honest party reports termination on the
+    // completion channel; `deadline` is only the fallback horizon for runs
+    // where some honest party never terminates (adversarial schedules).
+    let deadline_at = epoch + plan.deadline;
+    let mut remaining = honest.iter().filter(|h| **h).count();
+    while remaining > 0 {
+        let left = deadline_at.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        match done_rx.recv_timeout(left) {
+            Ok(()) => remaining -= 1,
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    let _ = sched_tx.send(Submit {
+        due: Instant::now(),
+        to: PartyId::new(0),
+        event: Event::Stop,
+    });
+    let mut terminated = vec![false; n];
+    let mut events_handled: u64 = 0;
+    for (i, h) in handles.into_iter().enumerate() {
+        // Propagate a party-thread panic (a crashed protocol handler)
+        // instead of misreporting it as "party never terminated" — the
+        // remaining threads have already been sent Stop and exit on their
+        // own.
+        let (t, handled) = match h.join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        terminated[i] = t;
+        events_handled += handled;
+    }
+    drop(sched_tx);
+    let (messages_sent, peak_queue) = dispatcher.join().unwrap_or((0, 0));
+
+    let mut collected = std::mem::take(&mut *commits.lock());
+    collected.sort_by_key(|c| c.elapsed);
+    RawRun {
+        commits: collected,
+        terminated,
+        honest,
+        events_handled,
+        messages_sent,
+        peak_queue,
+        elapsed: epoch.elapsed(),
+    }
+}
+
+/// The threaded runtime: the typed, fixed-latency entry point for demos
+/// and tests. For registry scenarios use
+/// [`NetBackend`](crate::NetBackend), which derives link latencies, skew
+/// and the adversary population from a `ScenarioSpec`.
 #[derive(Debug)]
 pub struct NetRuntime {
     config: Config,
@@ -125,165 +531,61 @@ impl NetRuntime {
         self
     }
 
-    /// Spawns one thread per party running `make(party)`, lets the system
-    /// run for `duration` of wall-clock time (or until every party
-    /// terminates), and collects the commits.
+    /// Spawns one thread per party running `make(party)` and collects the
+    /// commits. `duration` is a **deadline**, not a sentence: the run
+    /// returns as soon as every party terminates, and only an execution
+    /// where someone never terminates burns the whole budget.
     pub fn run_for<P, F>(self, duration: Duration, mut make: F) -> NetOutcome
     where
         P: Protocol,
         F: FnMut(PartyId) -> P,
     {
         let n = self.config.n();
-        let start = Instant::now();
-        let commits: Arc<Mutex<Vec<NetCommit>>> = Arc::new(Mutex::new(Vec::new()));
-
-        // Dispatcher: a min-heap of scheduled deliveries, fed by a channel.
-        let (sched_tx, sched_rx) = unbounded::<Scheduled<P::Msg>>();
-        let mut party_txs: Vec<Sender<Event<P::Msg>>> = Vec::with_capacity(n);
-        let mut party_rxs: Vec<Receiver<Event<P::Msg>>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            party_txs.push(tx);
-            party_rxs.push(rx);
-        }
-
-        let dispatcher_txs = party_txs.clone();
-        let dispatcher = thread::spawn(move || {
-            let mut heap: BinaryHeap<Scheduled<P::Msg>> = BinaryHeap::new();
-            loop {
-                let timeout = heap
-                    .peek()
-                    .map(|s| s.due.saturating_duration_since(Instant::now()))
-                    .unwrap_or(Duration::from_millis(50));
-                match sched_rx.recv_timeout(timeout) {
-                    Ok(s) => {
-                        if matches!(s.event, Event::Stop) {
-                            // Propagate stop to every party and exit.
-                            for tx in &dispatcher_txs {
-                                let _ = tx.send(Event::Stop);
-                            }
-                            return;
-                        }
-                        heap.push(s);
-                    }
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-                while heap.peek().is_some_and(|s| s.due <= Instant::now()) {
-                    let s = heap.pop().expect("peeked");
-                    let _ = dispatcher_txs[s.to.as_usize()].send(s.event);
+        let mut links = vec![Duration::ZERO; n * n];
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    links[from * n + to] = self.link_latency;
                 }
             }
-        });
-
-        let mut handles = Vec::with_capacity(n);
-        for (i, rx) in party_rxs.into_iter().enumerate() {
-            let me = PartyId::new(i as u32);
-            let mut protocol = make(me);
-            let config = self.config;
-            let latency = self.link_latency;
-            let sched = sched_tx.clone();
-            let commits = Arc::clone(&commits);
-            handles.push(thread::spawn(move || {
-                let local_start = Instant::now();
-                let mut seq: u64 = 0;
-                let mut committed = false;
-                let mut run = |proto: &mut P, ev: Option<Event<P::Msg>>| -> bool {
-                    let mut ctx = NetCtx {
-                        me,
-                        config,
-                        now: LocalTime::from_micros(local_start.elapsed().as_micros() as u64),
-                        sends: Vec::new(),
-                        timers: Vec::new(),
-                        commit_values: Vec::new(),
-                        terminate: false,
-                    };
-                    match ev {
-                        None => proto.start(&mut ctx),
-                        Some(Event::Msg(from, m)) => proto.on_message(from, m, &mut ctx),
-                        Some(Event::Timer(tag)) => proto.on_timer(tag, &mut ctx),
-                        Some(Event::Stop) => return true,
-                    }
-                    for v in ctx.commit_values {
-                        if !committed {
-                            committed = true;
-                            commits.lock().push(NetCommit {
-                                party: me,
-                                value: v,
-                                elapsed: start.elapsed(),
-                            });
-                        }
-                    }
-                    for (to, msg) in ctx.sends {
-                        seq += 1;
-                        let due = if to == me {
-                            Instant::now()
-                        } else {
-                            Instant::now() + latency
-                        };
-                        let _ = sched.send(Scheduled {
-                            due,
-                            seq,
-                            to,
-                            event: Event::Msg(me, msg),
-                        });
-                    }
-                    for (delay, tag) in ctx.timers {
-                        seq += 1;
-                        let _ = sched.send(Scheduled {
-                            due: Instant::now() + Duration::from_micros(delay.as_micros()),
-                            seq,
-                            to: me,
-                            event: Event::Timer(tag),
-                        });
-                    }
-                    ctx.terminate
-                };
-                if run(&mut protocol, None) {
-                    return;
-                }
-                loop {
-                    match rx.recv_timeout(Duration::from_millis(100)) {
-                        Ok(Event::Stop) => return,
-                        Ok(ev) => {
-                            if run(&mut protocol, Some(ev)) {
-                                return;
-                            }
-                        }
-                        Err(RecvTimeoutError::Timeout) => {}
-                        Err(RecvTimeoutError::Disconnected) => return,
-                    }
-                }
-            }));
         }
-
-        thread::sleep(duration);
-        let _ = sched_tx.send(Scheduled {
-            due: Instant::now(),
-            seq: u64::MAX,
-            to: PartyId::new(0),
-            event: Event::Stop,
-        });
-        for h in handles {
-            let _ = h.join();
-        }
-        drop(sched_tx);
-        let _ = dispatcher.join();
-
-        let mut collected = commits.lock().clone();
-        collected.sort_by_key(|c| c.elapsed);
-        NetOutcome {
-            commits: collected,
+        let raw = run_slots::<P::Msg>(
+            EnginePlan {
+                config: self.config,
+                links,
+                starts: vec![Duration::ZERO; n],
+                deadline: duration,
+            },
+            (0..n)
+                .map(|i| {
+                    let slot: Box<dyn Strategy<P::Msg>> = Box::new(make(PartyId::new(i as u32)));
+                    (slot, true)
+                })
+                .collect(),
+        );
+        NetOutcome::new(
+            raw.commits
+                .into_iter()
+                .map(|c| NetCommit {
+                    party: c.party,
+                    value: c.value,
+                    elapsed: c.elapsed,
+                })
+                .collect(),
             n,
-        }
+        )
     }
 }
 
+/// The party-side [`Context`] of the net runtime. Effects buffer here and
+/// the party thread drains them after the handler returns; `multicast`
+/// stays one entry (not `n` sends) so the drain can share the payload.
 struct NetCtx<M> {
     me: PartyId,
     config: Config,
     now: LocalTime,
     sends: Vec<(PartyId, M)>,
+    mcasts: Vec<(Option<PartyId>, M)>,
     timers: Vec<(SimDuration, u64)>,
     commit_values: Vec<Value>,
     terminate: bool,
@@ -311,6 +613,18 @@ impl<M> Context<M> for NetCtx<M> {
     fn terminate(&mut self) {
         self.terminate = true;
     }
+    fn multicast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        self.mcasts.push((None, msg));
+    }
+    fn multicast_except(&mut self, msg: M, skip: PartyId)
+    where
+        M: Clone,
+    {
+        self.mcasts.push((Some(skip), msg));
+    }
 }
 
 #[cfg(test)]
@@ -320,14 +634,20 @@ mod tests {
     use gcl_core::psync::VbbFiveFMinusOne;
     use gcl_crypto::Keychain;
     use gcl_types::accept_all;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn brb_over_threads() {
+    fn brb_over_threads_exits_early() {
+        // The early-termination regression gate: 4 parties over 1 ms links
+        // with a 10 *second* budget must return in single-digit
+        // milliseconds (generous 100 ms bound for loaded CI machines). The
+        // pre-fix runtime slept the whole budget unconditionally.
         let cfg = Config::new(4, 1).unwrap();
         let chain = Keychain::generate(4, 140);
+        let started = Instant::now();
         let o = NetRuntime::new(cfg)
             .link_latency(Duration::from_millis(1))
-            .run_for(Duration::from_millis(400), |p| {
+            .run_for(Duration::from_secs(10), |p| {
                 TwoRoundBrb::new(
                     cfg,
                     chain.signer(p),
@@ -336,10 +656,15 @@ mod tests {
                     (p == PartyId::new(0)).then_some(Value::new(9)),
                 )
             });
+        let wall = started.elapsed();
         assert!(o.agreement_holds());
         assert!(o.all_committed(), "commits: {:?}", o.commits());
         assert_eq!(o.committed_value(), Some(Value::new(9)));
         assert!(o.latency().is_some());
+        assert!(
+            wall < Duration::from_millis(100),
+            "early exit regressed: run took {wall:?} against a 10 s deadline"
+        );
     }
 
     #[test]
@@ -364,25 +689,132 @@ mod tests {
     }
 
     #[test]
-    fn outcome_accessors() {
-        let o = NetOutcome {
-            commits: vec![
-                NetCommit {
-                    party: PartyId::new(0),
-                    value: Value::new(1),
-                    elapsed: Duration::from_millis(2),
-                },
-                NetCommit {
-                    party: PartyId::new(1),
-                    value: Value::new(2),
-                    elapsed: Duration::from_millis(3),
-                },
-            ],
-            n: 2,
+    fn outcome_audits_use_first_commit_per_party() {
+        let c = |p: u32, v: u64, ms: u64| NetCommit {
+            party: PartyId::new(p),
+            value: Value::new(v),
+            elapsed: Duration::from_millis(ms),
         };
-        assert!(!o.agreement_holds());
-        assert_eq!(o.committed_value(), None);
+        // Party 0 commits 1 then (multi-commit) 9; party 1 commits 1.
+        let o = NetOutcome::new(vec![c(0, 1, 2), c(1, 1, 3), c(0, 9, 4)], 2);
+        assert_eq!(o.commits().len(), 3, "raw stream keeps every commit");
+        assert_eq!(o.first_commits().len(), 2);
+        assert!(o.agreement_holds(), "the later 9 is not a first commit");
+        assert_eq!(o.committed_value(), Some(Value::new(1)));
         assert!(o.all_committed());
         assert_eq!(o.latency(), Some(Duration::from_millis(3)));
+
+        let disagree = NetOutcome::new(vec![c(0, 1, 2), c(1, 2, 3)], 2);
+        assert!(!disagree.agreement_holds());
+        assert_eq!(disagree.committed_value(), None);
+
+        let partial = NetOutcome::new(vec![c(0, 1, 2)], 2);
+        assert!(!partial.all_committed());
+        assert_eq!(partial.latency(), None);
+    }
+
+    /// A message that counts how many times it is cloned.
+    #[derive(Debug)]
+    struct Counted {
+        tag: u64,
+        clones: Arc<AtomicUsize>,
+    }
+    impl Clone for Counted {
+        fn clone(&self) -> Self {
+            self.clones.fetch_add(1, Ordering::SeqCst);
+            Counted {
+                tag: self.tag,
+                clones: Arc::clone(&self.clones),
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_buffers_one_shared_payload() {
+        let clones = Arc::new(AtomicUsize::new(0));
+        let mut ctx = NetCtx {
+            me: PartyId::new(0),
+            config: Config::new(4, 1).unwrap(),
+            now: LocalTime::ZERO,
+            sends: Vec::new(),
+            mcasts: Vec::new(),
+            timers: Vec::new(),
+            commit_values: Vec::new(),
+            terminate: false,
+        };
+        ctx.multicast(Counted {
+            tag: 7,
+            clones: Arc::clone(&clones),
+        });
+        assert!(ctx.sends.is_empty(), "no per-recipient fan-out at send");
+        assert_eq!(ctx.mcasts.len(), 1, "one buffered multicast entry");
+        assert_eq!(
+            clones.load(Ordering::SeqCst),
+            0,
+            "zero clones at multicast time (the default Context impl would clone n times)"
+        );
+
+        // Fan the payload out the way the drain does — one allocation, n
+        // shared handles — and deliver all four copies: recipients see
+        // equal messages and the payload clones only n − 1 times (the last
+        // in-flight copy unwraps the original allocation).
+        let (_, msg) = ctx.mcasts.pop().unwrap();
+        let shared = Arc::new(msg);
+        let payloads: Vec<NetPayload<Counted>> = (0..4)
+            .map(|_| NetPayload::Shared(Arc::clone(&shared)))
+            .collect();
+        drop(shared);
+        let delivered: Vec<Counted> = payloads.into_iter().map(NetPayload::into_msg).collect();
+        assert!(delivered.iter().all(|m| m.tag == 7), "equal messages");
+        assert_eq!(
+            clones.load(Ordering::SeqCst),
+            3,
+            "n - 1 lazy clones at delivery, one original moved out"
+        );
+    }
+
+    #[test]
+    fn dispatcher_seq_breaks_ties_in_arrival_order() {
+        // Equal `due` instants must pop in stamp order — the
+        // dispatcher-global sequence, not per-party counters.
+        let due = Instant::now();
+        let mut heap: BinaryHeap<Scheduled<u64>> = BinaryHeap::new();
+        for seq in [3u64, 0, 2, 1] {
+            heap.push(Scheduled {
+                due,
+                seq,
+                to: PartyId::new(0),
+                event: Event::Timer(seq),
+            });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|s| s.seq)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "FIFO at equal due");
+
+        // An earlier due instant still wins regardless of stamp order.
+        let mut heap: BinaryHeap<Scheduled<u64>> = BinaryHeap::new();
+        heap.push(Scheduled {
+            due: due + Duration::from_millis(5),
+            seq: 0,
+            to: PartyId::new(0),
+            event: Event::Timer(0),
+        });
+        heap.push(Scheduled {
+            due,
+            seq: 1,
+            to: PartyId::new(0),
+            event: Event::Timer(1),
+        });
+        assert_eq!(heap.pop().unwrap().seq, 1, "time beats stamp order");
+    }
+
+    #[test]
+    fn shared_payload_unwraps_or_clones() {
+        let clones = Arc::new(AtomicUsize::new(0));
+        let solo = NetPayload::Owned(Counted {
+            tag: 1,
+            clones: Arc::clone(&clones),
+        });
+        assert_eq!(solo.into_msg().tag, 1);
+        assert_eq!(clones.load(Ordering::SeqCst), 0, "owned payloads move");
     }
 }

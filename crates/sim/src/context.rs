@@ -76,8 +76,9 @@ pub trait Context<M> {
 /// message delivery, and on timer expiry — exactly the event model the
 /// paper's indistinguishability proofs quantify over.
 pub trait Protocol: Send + 'static {
-    /// The protocol's wire message type.
-    type Msg: Clone + fmt::Debug + Send + 'static;
+    /// The protocol's wire message type — plain data: `Sync` so wall-clock
+    /// runtimes may share one multicast payload across receiving threads.
+    type Msg: Clone + fmt::Debug + Send + Sync + 'static;
 
     /// Called once when the party's local clock starts (local time 0).
     fn start(&mut self, ctx: &mut dyn Context<Self::Msg>);

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod context;
 mod event;
 mod network;
@@ -64,13 +65,14 @@ mod scenario;
 mod strategies;
 mod sweep;
 
+pub use backend::{Backend, Erase, ErasedMsg, ErasedSlot, SimBackend};
 pub use context::{Context, Protocol, Strategy};
 pub use event::TraceEntry;
 pub use network::{
     DelayOracle, DelayRule, FixedDelay, LinkDelay, MsgEnvelope, MsgPredicate, PartySet,
     RandomDelay, ScheduleOracle, TimingModel,
 };
-pub use outcome::{CommitRecord, Outcome};
+pub use outcome::{CommitRecord, Outcome, OutcomeParts};
 pub use runner::{Simulation, SimulationBuilder};
 pub use scenario::{
     derive_cell_seed, Admission, AdversaryMix, AdversaryRole, DelayChoice, FamilyParams, FnFamily,

@@ -42,6 +42,54 @@ pub struct Outcome {
     pub(crate) trace: Vec<TraceEntry>,
 }
 
+/// The raw observations a non-simulator execution backend assembles into
+/// an [`Outcome`] (via `Outcome::from`). The simulator fills its outcomes
+/// in directly; wall-clock backends like `gcl_net` measure these on real
+/// clocks. Round-boundary bookkeeping (`last_delivery_of_round`) and
+/// traces are simulator-only and start empty.
+#[derive(Debug, Clone)]
+pub struct OutcomeParts {
+    /// The run's `(n, f)` configuration.
+    pub config: Config,
+    /// Per-slot honesty flags.
+    pub honest: Vec<bool>,
+    /// First commit per party (at most one record per slot).
+    pub commits: Vec<CommitRecord>,
+    /// Per-slot termination flags.
+    pub terminated: Vec<bool>,
+    /// The designated broadcaster.
+    pub broadcaster: PartyId,
+    /// The broadcaster's (nominal) protocol start instant.
+    pub broadcaster_start: GlobalTime,
+    /// When the run ended.
+    pub end_time: GlobalTime,
+    /// Handler invocations across all parties.
+    pub events_processed: u64,
+    /// Point-to-point messages sent (multicast counts `n`).
+    pub messages_sent: u64,
+    /// High-water mark of in-flight scheduled events.
+    pub peak_queue_depth: usize,
+}
+
+impl From<OutcomeParts> for Outcome {
+    fn from(parts: OutcomeParts) -> Outcome {
+        Outcome {
+            config: parts.config,
+            honest: parts.honest,
+            commits: parts.commits,
+            terminated: parts.terminated,
+            broadcaster: parts.broadcaster,
+            broadcaster_start: parts.broadcaster_start,
+            end_time: parts.end_time,
+            events_processed: parts.events_processed,
+            messages_sent: parts.messages_sent,
+            peak_queue_depth: parts.peak_queue_depth,
+            last_delivery_of_round: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+}
+
 impl Outcome {
     /// The run's `(n, f)` configuration.
     pub fn config(&self) -> Config {
@@ -153,11 +201,15 @@ impl Outcome {
                 return k as u32 + 1;
             }
         }
-        // Committed after every delivery (e.g. at a start step with no
-        // traffic, or on a pure timer tail).
         if self.last_delivery_of_round.is_empty() {
-            0
+            // No round-boundary table: either a simulated run with no
+            // traffic at all (the commit's causal tag is 0 there too), or
+            // an outcome assembled by a non-simulator backend — fall back
+            // to the causal round tag recorded at the commit, so round
+            // metrics stay meaningful (as an upper bound) across backends.
+            c.round
         } else {
+            // Committed after every delivery (e.g. on a pure timer tail).
             self.last_delivery_of_round.len() as u32
         }
     }

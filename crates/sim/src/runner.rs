@@ -143,6 +143,15 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
         self
     }
 
+    /// Installs a pre-boxed strategy at slot `p` with an explicit honesty
+    /// flag — the type-erased backend path (see [`crate::SimBackend`]),
+    /// where slots arrive already wrapped per the scenario's adversary mix.
+    #[must_use]
+    pub fn slot_boxed(mut self, p: PartyId, strategy: Box<dyn Strategy<M>>, honest: bool) -> Self {
+        self.slots[p.as_usize()] = Some((strategy, honest));
+        self
+    }
+
     /// Fills every remaining slot with `make(party)` as honest code.
     #[must_use]
     pub fn spawn_honest<P: Protocol<Msg = M>>(

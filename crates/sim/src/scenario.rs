@@ -49,22 +49,32 @@
 //!     Admission::Any,
 //!     ValidityMode::Broadcast,
 //!     ScenarioSpec::asynchronous("echo", 4, 1),
-//!     |spec| spec.run_protocol(|p| Echo { input: spec.input_for(p) }),
+//!     |spec, backend| {
+//!         spec.run_protocol_on(backend, |p| Echo { input: spec.input_for(p) })
+//!     },
 //! );
 //! let outcome = reg.run(&reg.spec("echo").unwrap()).unwrap();
 //! assert!(outcome.agreement_holds());
 //! ```
+//!
+//! The `backend` parameter is what makes a registration execution-target
+//! agnostic: [`ScenarioRegistry::run`] passes the inline simulator, while
+//! [`ScenarioRegistry::run_on`] can pass any other [`Backend`] (e.g.
+//! `gcl_net`'s wall-clock thread runtime) and the same one-line
+//! registration runs there too.
 
+use crate::backend::{Backend, Erase, ErasedMsg, ErasedSlot, SimBackend};
 use crate::context::Protocol;
 use crate::network::{FixedDelay, RandomDelay, TimingModel};
 use crate::outcome::Outcome;
-use crate::runner::Simulation;
+use crate::runner::{Simulation, SimulationBuilder};
 use crate::strategies::{Crashing, Silent};
 use gcl_types::{Config, ConfigError, Duration, GlobalTime, PartyId, SkewSchedule, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Debug;
 
 /// Seed salt for the adversary-placement RNG (kept distinct from the
 /// delay and skew streams so the three draws are independent).
@@ -493,6 +503,27 @@ impl ScenarioSpec {
         }
     }
 
+    /// The simulation builder this spec describes: timing model, delay
+    /// oracle, skew schedule and broadcaster installed, slots still empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not a valid [`Config`] (the registry's
+    /// [`ScenarioRegistry::run`] validates shapes before getting here).
+    pub(crate) fn sim_builder<M: Clone + Debug + Send + 'static>(&self) -> SimulationBuilder<M> {
+        let cfg = self.config().expect("spec shape must be a valid Config");
+        let b = Simulation::build::<M>(cfg)
+            .timing(self.timing_model())
+            .skew(self.skew_schedule())
+            .broadcaster(self.broadcaster);
+        match self.delays {
+            DelayChoice::Fixed => b.oracle(FixedDelay::new(self.delta)),
+            DelayChoice::Uniform { lo, hi } => {
+                b.oracle(RandomDelay::new(lo, hi, self.seed ^ DELAY_SALT))
+            }
+        }
+    }
+
     /// Assembles and runs the simulation this spec describes around the
     /// family's honest protocol constructor. This is the one place where a
     /// family's message-type generic meets the type-erased spec: timing
@@ -504,17 +535,7 @@ impl ScenarioSpec {
     /// Panics if the shape is not a valid [`Config`] (the registry's
     /// [`ScenarioRegistry::run`] validates shapes before getting here).
     pub fn run_protocol<P: Protocol>(&self, mut make: impl FnMut(PartyId) -> P) -> Outcome {
-        let cfg = self.config().expect("spec shape must be a valid Config");
-        let mut b = Simulation::build::<P::Msg>(cfg)
-            .timing(self.timing_model())
-            .skew(self.skew_schedule())
-            .broadcaster(self.broadcaster);
-        b = match self.delays {
-            DelayChoice::Fixed => b.oracle(FixedDelay::new(self.delta)),
-            DelayChoice::Uniform { lo, hi } => {
-                b.oracle(RandomDelay::new(lo, hi, self.seed ^ DELAY_SALT))
-            }
-        };
+        let mut b = self.sim_builder::<P::Msg>();
         for (p, role) in self.adversary_slots() {
             b = match role {
                 AdversaryRole::Silent => b.byzantine(p, Silent::<P::Msg>::new()),
@@ -524,6 +545,98 @@ impl ScenarioSpec {
             };
         }
         b.spawn_honest(make).run()
+    }
+
+    /// Runs this spec on an arbitrary [`Backend`] — the execution-target-
+    /// agnostic form of [`ScenarioSpec::run_protocol`] that registered
+    /// family closures call. The native simulator backend takes the
+    /// erasure-free hot loop; every other backend receives the spec's
+    /// party slots type-erased via [`ScenarioSpec::erased_slots`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not a valid [`Config`].
+    pub fn run_protocol_on<P: Protocol>(
+        &self,
+        backend: &dyn Backend,
+        make: impl FnMut(PartyId) -> P,
+    ) -> Outcome {
+        if backend.native_sim() {
+            self.run_protocol(make)
+        } else {
+            backend.execute(self, self.erased_slots(make))
+        }
+    }
+
+    /// The spec's `n` party slots, type-erased for a [`Backend`]: honest
+    /// slots wrap `make(p)`, Byzantine slots per
+    /// [`ScenarioSpec::adversary_slots`] get [`Silent`] or a [`Crashing`]
+    /// wrapper around the honest code — exactly the population
+    /// [`ScenarioSpec::run_protocol`] spawns inline.
+    pub fn erased_slots<P: Protocol>(&self, mut make: impl FnMut(PartyId) -> P) -> Vec<ErasedSlot> {
+        let mut roles: Vec<Option<AdversaryRole>> = vec![None; self.n];
+        for (p, role) in self.adversary_slots() {
+            roles[p.as_usize()] = Some(role);
+        }
+        roles
+            .into_iter()
+            .enumerate()
+            .map(|(i, role)| {
+                let p = PartyId::new(i as u32);
+                match role {
+                    None => ErasedSlot {
+                        strategy: Box::new(Erase::<P::Msg, P>::new(make(p))),
+                        honest: true,
+                    },
+                    Some(AdversaryRole::Silent) => ErasedSlot {
+                        strategy: Box::new(Silent::<ErasedMsg>::new()),
+                        honest: false,
+                    },
+                    Some(AdversaryRole::Crash { handled }) => ErasedSlot {
+                        strategy: Box::new(Erase::<P::Msg, _>::new(Crashing::new(
+                            make(p),
+                            handled as usize,
+                        ))),
+                        honest: false,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// The per-link delivery delays (`from * n + to` indexing, self-links
+    /// zero) a wall-clock backend should inject for this spec — the
+    /// deterministic analogue of the simulator's per-message oracle:
+    /// [`DelayChoice::Fixed`] puts δ on every inter-party link, while
+    /// [`DelayChoice::Uniform`] draws one seeded delay per link from
+    /// `[lo, hi]`. Either way the draw is clamped to the timing model's
+    /// honest bound (δ under synchrony, Δ under partial synchrony), so a
+    /// jittered wall-clock run stays inside the model the protocol was
+    /// promised.
+    pub fn link_delays(&self) -> Vec<Duration> {
+        let n = self.n;
+        let cap = match self.timing {
+            TimingKind::Synchrony => Some(self.delta),
+            TimingKind::PartialSynchrony => Some(self.big_delta),
+            TimingKind::Asynchrony => None,
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed ^ DELAY_SALT);
+        let mut links = vec![Duration::ZERO; n * n];
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let d = match self.delays {
+                    DelayChoice::Fixed => self.delta,
+                    DelayChoice::Uniform { lo, hi } => {
+                        Duration::from_micros(rng.gen_range(lo.as_micros()..=hi.as_micros()))
+                    }
+                };
+                links[from * n + to] = cap.map_or(d, |c| d.min(c));
+            }
+        }
+        links
     }
 
     /// A compact stable label (`family/n..f../s..`) for reports and logs.
@@ -593,8 +706,15 @@ pub trait ScenarioFamily: Send + Sync {
     /// the family's historical keychain seed).
     fn canonical(&self) -> ScenarioSpec;
 
-    /// Runs `spec` (shape already validated by the registry).
-    fn run(&self, spec: &ScenarioSpec) -> Outcome;
+    /// Runs `spec` (shape already validated by the registry) on the given
+    /// execution backend.
+    fn run_on(&self, spec: &ScenarioSpec, backend: &dyn Backend) -> Outcome;
+
+    /// Runs `spec` on the inline simulator — the default, erasure-free
+    /// execution target.
+    fn run(&self, spec: &ScenarioSpec) -> Outcome {
+        self.run_on(spec, &SimBackend::new())
+    }
 
     /// Audits broadcast validity per [`Self::validity_mode`]: while the
     /// broadcaster slot is honest, every honest commit equals the input.
@@ -631,7 +751,7 @@ impl<F> fmt::Debug for FnFamily<F> {
 
 impl<F> ScenarioFamily for FnFamily<F>
 where
-    F: Fn(&ScenarioSpec) -> Outcome + Send + Sync,
+    F: Fn(&ScenarioSpec, &dyn Backend) -> Outcome + Send + Sync,
 {
     fn key(&self) -> &'static str {
         self.key
@@ -648,8 +768,8 @@ where
     fn canonical(&self) -> ScenarioSpec {
         self.canonical.clone()
     }
-    fn run(&self, spec: &ScenarioSpec) -> Outcome {
-        (self.run)(spec)
+    fn run_on(&self, spec: &ScenarioSpec, backend: &dyn Backend) -> Outcome {
+        (self.run)(spec, backend)
     }
 }
 
@@ -753,7 +873,7 @@ impl ScenarioRegistry {
         canonical: ScenarioSpec,
         run: F,
     ) where
-        F: Fn(&ScenarioSpec) -> Outcome + Send + Sync + 'static,
+        F: Fn(&ScenarioSpec, &dyn Backend) -> Outcome + Send + Sync + 'static,
     {
         self.register(FnFamily {
             key,
@@ -826,13 +946,28 @@ impl ScenarioRegistry {
         Ok(family)
     }
 
-    /// Runs one spec end to end.
+    /// Runs one spec end to end on the inline simulator.
     ///
     /// # Errors
     ///
     /// Everything [`ScenarioRegistry::validate`] rejects.
     pub fn run(&self, spec: &ScenarioSpec) -> Result<Outcome, ScenarioError> {
         Ok(self.validate(spec)?.run(spec))
+    }
+
+    /// Runs one spec end to end on an arbitrary execution [`Backend`] —
+    /// the same validation, the same family registration, a different
+    /// execution target (e.g. `gcl_net`'s wall-clock thread runtime).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ScenarioRegistry::validate`] rejects.
+    pub fn run_on(
+        &self,
+        spec: &ScenarioSpec,
+        backend: &dyn Backend,
+    ) -> Result<Outcome, ScenarioError> {
+        Ok(self.validate(spec)?.run_on(spec, backend))
     }
 }
 
@@ -871,8 +1006,8 @@ mod tests {
             Admission::Any,
             ValidityMode::Broadcast,
             ScenarioSpec::lockstep("flood", 4, 1, Duration::from_micros(10)),
-            |spec| {
-                spec.run_protocol(|p| Flood {
+            |spec, backend| {
+                spec.run_protocol_on(backend, |p| Flood {
                     input: spec.input_for(p),
                 })
             },
@@ -927,8 +1062,8 @@ mod tests {
             Admission::Brb,
             ValidityMode::Broadcast,
             ScenarioSpec::asynchronous("brbish", 4, 1),
-            |spec| {
-                spec.run_protocol(|p| Flood {
+            |spec, backend| {
+                spec.run_protocol_on(backend, |p| Flood {
                     input: spec.input_for(p),
                 })
             },
@@ -949,8 +1084,8 @@ mod tests {
             Admission::Any,
             ValidityMode::Broadcast,
             ScenarioSpec::asynchronous("flood", 4, 1),
-            |spec| {
-                spec.run_protocol(|p| Flood {
+            |spec, backend| {
+                spec.run_protocol_on(backend, |p| Flood {
                     input: spec.input_for(p),
                 })
             },
@@ -1062,6 +1197,67 @@ mod tests {
             .with_adversary(AdversaryMix::RandomSilent { count: 1 })
             .with_skew(SkewChoice::OddHalfDelta);
         assert_eq!(spec.label(), "bb/n5f2/s9/silent-rand/skew");
+    }
+
+    #[test]
+    fn link_delays_fixed_puts_delta_off_diagonal() {
+        let spec = ScenarioSpec::synchronous("x", 3, 1);
+        let links = spec.link_delays();
+        assert_eq!(links.len(), 9);
+        for from in 0..3 {
+            for to in 0..3 {
+                let expect = if from == to {
+                    Duration::ZERO
+                } else {
+                    spec.delta
+                };
+                assert_eq!(links[from * 3 + to], expect, "({from}, {to})");
+            }
+        }
+    }
+
+    #[test]
+    fn link_delays_uniform_seeded_and_clamped() {
+        let spec = ScenarioSpec::synchronous("x", 4, 1)
+            .with_delays(DelayChoice::Uniform {
+                lo: Duration::ZERO,
+                hi: Duration::from_micros(10_000),
+            })
+            .with_seed(5);
+        let a = spec.link_delays();
+        let b = spec.link_delays();
+        assert_eq!(a, b, "same seed, same matrix");
+        assert!(
+            a.iter().all(|d| *d <= spec.delta),
+            "synchrony clamps honest links to delta"
+        );
+        // Under asynchrony the draw is unclamped and seed-sensitive.
+        let wide = ScenarioSpec::asynchronous("x", 4, 1).with_delays(DelayChoice::Uniform {
+            lo: Duration::from_micros(5_000),
+            hi: Duration::from_micros(10_000),
+        });
+        let unclamped = wide.link_delays();
+        assert!(unclamped
+            .iter()
+            .enumerate()
+            .all(|(i, d)| (i % 5 == 0) || *d >= Duration::from_micros(5_000)));
+        assert_ne!(
+            unclamped,
+            wide.with_seed(6).link_delays(),
+            "different seed moves the draws"
+        );
+    }
+
+    #[test]
+    fn erased_slots_mirror_adversary_placement() {
+        let spec = ScenarioSpec::asynchronous("x", 5, 2)
+            .with_adversary(AdversaryMix::TrailingSilent { count: 2 });
+        let slots = spec.erased_slots(|p| Flood {
+            input: spec.input_for(p),
+        });
+        assert_eq!(slots.len(), 5);
+        let honesty: Vec<bool> = slots.iter().map(|s| s.honest).collect();
+        assert_eq!(honesty, vec![true, true, true, false, false]);
     }
 
     #[test]

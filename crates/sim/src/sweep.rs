@@ -41,7 +41,9 @@
 //!     Admission::Any,
 //!     ValidityMode::Broadcast,
 //!     ScenarioSpec::asynchronous("echo", 4, 1),
-//!     |spec| spec.run_protocol(|p| Echo { input: spec.input_for(p) }),
+//!     |spec, backend| {
+//!         spec.run_protocol_on(backend, |p| Echo { input: spec.input_for(p) })
+//!     },
 //! );
 //! let cells: Vec<_> = (4..8)
 //!     .map(|n| ScenarioSpec::asynchronous("echo", n, 1))
@@ -352,8 +354,8 @@ mod tests {
             Admission::Brb,
             ValidityMode::Broadcast,
             ScenarioSpec::asynchronous("flood", 4, 1),
-            |spec| {
-                spec.run_protocol(|p| Flood {
+            |spec, backend| {
+                spec.run_protocol_on(backend, |p| Flood {
                     input: spec.input_for(p),
                 })
             },

@@ -1,0 +1,61 @@
+//! Two backends, one scenario layer: run registry families on the
+//! deterministic simulator AND on the thread-per-party wall-clock runtime,
+//! and compare what each reports.
+//!
+//! ```text
+//! cargo run --release --example net_backend
+//! ```
+
+use gcl::net::NetBackend;
+use gcl_bench::conformance::wall_spec;
+
+fn main() {
+    let reg = gcl_bench::registry();
+    let net = NetBackend::new();
+
+    println!("== one spec, two execution targets ==\n");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12}  committed",
+        "family", "(n,f)", "sim lat us", "net lat us"
+    );
+    for key in [
+        "brb2",
+        "vbb5f1",
+        "bb_2delta",
+        "dolev_strong",
+        "flood",
+        "smr",
+    ] {
+        let spec = wall_spec(reg, key);
+        let sim = reg.run(&spec).expect("spec admitted");
+        let wall = reg.run_on(&spec, &net).expect("spec admitted");
+        assert!(wall.agreement_holds(), "{key}: net agreement");
+        assert_eq!(
+            wall.committed_value(),
+            sim.committed_value(),
+            "{key}: backends must land on the same value"
+        );
+        let lat = |o: &gcl::sim::Outcome| {
+            o.good_case_latency()
+                .map(|d| d.as_micros().to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<14} {:>6} {:>12} {:>12}  {:?}",
+            key,
+            format!("({},{})", spec.n, spec.f),
+            lat(&sim),
+            lat(&wall),
+            wall.committed_value().expect("good case commits")
+        );
+    }
+
+    println!(
+        "\nSame protocols, same specs, same committed values. The simulator's\n\
+         latencies are exact multiples of the injected bounds (delta = 2000 us\n\
+         here); the net column is a wall-clock measurement over OS threads —\n\
+         link latency plus scheduler noise, spawn overhead and channel hops.\n\
+         Trust the simulator for the paper's delta-exact tables; trust the net\n\
+         backend as evidence the protocols survive real concurrency."
+    );
+}

@@ -68,3 +68,8 @@ fn smr_kv_runs_to_completion() {
 fn scenario_sweep_runs_to_completion() {
     run_example("scenario_sweep");
 }
+
+#[test]
+fn net_backend_runs_to_completion() {
+    run_example("net_backend");
+}
