@@ -1,26 +1,35 @@
-//! Sim-vs-net conformance: every registered scenario family, one spec,
-//! two execution backends, the same committed value.
+//! Multi-backend conformance: every registered scenario family, one spec,
+//! three execution backends, the same committed value.
 //!
 //! The paper's claims are about *real* good-case latency, so the workspace
-//! keeps two execution targets honest against each other: the
-//! deterministic simulator (exact δ/Δ, the source of every measured
-//! number) and `gcl_net`'s thread-per-party wall-clock runtime. This
-//! module builds, for each registered family, a **wall-safe** variant of
-//! its canonical spec — millisecond-scale bounds so protocol timeouts
-//! (≥ 4Δ) dwarf scheduler noise, reshaped to `(4, 1)` where the family's
-//! band admits it — and runs it on both backends. On an honest-broadcaster
-//! good case the two executions must agree with each other: same
-//! committed value, agreement and full honest commitment on the net side.
+//! keeps its execution targets honest against each other:
 //!
-//! The suite doubles as the regression gate for the net runtime's early
-//! termination: ~15 runs against multi-second deadlines complete in
-//! about a second *only* because honest termination exits each run early
-//! (`crates/bench/tests/net_conformance.rs` enforces a hard 30 s ceiling,
-//! and CI's `net-smoke` job runs it in release).
+//! * the deterministic **simulator** (exact δ/Δ, the source of every
+//!   measured number),
+//! * `gcl_net`'s **thread** runtime (`NetBackend` — wall clocks, real
+//!   concurrency, in-memory `Arc` message passing), and
+//! * `gcl_net`'s **socket** runtime (`SocketBackend` — the same wall-clock
+//!   discipline, but every message encoded to bytes, carried across a
+//!   Unix-domain socket, and decoded on the far side).
+//!
+//! This module builds, for each registered family, a **wall-safe** variant
+//! of its canonical spec — millisecond-scale bounds so protocol timeouts
+//! (≥ 4Δ) dwarf scheduler noise, reshaped to `(4, 1)` where the family's
+//! band admits it — and runs it on every backend. On an honest-broadcaster
+//! good case the executions must agree: same committed value, agreement
+//! and full honest commitment on every wall backend. The socket column is
+//! the codec's end-to-end gate: a family whose message type does not
+//! survive `gcl_types::wire` serialization cannot pass it.
+//!
+//! The suite doubles as the regression gate for the wall runtimes' early
+//! termination: ~15 families × 2 wall backends against multi-second
+//! deadlines complete in a few seconds *only* because honest termination
+//! exits each run early (`crates/bench/tests/net_conformance.rs` enforces
+//! a hard 30 s ceiling, and CI's `net-smoke` job runs it in release).
 
 use crate::registry;
-use gcl_net::NetBackend;
-use gcl_sim::{ScenarioRegistry, ScenarioSpec};
+use gcl_net::{NetBackend, SocketBackend};
+use gcl_sim::{Backend, ScenarioRegistry, ScenarioSpec};
 use gcl_types::{Duration as SimDuration, Value};
 use std::time::{Duration, Instant};
 
@@ -64,76 +73,111 @@ pub fn wall_spec(reg: &ScenarioRegistry, key: &str) -> ScenarioSpec {
     spec
 }
 
-/// One family's sim-vs-net comparison.
+/// One wall-clock backend's result for one family.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// The backend's stable name (`"net"`, `"socket"`).
+    pub backend: &'static str,
+    /// The committed value (agreement already folded in: `None` means
+    /// disagreement or nobody committed).
+    pub value: Option<Value>,
+    /// Whether every honest party committed.
+    pub all_committed: bool,
+    /// Whether agreement held.
+    pub agreement: bool,
+    /// Good-case wall latency in µs, when every honest party committed.
+    pub latency_us: Option<u64>,
+    /// Wall time of the run.
+    pub wall: Duration,
+}
+
+/// One family's sim-vs-wall-backends comparison.
 #[derive(Debug, Clone)]
 pub struct ConformanceCell {
     /// Registered family key.
     pub family: &'static str,
-    /// Parties in the spec both backends ran.
+    /// Parties in the spec every backend ran.
     pub n: usize,
     /// Fault budget of that spec.
     pub f: usize,
-    /// The simulator's committed value (agreement already folded in:
-    /// `None` means disagreement or nobody committed).
+    /// The simulator's committed value — the oracle the wall runs must hit.
     pub sim_value: Option<Value>,
-    /// The net backend's committed value.
-    pub net_value: Option<Value>,
-    /// Whether every honest party committed on the net backend.
-    pub net_all_committed: bool,
-    /// Whether agreement held on the net backend.
-    pub net_agreement: bool,
-    /// Wall time of the net run.
-    pub wall: Duration,
+    /// Each wall backend's run, in [`wall_backends`] order.
+    pub runs: Vec<BackendRun>,
 }
 
 impl ConformanceCell {
-    /// The conformance criterion: the net run upholds agreement, commits
-    /// everywhere honest, and lands on exactly the simulator's value.
+    /// The conformance criterion: every wall backend upholds agreement,
+    /// commits everywhere honest, and lands on exactly the simulator's
+    /// value.
     pub fn holds(&self) -> bool {
-        self.net_agreement && self.net_all_committed && self.sim_value == self.net_value
+        self.runs
+            .iter()
+            .all(|r| r.agreement && r.all_committed && r.value == self.sim_value)
     }
 
     /// One-line human rendering (used in assertion messages and the
     /// example).
     pub fn describe(&self) -> String {
-        format!(
-            "{} (n={}, f={}): sim={:?} net={:?} agreement={} all_committed={} wall={:?}",
-            self.family,
-            self.n,
-            self.f,
-            self.sim_value,
-            self.net_value,
-            self.net_agreement,
-            self.net_all_committed,
-            self.wall
-        )
+        let mut line = format!(
+            "{} (n={}, f={}): sim={:?}",
+            self.family, self.n, self.f, self.sim_value
+        );
+        for r in &self.runs {
+            line.push_str(&format!(
+                " | {}={:?} agreement={} all_committed={} wall={:?}",
+                r.backend, r.value, r.agreement, r.all_committed, r.wall
+            ));
+        }
+        line
     }
 }
 
-/// Runs every registered family on both backends (net runs bounded by
-/// `deadline` each) and reports the comparisons in registry key order.
+/// The wall-clock backends the conformance suite compares against the
+/// simulator, with the given per-run deadline. Order is the column order
+/// of every report.
+pub fn wall_backends(deadline: Duration) -> Vec<Box<dyn Backend + Sync>> {
+    vec![
+        Box::new(NetBackend::new().deadline(deadline)),
+        Box::new(SocketBackend::new().deadline(deadline)),
+    ]
+}
+
+/// Runs every registered family on the simulator and on every wall
+/// backend (each wall run bounded by `deadline`) and reports the
+/// comparisons in registry key order.
 pub fn conformance_cells(deadline: Duration) -> Vec<ConformanceCell> {
     let reg = registry();
-    let net = NetBackend::new().deadline(deadline);
+    let backends = wall_backends(deadline);
     reg.keys()
         .map(|key| {
             let spec = wall_spec(reg, key);
             let sim = reg
                 .run(&spec)
                 .unwrap_or_else(|e| panic!("{key}: sim run rejected: {e}"));
-            let started = Instant::now();
-            let net_outcome = reg
-                .run_on(&spec, &net)
-                .unwrap_or_else(|e| panic!("{key}: net run rejected: {e}"));
+            let runs = backends
+                .iter()
+                .map(|backend| {
+                    let started = Instant::now();
+                    let o = reg
+                        .run_on(&spec, backend.as_ref())
+                        .unwrap_or_else(|e| panic!("{key}: {} run rejected: {e}", backend.name()));
+                    BackendRun {
+                        backend: backend.name(),
+                        value: o.committed_value(),
+                        all_committed: o.all_honest_committed(),
+                        agreement: o.agreement_holds(),
+                        latency_us: o.good_case_latency().map(|d| d.as_micros()),
+                        wall: started.elapsed(),
+                    }
+                })
+                .collect();
             ConformanceCell {
                 family: key,
                 n: spec.n,
                 f: spec.f,
                 sim_value: sim.committed_value(),
-                net_value: net_outcome.committed_value(),
-                net_all_committed: net_outcome.all_honest_committed(),
-                net_agreement: net_outcome.agreement_holds(),
-                wall: started.elapsed(),
+                runs,
             }
         })
         .collect()
@@ -165,5 +209,14 @@ mod tests {
         assert_eq!(spec.adversary, canonical.adversary, "adversary mix kept");
         assert_eq!(spec.seed, canonical.seed, "keychain seed kept");
         assert_eq!(spec.input, canonical.input, "input kept");
+    }
+
+    #[test]
+    fn wall_backend_catalog_is_net_then_socket() {
+        let names: Vec<&str> = wall_backends(Duration::from_secs(1))
+            .iter()
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(names, ["net", "socket"]);
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod conformance;
 pub mod json;
+pub mod netlat;
 pub mod scenarios;
 pub mod sweep;
 pub mod throughput;
@@ -51,7 +52,8 @@ pub fn registry() -> &'static ScenarioRegistry {
     })
 }
 
-pub use conformance::{conformance_cells, wall_spec, ConformanceCell};
+pub use conformance::{conformance_cells, wall_backends, wall_spec, BackendRun, ConformanceCell};
+pub use netlat::{net_latency_rows, NetLatencyRow};
 pub use scenarios::{
     canonical, fig8_rows, majority_rows, run, table1_rows, Fig8Row, MajorityRow, Table1Row,
 };

@@ -1,0 +1,218 @@
+//! The wall-clock latency trajectory: per-family good-case latencies on
+//! the wall backends, rendered as the repo-root `BENCH_net.json`.
+//!
+//! `BENCH_sim.json` tracks simulator *throughput* per PR; this module
+//! tracks wall-clock *runtime overhead* the same way. For every registered
+//! family it runs the wall-safe conformance spec on each wall backend
+//! ([`crate::conformance::wall_backends`]: the in-memory thread engine and
+//! the socket engine) and records the good-case wall latency next to the
+//! spec's injected ideal — δ' per hop, so a 2-round protocol's floor is
+//! `2δ'`. The gap between the measured column and the floor is scheduler,
+//! channel, and (for the socket rows) codec + syscall overhead; watching
+//! it per PR is how a runtime regression (a lost fast path, an accidental
+//! sleep) shows up before anyone reads a profile.
+//!
+//! Wall numbers are machine-dependent, so unlike the throughput gate this
+//! file's CI check ([`check_rows`]) validates *shape*, not speed: same
+//! schema, every registered family present per backend, every row
+//! committed with agreement. Regeneration:
+//!
+//! ```text
+//! cargo run --release -p gcl_bench --bin net_latency -- --out BENCH_net.json
+//! ```
+
+use crate::conformance::{wall_backends, wall_spec, WALL_DELTA};
+use crate::json::{parse, JVal, RowsDoc, Value as JsonValue};
+use crate::registry;
+use std::time::Duration;
+
+/// The `schema` field of every `BENCH_net.json` document.
+pub const NET_SCHEMA: &str = "gcl-bench/net-latency/v1";
+
+/// One family × backend wall-clock measurement.
+#[derive(Debug, Clone)]
+pub struct NetLatencyRow {
+    /// Registered family key.
+    pub family: &'static str,
+    /// Wall backend that produced the row (`"net"`, `"socket"`).
+    pub backend: &'static str,
+    /// Parties in the wall-safe spec.
+    pub n: usize,
+    /// Fault budget.
+    pub f: usize,
+    /// Injected per-hop link latency in µs (the spec's δ').
+    pub delta_us: u64,
+    /// Measured good-case wall latency in µs (`None`: not every honest
+    /// party committed — a liveness failure the check rejects).
+    pub latency_us: Option<u64>,
+    /// Whether agreement held.
+    pub agreement: bool,
+    /// Point-to-point messages delivered.
+    pub messages: u64,
+}
+
+/// Runs every registered family on every wall backend (each run bounded
+/// by `deadline`) and reports rows in (family, backend) order.
+pub fn net_latency_rows(deadline: Duration) -> Vec<NetLatencyRow> {
+    let reg = registry();
+    let backends = wall_backends(deadline);
+    reg.keys()
+        .flat_map(|key| {
+            let spec = wall_spec(reg, key);
+            backends
+                .iter()
+                .map(|backend| {
+                    let o = reg
+                        .run_on(&spec, backend.as_ref())
+                        .unwrap_or_else(|e| panic!("{key}: {} run rejected: {e}", backend.name()));
+                    NetLatencyRow {
+                        family: key,
+                        backend: backend.name(),
+                        n: spec.n,
+                        f: spec.f,
+                        delta_us: WALL_DELTA.as_micros(),
+                        latency_us: o.good_case_latency().map(|d| d.as_micros()),
+                        agreement: o.agreement_holds(),
+                        messages: o.messages_sent(),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Renders rows as the `BENCH_net.json` document ([`RowsDoc`] format, the
+/// same schema-plus-rows shape as every other trajectory file).
+pub fn render_json(rows: &[NetLatencyRow]) -> String {
+    let mut doc = RowsDoc::new(NET_SCHEMA);
+    doc.top("delta_us", JVal::U64(WALL_DELTA.as_micros()));
+    for r in rows {
+        doc.row(vec![
+            ("family", JVal::Str(r.family.into())),
+            ("backend", JVal::Str(r.backend.into())),
+            ("n", JVal::U64(r.n as u64)),
+            ("f", JVal::U64(r.f as u64)),
+            ("delta_us", JVal::U64(r.delta_us)),
+            ("latency_us", r.latency_us.map_or(JVal::Null, JVal::U64)),
+            ("agreement", JVal::Bool(r.agreement)),
+            ("messages", JVal::U64(r.messages)),
+        ]);
+    }
+    doc.render()
+}
+
+/// Structural CI check of a `BENCH_net.json` document: parseable, right
+/// schema, one committed-with-agreement row per (registered family × wall
+/// backend). Deliberately **no** latency-regression gate — wall latency is
+/// machine noise across CI runners; the trajectory file exists so humans
+/// (and future tooling pinned to one machine) can diff the overhead per
+/// PR.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural violation.
+pub fn check_doc(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    check_parsed(&doc)
+}
+
+fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
+    if doc.field_str("schema") != Some(NET_SCHEMA) {
+        return Err(format!(
+            "schema is {:?}, expected {NET_SCHEMA:?}",
+            doc.field_str("schema")
+        ));
+    }
+    let rows = doc
+        .field("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing rows array")?;
+    let reg = registry();
+    // Derive the required column set from the canonical backend catalog,
+    // so a wall backend added to `wall_backends` is automatically
+    // *required* here — measured-but-unchecked rows would defeat the gate.
+    let backends: Vec<&'static str> = wall_backends(Duration::from_secs(1))
+        .iter()
+        .map(|b| b.name())
+        .collect();
+    for key in reg.keys() {
+        for backend in backends.iter().copied() {
+            let row = rows
+                .iter()
+                .find(|r| {
+                    r.field_str("family") == Some(key) && r.field_str("backend") == Some(backend)
+                })
+                .ok_or_else(|| format!("no row for family {key:?} on backend {backend:?}"))?;
+            if row.field_bool("agreement") != Some(true) {
+                return Err(format!("{key}/{backend}: agreement violated"));
+            }
+            if row.field_u64("latency_us").is_none() {
+                return Err(format!(
+                    "{key}/{backend}: no good-case latency (liveness failure)"
+                ));
+            }
+        }
+    }
+    Ok(rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_rows_pass_their_own_check() {
+        // Two fast families keep the unit test cheap; the full-catalog
+        // document is exercised by the net_latency bin and its CI job.
+        let reg = registry();
+        let backends = wall_backends(Duration::from_secs(2));
+        let rows: Vec<NetLatencyRow> = ["brb2", "one_round_brb"]
+            .iter()
+            .flat_map(|key| {
+                let spec = wall_spec(reg, key);
+                backends
+                    .iter()
+                    .map(|b| {
+                        let o = reg.run_on(&spec, b.as_ref()).unwrap();
+                        NetLatencyRow {
+                            family: reg.family(key).unwrap().key(),
+                            backend: b.name(),
+                            n: spec.n,
+                            f: spec.f,
+                            delta_us: WALL_DELTA.as_micros(),
+                            latency_us: o.good_case_latency().map(|d| d.as_micros()),
+                            agreement: o.agreement_holds(),
+                            messages: o.messages_sent(),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let doc = render_json(&rows);
+        let parsed = parse(&doc).expect("well-formed");
+        assert_eq!(parsed.field_str("schema"), Some(NET_SCHEMA));
+        // The partial document fails the full-catalog check (families are
+        // missing), which is exactly what the check is for.
+        assert!(check_doc(&doc).is_err(), "partial catalog must be rejected");
+        // Each measured row carries a latency at or above the 2-hop floor.
+        for r in &rows {
+            assert!(r.agreement, "{}/{}", r.family, r.backend);
+            let lat = r.latency_us.expect("good case commits");
+            assert!(
+                lat >= r.delta_us,
+                "{}/{}: {lat}µs under the single-hop floor",
+                r.family,
+                r.backend
+            );
+        }
+    }
+
+    #[test]
+    fn check_rejects_malformed_documents() {
+        assert!(check_doc("not json").is_err());
+        assert!(check_doc("{\"schema\": \"other/v9\", \"rows\": []}").is_err());
+        let empty = format!("{{\"schema\": \"{NET_SCHEMA}\", \"rows\": []}}");
+        let err = check_doc(&empty).unwrap_err();
+        assert!(err.contains("no row for family"), "{err}");
+    }
+}

@@ -1,18 +1,24 @@
-//! The two-backend conformance gate (CI job `net-smoke`).
+//! The three-backend conformance gate (CI job `net-smoke`).
 //!
-//! Every registered scenario family runs on the deterministic simulator
-//! AND on `gcl_net`'s thread-per-party wall-clock runtime, from the same
-//! wall-safe spec, and must commit the same value. The suite's hard wall
-//! ceiling is the regression gate for the net runtime's early-termination
-//! protocol: each cell runs against a 2 s deadline, so ~15 families only
-//! fit under the ceiling if honest termination exits every run early
-//! (the pre-fix runtime slept each run's full budget unconditionally).
+//! Every registered scenario family runs on the deterministic simulator,
+//! on `gcl_net`'s thread-per-party wall-clock runtime AND on its
+//! socket-transport runtime, from the same wall-safe spec, and must commit
+//! the same value everywhere. The socket column is the wire codec's
+//! end-to-end gate: its messages really cross Unix-domain sockets as
+//! bytes, so a family whose message type does not round-trip through
+//! `gcl_types::wire` cannot pass.
+//!
+//! The suite's hard wall ceiling is the regression gate for the wall
+//! runtimes' early-termination protocol: each cell runs two wall backends
+//! against 2 s deadlines, so ~15 families only fit under the ceiling if
+//! honest termination exits every run early (the pre-fix runtime slept
+//! each run's full budget unconditionally).
 
 use gcl_bench::conformance::conformance_cells;
 use std::time::{Duration, Instant};
 
 #[test]
-fn every_family_commits_the_same_value_on_both_backends() {
+fn every_family_commits_the_same_value_on_all_backends() {
     let started = Instant::now();
     let cells = conformance_cells(Duration::from_secs(2));
     assert!(
@@ -26,13 +32,19 @@ fn every_family_commits_the_same_value_on_both_backends() {
             "{}: the honest good case must commit on the simulator",
             cell.family
         );
+        assert_eq!(
+            cell.runs.len(),
+            2,
+            "{}: expected the net and socket columns",
+            cell.family
+        );
         assert!(cell.holds(), "backend divergence: {}", cell.describe());
     }
     let wall = started.elapsed();
     assert!(
         wall < Duration::from_secs(30),
-        "net conformance took {wall:?}; with early termination working, \
-         ~15 good-case runs must finish far below the 30 s ceiling \
-         (sleep-to-deadline would need >30 s on its own)"
+        "conformance took {wall:?}; with early termination working, \
+         ~15 good-case runs on two wall backends must finish far below \
+         the 30 s ceiling (sleep-to-deadline would need >60 s on its own)"
     );
 }

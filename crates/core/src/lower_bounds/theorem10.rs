@@ -11,6 +11,11 @@
 //! broadcaster with the proof's delay pattern — the real protocol must
 //! *not* split (it won't: it waits exactly long enough, which is the whole
 //! point of the bound being tight).
+//!
+//! **Sim-only** (`thm10/adversarial-unsync` in [`super::SIM_ONLY_SCHEDULES`]): the
+//! schedule pins scripted actions and per-link delivery instants that
+//! only the deterministic simulator can honor; see the
+//! [module docs](super) for why wall-clock backends reject it.
 
 use crate::sync::{UnsyncBb, UnsyncMsg};
 use gcl_crypto::Keychain;

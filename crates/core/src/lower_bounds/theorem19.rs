@@ -6,6 +6,11 @@
 //! measured good case of [`crate::dishonest::BbMajority`] (with the
 //! Byzantine budget spent on silence, the worst good-case adversary) always
 //! sits **between** the lower bound and the `O(n/(n−f))Δ` upper bound.
+//!
+//! **Sim-only** (`thm19/majority-bound` in [`super::SIM_ONLY_SCHEDULES`]): the
+//! schedule pins scripted actions and per-link delivery instants that
+//! only the deterministic simulator can honor; see the
+//! [module docs](super) for why wall-clock backends reject it.
 
 use crate::dishonest::BbMajority;
 use gcl_crypto::Keychain;

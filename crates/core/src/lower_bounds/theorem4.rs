@@ -3,6 +3,11 @@
 //! Execution 3 of the proof: the Byzantine broadcaster sends 0 to group A
 //! and 1 to group B. A 1-round protocol commits on the proposal alone, so A
 //! commits 0 and B commits 1 — before any round-1 message could warn them.
+//!
+//! **Sim-only** (`thm4/split-one-round-brb` in
+//! [`super::SIM_ONLY_SCHEDULES`]): the split relies on the scripted
+//! equivocation landing at exact local instants; see the
+//! [module docs](super) for why wall-clock backends reject it.
 
 use crate::asynchrony::TwoRoundBrb;
 use crate::strawman::{OneRoundBrb, OneRoundMsg};

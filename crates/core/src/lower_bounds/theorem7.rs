@@ -16,6 +16,11 @@
 //! The `(5f−1)`-psync-VBB protocol survives the analogous attack at its own
 //! boundary `n = 5f − 1` because its certificate rule counts `2f − 1` /
 //! `2f` leader-aware entries instead of a plain majority (Figure 2).
+//!
+//! **Sim-only** (`thm7/split-fab-at-5f-2` in [`super::SIM_ONLY_SCHEDULES`]): the
+//! schedule pins scripted actions and per-link delivery instants that
+//! only the deterministic simulator can honor; see the
+//! [module docs](super) for why wall-clock backends reject it.
 
 use crate::strawman::{FabMsg, FabTwoRound, FabViewChange};
 use gcl_crypto::Keychain;

@@ -7,6 +7,11 @@
 //! equivocation window splits within `2δ < Δ + δ`; Figure 5's protocol
 //! ([`crate::sync::ThirdBb`]) survives because the conflicting forwarded
 //! proposals land inside every honest party's window.
+//!
+//! **Sim-only** (`thm9/split-early-commit` in [`super::SIM_ONLY_SCHEDULES`]): the
+//! schedule pins scripted actions and per-link delivery instants that
+//! only the deterministic simulator can honor; see the
+//! [module docs](super) for why wall-clock backends reject it.
 
 use crate::strawman::{EarlyCommitBb, EarlyMsg, EarlyVote};
 use crate::sync::{ThirdBb, ThirdMsg};

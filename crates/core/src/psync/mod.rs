@@ -16,7 +16,7 @@ mod pbft3;
 mod vbb5f1;
 
 pub use cert::{Certificate, LeaderSigned, Lock, TimeoutMsg, VoteMsg};
-pub use pbft3::{PbftMsg, PbftPsyncVbb, PreparedCert};
+pub use pbft3::{PbftMsg, PbftProposal, PbftPsyncVbb, PhaseVote, PreparedCert, ViewChangeMsg};
 pub use vbb5f1::{EquivocatingLeader, Proof, StatusMsg, VbbFiveFMinusOne, VbbMsg};
 
 use gcl_crypto::Keychain;

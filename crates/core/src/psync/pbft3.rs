@@ -178,6 +178,74 @@ pub enum PbftMsg {
     ViewChangeBundle(Vec<ViewChangeMsg>),
 }
 
+gcl_types::wire_struct!(PbftProposal { value, view, sig });
+gcl_types::wire_struct!(PhaseVote { value, view, sig });
+gcl_types::wire_struct!(PreparedCert {
+    value,
+    view,
+    prepares
+});
+gcl_types::wire_struct!(ViewChangeMsg {
+    view,
+    prepared,
+    sig
+});
+
+/// Wire codec: one tag byte per message kind.
+mod wire_codec {
+    use super::*;
+    use gcl_types::{Decode, Encode, WireError};
+
+    impl Encode for PbftMsg {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            match self {
+                PbftMsg::Propose { prop, proof } => {
+                    buf.push(1);
+                    prop.encode(buf);
+                    proof.encode(buf);
+                }
+                PbftMsg::Prepare(v) => {
+                    buf.push(2);
+                    v.encode(buf);
+                }
+                PbftMsg::Commit(v) => {
+                    buf.push(3);
+                    v.encode(buf);
+                }
+                PbftMsg::CommitBundle(vs) => {
+                    buf.push(4);
+                    vs.encode(buf);
+                }
+                PbftMsg::ViewChange(vc) => {
+                    buf.push(5);
+                    vc.encode(buf);
+                }
+                PbftMsg::ViewChangeBundle(vcs) => {
+                    buf.push(6);
+                    vcs.encode(buf);
+                }
+            }
+        }
+    }
+
+    impl Decode for PbftMsg {
+        fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+            match u8::decode(input)? {
+                1 => Ok(PbftMsg::Propose {
+                    prop: Decode::decode(input)?,
+                    proof: Decode::decode(input)?,
+                }),
+                2 => Ok(PbftMsg::Prepare(Decode::decode(input)?)),
+                3 => Ok(PbftMsg::Commit(Decode::decode(input)?)),
+                4 => Ok(PbftMsg::CommitBundle(Decode::decode(input)?)),
+                5 => Ok(PbftMsg::ViewChange(Decode::decode(input)?)),
+                6 => Ok(PbftMsg::ViewChangeBundle(Decode::decode(input)?)),
+                tag => Err(WireError::BadTag { ty: "PbftMsg", tag }),
+            }
+        }
+    }
+}
+
 /// One party of the PBFT-style 3-round psync-VBB.
 ///
 /// # Examples

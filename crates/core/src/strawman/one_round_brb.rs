@@ -12,6 +12,8 @@ use gcl_types::{Config, PartyId, Value};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OneRoundMsg(pub Value);
 
+gcl_types::wire_newtype!(OneRoundMsg);
+
 /// One party of the (unsafe) 1-round BRB.
 #[derive(Debug)]
 pub struct OneRoundBrb {

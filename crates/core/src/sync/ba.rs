@@ -37,6 +37,8 @@ const BA_DOMAIN: &str = "ba-ds";
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BaMsg(pub DsRelay);
 
+gcl_types::wire_newtype!(BaMsg);
+
 /// The lock-step Byzantine agreement component.
 ///
 /// Lifecycle: construct with the protocol; call [`LockstepBa::invoke`] at

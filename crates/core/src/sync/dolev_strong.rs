@@ -120,9 +120,17 @@ impl DsInstance {
     }
 }
 
+gcl_types::wire_struct!(DsRelay {
+    instance,
+    value,
+    chain
+});
+
 /// Wire message of stand-alone Dolev–Strong broadcast.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DsMsg(pub DsRelay);
+
+gcl_types::wire_newtype!(DsMsg);
 
 const DS_DOMAIN: &str = "ds-bb";
 

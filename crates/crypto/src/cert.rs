@@ -35,6 +35,11 @@ pub struct QuorumCert {
     sigs: BTreeMap<PartyId, Signature>,
 }
 
+// Wire format: digest + signer-ordered signature map. A decoded cert is
+// structurally well-formed (distinct signers by construction of the map);
+// its signatures still carry no authority until `QuorumCert::verify`.
+gcl_types::wire_struct!(QuorumCert { digest, sigs });
+
 impl QuorumCert {
     /// An empty certificate over `digest`.
     pub fn new(digest: Digest) -> Self {

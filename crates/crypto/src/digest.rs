@@ -42,6 +42,9 @@ impl Digest {
     }
 }
 
+// Wire format: the raw 32 bytes.
+gcl_types::wire_newtype!(Digest);
+
 impl fmt::Debug for Digest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

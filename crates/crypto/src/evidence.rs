@@ -34,6 +34,16 @@ pub struct EquivocationEvidence {
     sig_b: Signature,
 }
 
+// Wire format: the four fields in order. Decoding skips the `new`
+// invariant on purpose — received evidence is untrusted input, and
+// `verify` re-checks both the distinct-digest and signature conditions.
+gcl_types::wire_struct!(EquivocationEvidence {
+    digest_a,
+    sig_a,
+    digest_b,
+    sig_b
+});
+
 impl EquivocationEvidence {
     /// Assembles evidence from two signed digests.
     ///

@@ -29,6 +29,11 @@ impl Signature {
     }
 }
 
+// Wire format: signer id + raw MAC bytes. Decoding reconstructs exactly
+// the transmitted claim; unforgeability is unaffected because `Pki::verify`
+// recomputes the MAC — forged bytes simply fail verification.
+gcl_types::wire_struct!(Signature { signer, mac });
+
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -29,22 +29,77 @@
 //! for evidence the protocols survive real concurrency and real clocks,
 //! trust this backend.
 
-use crate::runtime::{run_slots, EnginePlan};
+use crate::runtime::{run_slots, EnginePlan, RawRun};
 use gcl_sim::{
-    Backend, CommitRecord, ErasedMsg, ErasedSlot, Outcome, OutcomeParts, ScenarioError,
+    Backend, CommitRecord, ErasedMsg, ErasedSlot, MsgCodec, Outcome, OutcomeParts, ScenarioError,
     ScenarioRegistry, ScenarioSpec,
 };
 use gcl_types::{GlobalTime, LocalTime, PartyId};
 use std::time::Duration;
 
 /// Converts a simulated duration (integer µs) to a wall-clock one.
-fn wall(d: gcl_types::Duration) -> Duration {
+pub(crate) fn wall(d: gcl_types::Duration) -> Duration {
     Duration::from_micros(d.as_micros())
 }
 
 /// Truncates a wall-clock duration back to integer microseconds.
 fn micros(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The spec-to-environment mapping shared by every wall-clock backend in
+/// this crate: δ/jitter → the injected link matrix, skew → thread start
+/// offsets, plus the caller's deadline.
+pub(crate) fn engine_plan(spec: &ScenarioSpec, deadline: Duration) -> EnginePlan {
+    let config = spec.config().expect("validated by the registry");
+    let n = config.n();
+    let skew = spec.skew_schedule();
+    EnginePlan {
+        config,
+        links: spec.link_delays().into_iter().map(wall).collect(),
+        starts: (0..n)
+            .map(|i| {
+                wall(
+                    skew.start_of(PartyId::new(i as u32))
+                        .since(GlobalTime::ZERO),
+                )
+            })
+            .collect(),
+        deadline,
+    }
+}
+
+/// Folds a raw engine run into the simulator-comparable [`Outcome`]: each
+/// party's first commit (the simulator's contract), plus the engine-level
+/// counters. The raw multi-commit stream stays an engine observation.
+pub(crate) fn outcome_from_raw(spec: &ScenarioSpec, raw: RawRun) -> Outcome {
+    let config = spec.config().expect("validated by the registry");
+    let skew = spec.skew_schedule();
+    let commits = raw
+        .commits
+        .iter()
+        .filter(|c| c.first)
+        .map(|c| CommitRecord {
+            party: c.party,
+            value: c.value,
+            global: GlobalTime::from_micros(micros(c.elapsed)),
+            local: LocalTime::from_micros(micros(c.local)),
+            round: c.round,
+            step: c.step,
+        })
+        .collect();
+    Outcome::from(OutcomeParts {
+        config,
+        honest: raw.honest,
+        commits,
+        terminated: raw.terminated,
+        broadcaster: spec.broadcaster,
+        broadcaster_start: skew.start_of(spec.broadcaster),
+        end_time: GlobalTime::from_micros(micros(raw.elapsed)),
+        events_processed: raw.events_handled,
+        messages_sent: raw.messages_sent,
+        peak_queue_depth: raw.peak_queue,
+    })
 }
 
 /// Runs registry scenarios over threads and wall clocks. See the
@@ -114,54 +169,15 @@ impl Backend for NetBackend {
         "net"
     }
 
-    fn execute(&self, spec: &ScenarioSpec, slots: Vec<ErasedSlot>) -> Outcome {
-        let config = spec.config().expect("validated by the registry");
-        let n = config.n();
-        let skew = spec.skew_schedule();
+    fn execute(&self, spec: &ScenarioSpec, slots: Vec<ErasedSlot>, _codec: MsgCodec) -> Outcome {
+        // In-memory transport: erased payloads move between threads
+        // directly (`Arc`-shared multicasts), so the codec goes unused —
+        // `SocketBackend` is the transport that exercises it.
         let raw = run_slots::<ErasedMsg>(
-            EnginePlan {
-                config,
-                links: spec.link_delays().into_iter().map(wall).collect(),
-                starts: (0..n)
-                    .map(|i| {
-                        wall(
-                            skew.start_of(PartyId::new(i as u32))
-                                .since(GlobalTime::ZERO),
-                        )
-                    })
-                    .collect(),
-                deadline: self.deadline,
-            },
+            engine_plan(spec, self.deadline),
             slots.into_iter().map(|s| (s.strategy, s.honest)).collect(),
         );
-        // The Outcome keeps each party's first commit (the simulator's
-        // contract); the raw multi-commit stream stays an engine-level
-        // observation.
-        let commits = raw
-            .commits
-            .iter()
-            .filter(|c| c.first)
-            .map(|c| CommitRecord {
-                party: c.party,
-                value: c.value,
-                global: GlobalTime::from_micros(micros(c.elapsed)),
-                local: LocalTime::from_micros(micros(c.local)),
-                round: c.round,
-                step: c.step,
-            })
-            .collect();
-        Outcome::from(OutcomeParts {
-            config,
-            honest: raw.honest,
-            commits,
-            terminated: raw.terminated,
-            broadcaster: spec.broadcaster,
-            broadcaster_start: skew.start_of(spec.broadcaster),
-            end_time: GlobalTime::from_micros(micros(raw.elapsed)),
-            events_processed: raw.events_handled,
-            messages_sent: raw.messages_sent,
-            peak_queue_depth: raw.peak_queue,
-        })
+        outcome_from_raw(spec, raw)
     }
 }
 

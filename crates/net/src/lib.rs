@@ -1,26 +1,36 @@
-//! A real (non-simulated) runtime: every party is an OS thread, links are
-//! channels with injected latency, clocks are wall clocks.
+//! A real (non-simulated) runtime: every party is an OS thread or
+//! socket-backed event loop, links carry injected latency, clocks are
+//! wall clocks.
 //!
-//! # The two-backend architecture
+//! # The three-backend architecture
 //!
-//! The workspace has two execution targets behind one scenario layer:
+//! The workspace has three execution targets behind one scenario layer:
 //!
 //! * **`gcl_sim`** — the deterministic discrete-event simulator. δ and Δ
 //!   are exact, executions replay bit-for-bit, and a million-event run
 //!   costs milliseconds. Every *measured* number in the paper tables
 //!   (Table 1, Figure 8, the throughput trajectory) comes from here.
-//! * **`gcl_net`** (this crate) — threads, channels and wall clocks. The
-//!   protocols in `gcl-core` are written against [`gcl_sim::Context`] and
-//!   run **unmodified** here, demonstrating they are not simulator-bound:
-//!   real concurrency, real message races, real timer drift.
+//! * **[`NetBackend`]** (this crate) — threads, channels and wall clocks.
+//!   The protocols in `gcl-core` are written against [`gcl_sim::Context`]
+//!   and run **unmodified** here, demonstrating they are not
+//!   simulator-bound: real concurrency, real message races, real timer
+//!   drift. Multicast payloads are `Arc`-shared across threads — fast,
+//!   but in-memory.
+//! * **[`SocketBackend`]** (this crate) — the same wall-clock discipline,
+//!   but every message is *encoded to bytes, carried across a Unix-domain
+//!   socket (TCP-localhost fallback), and decoded on the far side* via
+//!   the `gcl_types::wire` codec. There is no pointer fast path across
+//!   the party boundary, so a committing run is end-to-end proof the
+//!   family's message types survive serialization.
 //!
-//! [`NetBackend`] implements [`gcl_sim::Backend`], so any
+//! Both wall backends implement [`gcl_sim::Backend`], so any
 //! [`gcl_sim::ScenarioSpec`] admitted by a
-//! [`gcl_sim::ScenarioRegistry`] runs on either target:
+//! [`gcl_sim::ScenarioRegistry`] runs on all three targets:
 //!
 //! ```text
-//! registry.run(&spec)                      // simulator (exact, fast)
-//! registry.run_on(&spec, &NetBackend::new()) // threads + wall clocks
+//! registry.run(&spec)                           // simulator (exact, fast)
+//! registry.run_on(&spec, &NetBackend::new())    // threads + wall clocks
+//! registry.run_on(&spec, &SocketBackend::new()) // + real bytes on real sockets
 //! ```
 //!
 //! The spec's δ/jitter become injected per-link latencies, its skew
@@ -28,8 +38,8 @@
 //! becomes muted or mid-run-crashing party threads. Outcomes convert to
 //! the same [`gcl_sim::Outcome`] audits (agreement, validity, commits) the
 //! simulator reports, which is what the workspace's `net_conformance`
-//! suite checks: every registered family commits the same value on both
-//! backends.
+//! suite checks: every registered family commits the same value on all
+//! three backends.
 //!
 //! **When to trust which numbers:** wall-clock latencies from this crate
 //! include thread spawn, scheduler jitter and channel overhead — treat
@@ -80,6 +90,8 @@
 
 mod backend;
 mod runtime;
+mod socket;
 
 pub use backend::NetBackend;
 pub use runtime::{NetCommit, NetOutcome, NetRuntime};
+pub use socket::SocketBackend;

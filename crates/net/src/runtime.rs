@@ -234,7 +234,7 @@ pub(crate) struct RawRun {
 /// How long the dispatcher sleeps when it has nothing scheduled, and how
 /// long party threads wait per `recv` poll. Pure wake-up granularity — a
 /// submission or a stop interrupts either immediately via the channel.
-const IDLE_POLL: Duration = Duration::from_millis(50);
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(50);
 
 /// Spawns one thread per slot plus a dispatcher, runs until every honest
 /// slot terminates or the deadline passes, and collects the observations.
@@ -577,18 +577,37 @@ impl NetRuntime {
     }
 }
 
-/// The party-side [`Context`] of the net runtime. Effects buffer here and
-/// the party thread drains them after the handler returns; `multicast`
-/// stays one entry (not `n` sends) so the drain can share the payload.
-struct NetCtx<M> {
-    me: PartyId,
-    config: Config,
-    now: LocalTime,
-    sends: Vec<(PartyId, M)>,
-    mcasts: Vec<(Option<PartyId>, M)>,
-    timers: Vec<(SimDuration, u64)>,
-    commit_values: Vec<Value>,
-    terminate: bool,
+/// The party-side [`Context`] of the wall-clock runtimes (thread engine
+/// and socket engine alike). Effects buffer here and the party thread
+/// drains them after the handler returns; `multicast` stays one entry
+/// (not `n` sends) so the drain can share the payload — as an `Arc` on
+/// the in-memory transport, as one encoded byte buffer on the socket
+/// transport.
+pub(crate) struct NetCtx<M> {
+    pub(crate) me: PartyId,
+    pub(crate) config: Config,
+    pub(crate) now: LocalTime,
+    pub(crate) sends: Vec<(PartyId, M)>,
+    pub(crate) mcasts: Vec<(Option<PartyId>, M)>,
+    pub(crate) timers: Vec<(SimDuration, u64)>,
+    pub(crate) commit_values: Vec<Value>,
+    pub(crate) terminate: bool,
+}
+
+impl<M> NetCtx<M> {
+    /// An empty effect buffer for one handler invocation at local `now`.
+    pub(crate) fn new(me: PartyId, config: Config, now: LocalTime) -> Self {
+        NetCtx {
+            me,
+            config,
+            now,
+            sends: Vec::new(),
+            mcasts: Vec::new(),
+            timers: Vec::new(),
+            commit_values: Vec::new(),
+            terminate: false,
+        }
+    }
 }
 
 impl<M> Context<M> for NetCtx<M> {

@@ -21,7 +21,7 @@
 use crate::context::{Context, Strategy};
 use crate::outcome::Outcome;
 use crate::scenario::ScenarioSpec;
-use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
+use gcl_types::{Config, Duration, LocalTime, PartyId, Value, WireError, WireMsg};
 use std::any::Any;
 use std::fmt;
 use std::marker::PhantomData;
@@ -31,9 +31,10 @@ trait AnyMsg: Send + Sync {
     fn clone_box(&self) -> Box<dyn AnyMsg>;
     fn debug_fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    fn encode_wire(&self, buf: &mut Vec<u8>);
 }
 
-impl<T: Clone + fmt::Debug + Send + Sync + 'static> AnyMsg for T {
+impl<T: WireMsg> AnyMsg for T {
     fn clone_box(&self) -> Box<dyn AnyMsg> {
         Box::new(self.clone())
     }
@@ -43,17 +44,22 @@ impl<T: Clone + fmt::Debug + Send + Sync + 'static> AnyMsg for T {
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        gcl_types::Encode::encode(self, buf);
+    }
 }
 
-/// A type-erased wire message: any `Clone + Debug + Send + Sync + 'static`
-/// payload behind one pointer. This is the message type every [`Backend`] runs —
-/// each run still carries exactly one concrete type inside, and
-/// [`ErasedMsg::downcast`] recovers it at the protocol boundary.
+/// A type-erased wire message: any [`WireMsg`] payload behind one pointer.
+/// This is the message type every [`Backend`] runs — each run still
+/// carries exactly one concrete type inside; [`ErasedMsg::downcast`]
+/// recovers it at the protocol boundary, and [`ErasedMsg::encode`] /
+/// [`MsgCodec::decode`] carry it across a byte transport without either
+/// side naming the concrete type.
 pub struct ErasedMsg(Box<dyn AnyMsg>);
 
 impl ErasedMsg {
     /// Wraps a concrete message.
-    pub fn new<M: Clone + fmt::Debug + Send + Sync + 'static>(msg: M) -> Self {
+    pub fn new<M: WireMsg>(msg: M) -> Self {
         ErasedMsg(Box::new(msg))
     }
 
@@ -70,6 +76,60 @@ impl ErasedMsg {
             .into_any()
             .downcast::<M>()
             .unwrap_or_else(|_| panic!("ErasedMsg holds a different message type"))
+    }
+
+    /// Appends the inner message's wire encoding to `buf` — the encode
+    /// half of the byte bridge, dispatched through the erased vtable.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode_wire(buf);
+    }
+
+    /// The inner message's wire encoding as a fresh byte vector.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// The decode half of the byte bridge: re-types wire bytes as the run's
+/// concrete message, re-erased. [`ScenarioSpec::run_protocol_on`] builds
+/// one per run (it is the only place that still sees the family's message
+/// generic), and byte-transport backends call [`MsgCodec::decode`] on
+/// every frame they deliver.
+#[derive(Clone, Copy)]
+pub struct MsgCodec {
+    type_name: &'static str,
+    decode: fn(&[u8]) -> Result<ErasedMsg, WireError>,
+}
+
+impl MsgCodec {
+    /// The codec for message type `M`.
+    pub fn of<M: WireMsg>() -> Self {
+        MsgCodec {
+            type_name: std::any::type_name::<M>(),
+            decode: |bytes| gcl_types::Decode::from_wire(bytes).map(ErasedMsg::new::<M>),
+        }
+    }
+
+    /// Decodes one complete message frame (trailing bytes are an error).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] the bytes provoke.
+    pub fn decode(&self, bytes: &[u8]) -> Result<ErasedMsg, WireError> {
+        (self.decode)(bytes)
+    }
+
+    /// The concrete message type this codec round-trips (diagnostics).
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+}
+
+impl fmt::Debug for MsgCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MsgCodec<{}>", self.type_name)
     }
 }
 
@@ -94,7 +154,7 @@ struct Reify<'a, M> {
     _marker: PhantomData<M>,
 }
 
-impl<M: Clone + fmt::Debug + Send + Sync + 'static> Context<M> for Reify<'_, M> {
+impl<M: WireMsg> Context<M> for Reify<'_, M> {
     fn me(&self) -> PartyId {
         self.ctx.me()
     }
@@ -149,7 +209,7 @@ impl<M, S> fmt::Debug for Erase<M, S> {
 
 impl<M, S> Strategy<ErasedMsg> for Erase<M, S>
 where
-    M: Clone + fmt::Debug + Send + Sync + 'static,
+    M: WireMsg,
     S: Strategy<M>,
 {
     fn start(&mut self, ctx: &mut dyn Context<ErasedMsg>) {
@@ -205,6 +265,10 @@ impl fmt::Debug for ErasedSlot {
 /// per [`ScenarioSpec::adversary_slots`]); the backend supplies the
 /// *environment* — delivery delays per [`ScenarioSpec::link_delays`],
 /// start skew per [`ScenarioSpec::skew_schedule`], clocks, and transport.
+/// Backends whose transport is bytes (sockets, processes) encode every
+/// in-flight message via [`ErasedMsg::encode`] and re-type delivered
+/// frames with the supplied [`MsgCodec`]; in-memory backends may ignore
+/// the codec and move the erased payloads directly.
 pub trait Backend {
     /// Short stable name for reports and labels (`"sim"`, `"net"`, …).
     fn name(&self) -> &'static str;
@@ -217,7 +281,9 @@ pub trait Backend {
     }
 
     /// Runs `spec` (shape already validated) over the pre-built slots.
-    fn execute(&self, spec: &ScenarioSpec, slots: Vec<ErasedSlot>) -> Outcome;
+    /// `codec` round-trips the run's message type through bytes for
+    /// transports that need it.
+    fn execute(&self, spec: &ScenarioSpec, slots: Vec<ErasedSlot>, codec: MsgCodec) -> Outcome;
 }
 
 /// The in-process deterministic simulator as a [`Backend`].
@@ -256,7 +322,7 @@ impl Backend for SimBackend {
         !self.erased
     }
 
-    fn execute(&self, spec: &ScenarioSpec, slots: Vec<ErasedSlot>) -> Outcome {
+    fn execute(&self, spec: &ScenarioSpec, slots: Vec<ErasedSlot>, _codec: MsgCodec) -> Outcome {
         let mut b = spec.sim_builder::<ErasedMsg>();
         for (i, slot) in slots.into_iter().enumerate() {
             b = b.slot_boxed(PartyId::new(i as u32), slot.strategy, slot.honest);
@@ -270,9 +336,11 @@ mod tests {
     use super::*;
     use crate::context::Protocol;
     use crate::scenario::{AdversaryMix, ScenarioSpec};
+    use gcl_types::Encode;
 
     #[derive(Debug, Clone, PartialEq)]
     struct WordMsg(String);
+    gcl_types::wire_newtype!(WordMsg);
 
     /// Broadcaster multicasts a string; everyone commits its length.
     struct WordFlood {
@@ -337,5 +405,25 @@ mod tests {
     #[should_panic(expected = "different message type")]
     fn downcast_mismatch_panics() {
         ErasedMsg::new(7u64).downcast::<WordMsg>();
+    }
+
+    #[test]
+    fn erased_msg_round_trips_through_bytes() {
+        let m = ErasedMsg::new(WordMsg("over the wire".into()));
+        let bytes = m.to_wire();
+        assert_eq!(bytes, WordMsg("over the wire".into()).to_wire());
+        let codec = MsgCodec::of::<WordMsg>();
+        assert!(codec.type_name().contains("WordMsg"), "{codec:?}");
+        let back = codec.decode(&bytes).expect("well-formed frame");
+        assert_eq!(back.downcast::<WordMsg>(), WordMsg("over the wire".into()));
+    }
+
+    #[test]
+    fn codec_rejects_garbage_frames() {
+        let codec = MsgCodec::of::<WordMsg>();
+        assert!(codec.decode(&[1, 2]).is_err(), "truncated frame");
+        let mut long = ErasedMsg::new(WordMsg("x".into())).to_wire();
+        long.push(0);
+        assert!(codec.decode(&long).is_err(), "trailing bytes rejected");
     }
 }

@@ -1,7 +1,6 @@
 //! The party-side API: [`Context`], [`Protocol`], [`Strategy`].
 
-use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
-use std::fmt;
+use gcl_types::{Config, Duration, LocalTime, PartyId, Value, WireMsg};
 
 /// Everything a party may do to the outside world.
 ///
@@ -77,8 +76,11 @@ pub trait Context<M> {
 /// paper's indistinguishability proofs quantify over.
 pub trait Protocol: Send + 'static {
     /// The protocol's wire message type — plain data: `Sync` so wall-clock
-    /// runtimes may share one multicast payload across receiving threads.
-    type Msg: Clone + fmt::Debug + Send + Sync + 'static;
+    /// runtimes may share one multicast payload across receiving threads,
+    /// and [`gcl_types::Encode`]`/`[`gcl_types::Decode`] so socket
+    /// backends can move it as real bytes. The simulator itself never
+    /// invokes the codec — the monomorphic hot loop stays codec-free.
+    type Msg: WireMsg;
 
     /// Called once when the party's local clock starts (local time 0).
     fn start(&mut self, ctx: &mut dyn Context<Self::Msg>);

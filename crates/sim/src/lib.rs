@@ -65,7 +65,7 @@ mod scenario;
 mod strategies;
 mod sweep;
 
-pub use backend::{Backend, Erase, ErasedMsg, ErasedSlot, SimBackend};
+pub use backend::{Backend, Erase, ErasedMsg, ErasedSlot, MsgCodec, SimBackend};
 pub use context::{Context, Protocol, Strategy};
 pub use event::TraceEntry;
 pub use network::{

@@ -63,7 +63,7 @@
 //! `gcl_net`'s wall-clock thread runtime) and the same one-line
 //! registration runs there too.
 
-use crate::backend::{Backend, Erase, ErasedMsg, ErasedSlot, SimBackend};
+use crate::backend::{Backend, Erase, ErasedMsg, ErasedSlot, MsgCodec, SimBackend};
 use crate::context::Protocol;
 use crate::network::{FixedDelay, RandomDelay, TimingModel};
 use crate::outcome::Outcome;
@@ -551,7 +551,10 @@ impl ScenarioSpec {
     /// agnostic form of [`ScenarioSpec::run_protocol`] that registered
     /// family closures call. The native simulator backend takes the
     /// erasure-free hot loop; every other backend receives the spec's
-    /// party slots type-erased via [`ScenarioSpec::erased_slots`].
+    /// party slots type-erased via [`ScenarioSpec::erased_slots`] plus the
+    /// [`MsgCodec`] that round-trips the family's message type through
+    /// bytes (this is the one place that still sees the `P::Msg` generic,
+    /// so it is where the codec gets monomorphized).
     ///
     /// # Panics
     ///
@@ -564,7 +567,7 @@ impl ScenarioSpec {
         if backend.native_sim() {
             self.run_protocol(make)
         } else {
-            backend.execute(self, self.erased_slots(make))
+            backend.execute(self, self.erased_slots(make), MsgCodec::of::<P::Msg>())
         }
     }
 

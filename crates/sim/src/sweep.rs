@@ -53,10 +53,14 @@
 //! assert_eq!(report.safety_violations().count(), 0);
 //! ```
 
+use crate::backend::{Backend, SimBackend};
 use crate::scenario::{derive_cell_seed, ScenarioRegistry, ScenarioSpec};
 use crossbeam::channel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// The default execution target of a sweep.
+static SIM_BACKEND: SimBackend = SimBackend::new();
 
 /// The audited result of one grid cell. Every field is deterministic in
 /// the cell's spec; two runs of the same sweep compare equal cell-by-cell.
@@ -180,6 +184,7 @@ impl SweepReport {
 /// A configured sweep, ready to [`Sweep::run`].
 pub struct Sweep<'a> {
     registry: &'a ScenarioRegistry,
+    backend: &'a (dyn Backend + Sync),
     cells: Vec<ScenarioSpec>,
     threads: usize,
     seed: Option<u64>,
@@ -188,6 +193,7 @@ pub struct Sweep<'a> {
 impl std::fmt::Debug for Sweep<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sweep")
+            .field("backend", &self.backend.name())
             .field("cells", &self.cells.len())
             .field("threads", &self.threads)
             .field("seed", &self.seed)
@@ -196,14 +202,29 @@ impl std::fmt::Debug for Sweep<'_> {
 }
 
 impl<'a> Sweep<'a> {
-    /// A sweep over `registry` with no cells and one thread.
+    /// A sweep over `registry` with no cells and one thread, targeting the
+    /// inline simulator.
     pub fn new(registry: &'a ScenarioRegistry) -> Self {
         Sweep {
             registry,
+            backend: &SIM_BACKEND,
             cells: Vec::new(),
             threads: 1,
             seed: None,
         }
+    }
+
+    /// Retargets every cell onto `backend` (e.g. `gcl_net`'s wall-clock
+    /// runtimes). Worker threads each drive full backend runs, so pick a
+    /// thread budget with the backend's own thread fan-out in mind: a
+    /// thread-per-party backend at `threads(2)` already runs `2 × n` party
+    /// threads. Wall-clock cells are *not* deterministic in the spec —
+    /// latency and event counts reflect the machine — but the audited
+    /// agreement/validity columns still gate like simulator sweeps.
+    #[must_use]
+    pub fn backend(mut self, backend: &'a (dyn Backend + Sync)) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Appends one cell.
@@ -241,6 +262,7 @@ impl<'a> Sweep<'a> {
     pub fn run(self) -> SweepReport {
         let Sweep {
             registry,
+            backend,
             mut cells,
             threads,
             seed,
@@ -264,7 +286,7 @@ impl<'a> Sweep<'a> {
                     scope.spawn(move || loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(spec) = specs.get(i) else { break };
-                        let report = run_cell(registry, spec);
+                        let report = run_cell(registry, backend, spec);
                         if tx.send((i, report)).is_err() {
                             break;
                         }
@@ -287,8 +309,8 @@ impl<'a> Sweep<'a> {
     }
 }
 
-/// Runs and audits one cell.
-fn run_cell(registry: &ScenarioRegistry, spec: &ScenarioSpec) -> CellReport {
+/// Runs and audits one cell on the sweep's execution backend.
+fn run_cell(registry: &ScenarioRegistry, backend: &dyn Backend, spec: &ScenarioSpec) -> CellReport {
     let label = spec.label();
     match registry.validate(spec) {
         Err(e) => CellReport {
@@ -305,7 +327,7 @@ fn run_cell(registry: &ScenarioRegistry, spec: &ScenarioSpec) -> CellReport {
             error: Some(e.to_string()),
         },
         Ok(family) => {
-            let o = family.run(spec);
+            let o = family.run_on(spec, backend);
             CellReport {
                 label,
                 committed: o.all_honest_committed(),

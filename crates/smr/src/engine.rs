@@ -18,6 +18,8 @@ pub struct SmrMsg {
     pub inner: VbbMsg,
 }
 
+gcl_types::wire_struct!(SmrMsg { slot, inner });
+
 /// Timer-tag multiplexing: slot index is packed above the inner tag.
 const SLOT_TAG_STRIDE: u64 = 1 << 40;
 

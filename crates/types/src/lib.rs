@@ -32,6 +32,7 @@ mod id;
 mod time;
 mod validity;
 mod value;
+pub mod wire;
 
 pub use config::{Config, ResilienceRegime};
 pub use error::{ConfigError, ProtocolError};
@@ -39,3 +40,4 @@ pub use id::{PartyId, View};
 pub use time::{Duration, GlobalTime, LocalTime, SkewSchedule};
 pub use validity::{accept_all, ExternalValidity};
 pub use value::{SlotId, Value};
+pub use wire::{Decode, Encode, WireError, WireMsg};

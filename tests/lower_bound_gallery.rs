@@ -62,3 +62,34 @@ fn theorem19_factor_tracks_resilience_ratio() {
         assert!(measured <= theorem19::upper_bound(cfg, d));
     }
 }
+
+#[test]
+fn scripted_schedules_are_cleanly_rejected_off_the_simulator() {
+    // The scripted equivocation schedules need exact delivery control, so
+    // they are deliberately not registered as scenario families. Asking
+    // any execution backend's registry path to run one must be a clean
+    // UnknownFamily rejection — never a silently diverging wall run.
+    use gcl::core::lower_bounds::SIM_ONLY_SCHEDULES;
+    use gcl::sim::{ScenarioError, ScenarioSpec};
+    use gcl_net::{NetBackend, SocketBackend};
+
+    let reg = gcl::core::registry();
+    assert_eq!(SIM_ONLY_SCHEDULES.len(), 5, "one key per theorem module");
+    for &key in SIM_ONLY_SCHEDULES {
+        assert!(
+            reg.family(key).is_none(),
+            "{key}: sim-only schedules must stay out of the registry"
+        );
+        let spec = ScenarioSpec::asynchronous(key, 4, 1);
+        for outcome in [
+            reg.run_on(&spec, &NetBackend::new()),
+            reg.run_on(&spec, &SocketBackend::new()),
+            reg.run(&spec),
+        ] {
+            match outcome {
+                Err(ScenarioError::UnknownFamily(k)) => assert_eq!(k, key),
+                other => panic!("{key}: expected clean rejection, got {other:?}"),
+            }
+        }
+    }
+}
