@@ -67,8 +67,9 @@ pub fn wall_spec(reg: &ScenarioRegistry, key: &str) -> ScenarioSpec {
     spec = spec.with_bounds(WALL_DELTA, big);
     if key == "smr" {
         // 12 commands keep the multi-slot pipeline honest without turning
-        // the cell into the slowest run of the suite.
-        spec = spec.with_workload(12, 4);
+        // the cell into the slowest run of the suite; batch 4 exercises
+        // multi-command batches without collapsing the log to one slot.
+        spec = spec.with_workload(12, 4).with_batch(4);
     }
     spec
 }

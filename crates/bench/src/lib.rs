@@ -34,6 +34,7 @@ pub mod conformance;
 pub mod json;
 pub mod netlat;
 pub mod scenarios;
+pub mod smrload;
 pub mod sweep;
 pub mod throughput;
 

@@ -1,0 +1,458 @@
+//! Open-loop SMR load generation: client request streams through the
+//! socket backend, rendered as the repo-root `BENCH_smr.json`.
+//!
+//! The other trajectories measure the substrate (`BENCH_sim.json`:
+//! simulator throughput) and the runtimes (`BENCH_net.json`: per-family
+//! wall latency). This one measures the *service*: a [`SlotEngine`]
+//! replica group in serving mode — no pre-baked workload, no known log
+//! length — fed by an **open-loop** client that submits requests on a
+//! fixed schedule regardless of how fast the replicas keep up. Open loop
+//! is the honest methodology for a replicated service: a closed-loop
+//! client (next request only after the last commit) hides queueing delay
+//! exactly when the system saturates, which is when latency matters.
+//!
+//! Each measured configuration is a `(batch, pipeline)` point: requests
+//! stream into the leader's mempool as [`SmrMsg::Submit`] frames over a
+//! real Unix-domain socket, the leader drains them into batched
+//! proposals, and every replica applies committed batches in slot order.
+//! When the stream stops the log quiesces (trailing no-op slots), so the
+//! run terminates without anyone knowing the workload length in advance.
+//! Per-request latency is submit-to-apply wall time at a follower
+//! replica; the row reports p50/p95/p99 and sustained commits/sec.
+//!
+//! Wall numbers are machine-dependent, so the CI gate ([`check_doc`])
+//! validates *structure*, not speed: right schema, at least three
+//! distinct `(batch, pipeline)` configurations, every row committed with
+//! agreement and a measured p50. Regeneration:
+//!
+//! ```text
+//! cargo run --release -p gcl_bench --bin smr_load -- --out BENCH_smr.json
+//! ```
+
+use crate::conformance::{wall_spec, WALL_DELTA};
+use crate::json::{parse, JVal, RowsDoc, Value as JsonValue};
+use crate::registry;
+use gcl_crypto::Keychain;
+use gcl_net::SocketBackend;
+use gcl_sim::{MsgCodec, ScenarioSpec};
+use gcl_smr::{SlotEngine, SmrMsg, SmrParams, StateMachine};
+use gcl_types::{Encode, PartyId, SlotId, Value};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The `schema` field of every `BENCH_smr.json` document.
+pub const SMR_SCHEMA: &str = "gcl-bench/smr-load/v1";
+
+/// A shared `(command, apply-instant)` side log one replica's
+/// [`RecordingMachine`] appends to.
+pub type ApplyLog = Arc<Mutex<Vec<(Value, Instant)>>>;
+
+/// The measured `(batch, pipeline)` grid: serial baseline, the moderate
+/// default, and a deep/wide point that exercises coalescing under burst.
+pub const LOAD_CONFIGS: [(usize, usize); 3] = [(1, 4), (4, 4), (32, 8)];
+
+/// Knobs of one load run (how much traffic, how fast, how long to wait).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadOptions {
+    /// Requests the open-loop client submits.
+    pub requests: u64,
+    /// Inter-arrival gap of the open-loop schedule.
+    pub gap: Duration,
+    /// Per-run wall deadline (quiesce exits long before this).
+    pub deadline: Duration,
+}
+
+impl LoadOptions {
+    /// CI smoke shape: enough traffic to span several slots per config
+    /// without dominating the job's wall time.
+    pub fn quick() -> Self {
+        LoadOptions {
+            requests: 48,
+            gap: Duration::from_millis(1),
+            deadline: Duration::from_secs(20),
+        }
+    }
+
+    /// The committed-baseline shape.
+    pub fn full() -> Self {
+        LoadOptions {
+            requests: 300,
+            gap: Duration::from_millis(1),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One `(batch, pipeline)` configuration's measured row.
+#[derive(Debug, Clone)]
+pub struct SmrLoadRow {
+    /// Proposal batch cap.
+    pub batch: usize,
+    /// Pipeline depth.
+    pub pipeline: usize,
+    /// Parties.
+    pub n: usize,
+    /// Fault budget.
+    pub f: usize,
+    /// Requests the client submitted.
+    pub requests: u64,
+    /// Requests observed applied at the probe replica.
+    pub committed: u64,
+    /// Whether replica log digests agreed at termination.
+    pub agreement: bool,
+    /// First-submit-to-last-apply wall time, µs.
+    pub elapsed_us: u64,
+    /// Sustained commit rate over `elapsed_us`.
+    pub commits_per_sec: f64,
+    /// Median submit-to-apply latency, µs.
+    pub p50_us: Option<u64>,
+    /// 95th-percentile submit-to-apply latency, µs.
+    pub p95_us: Option<u64>,
+    /// 99th-percentile submit-to-apply latency, µs.
+    pub p99_us: Option<u64>,
+}
+
+/// A [`Counter`]-equivalent state machine that also timestamps every
+/// applied command into a shared side log, so the harness can join
+/// applies against the client's submit schedule.
+///
+/// The digest is command-content only (no timestamps), so replicas still
+/// agree byte-for-byte with each other.
+///
+/// [`Counter`]: gcl_smr::Counter
+#[derive(Debug)]
+pub struct RecordingMachine {
+    total: u64,
+    applied: u64,
+    log: ApplyLog,
+}
+
+impl RecordingMachine {
+    /// A fresh machine appending `(command, apply-instant)` to `log`.
+    pub fn new(log: ApplyLog) -> Self {
+        RecordingMachine {
+            total: 0,
+            applied: 0,
+            log,
+        }
+    }
+}
+
+impl StateMachine for RecordingMachine {
+    fn apply(&mut self, _slot: SlotId, value: Value) {
+        self.total = self.total.wrapping_add(value.as_u64());
+        self.applied += 1;
+        self.log.lock().push((value, Instant::now()));
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.total ^ (self.applied << 48)
+    }
+}
+
+/// The wall-safe serving-mode spec the load runs use: the `smr` family's
+/// conformance bounds (2 ms links, ≥ 20 ms Δ so view timers cannot fire
+/// spuriously between back-to-back requests).
+pub fn load_spec() -> ScenarioSpec {
+    wall_spec(registry(), "smr")
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> Option<u64> {
+    if sorted_us.is_empty() {
+        return None;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    Some(sorted_us[idx.min(sorted_us.len() - 1)])
+}
+
+/// Runs one open-loop load experiment over the socket backend.
+///
+/// The client thread submits `opts.requests` commands (`Value::new(1)`,
+/// `Value::new(2)`, …) to the leader on a fixed `opts.gap` schedule; the
+/// run ends when the idle log quiesces. Latency is measured at replica 1
+/// (a follower — its applies ride the full two-round commit path).
+///
+/// # Panics
+///
+/// Panics if `spec` is not a valid shape for the engine.
+pub fn run_load(
+    spec: &ScenarioSpec,
+    batch: usize,
+    pipeline: usize,
+    opts: LoadOptions,
+) -> SmrLoadRow {
+    let cfg = spec.config().expect("validated shape");
+    let chain = Keychain::generate(spec.n, spec.seed);
+    let params = SmrParams {
+        batch,
+        pipeline,
+        ..SmrParams::default()
+    };
+    let logs: Vec<ApplyLog> = (0..spec.n)
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
+        .collect();
+    let engine_logs = logs.clone();
+    let slots = spec.erased_slots(|p| {
+        SlotEngine::new(
+            cfg,
+            chain.signer(p),
+            chain.pki(),
+            spec.big_delta,
+            params,
+            Arc::new(Mutex::new(RecordingMachine::new(
+                engine_logs[p.as_usize()].clone(),
+            ))),
+        )
+    });
+
+    let sends: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
+    let client_sends = Arc::clone(&sends);
+    let requests = opts.requests;
+    let gap = opts.gap;
+    let leader = PartyId::new(0);
+    let o = SocketBackend::new()
+        .deadline(opts.deadline)
+        .execute_with_client(spec, slots, MsgCodec::of::<SmrMsg>(), move |client| {
+            let start = Instant::now();
+            for i in 0..requests {
+                // Open loop: request i goes out at `start + i·gap` no
+                // matter how far behind the replicas are.
+                let due = start + gap * (i as u32);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    thread::sleep(wait);
+                }
+                let frame = SmrMsg::Submit {
+                    cmd: Value::new(i + 1),
+                }
+                .to_wire();
+                client_sends.lock().push(Instant::now());
+                if !client.submit(leader, frame) {
+                    break; // run already over (deadline) — stop submitting
+                }
+            }
+        });
+
+    let sends = sends.lock();
+    // Probe at replica 1: a follower, so each apply crosses the full
+    // propose→vote→commit path plus payload dissemination.
+    let probe = logs[1].lock();
+    let mut lats_us: Vec<u64> = probe
+        .iter()
+        .filter_map(|(v, at)| {
+            let idx = v.as_u64().checked_sub(1)? as usize;
+            let sent = sends.get(idx)?;
+            Some(at.duration_since(*sent).as_micros() as u64)
+        })
+        .collect();
+    lats_us.sort_unstable();
+    let committed = probe.len() as u64;
+    let elapsed_us = match (sends.first(), probe.last()) {
+        (Some(first), Some((_, last))) => last.duration_since(*first).as_micros() as u64,
+        _ => 0,
+    };
+    let commits_per_sec = if elapsed_us > 0 {
+        committed as f64 * 1e6 / elapsed_us as f64
+    } else {
+        0.0
+    };
+    SmrLoadRow {
+        batch,
+        pipeline,
+        n: spec.n,
+        f: spec.f,
+        requests,
+        committed,
+        agreement: o.agreement_holds(),
+        elapsed_us,
+        commits_per_sec,
+        p50_us: percentile(&lats_us, 0.50),
+        p95_us: percentile(&lats_us, 0.95),
+        p99_us: percentile(&lats_us, 0.99),
+    }
+}
+
+/// Measures every [`LOAD_CONFIGS`] point on the socket backend.
+pub fn smr_load_rows(opts: LoadOptions) -> Vec<SmrLoadRow> {
+    let spec = load_spec();
+    LOAD_CONFIGS
+        .iter()
+        .map(|&(batch, pipeline)| run_load(&spec, batch, pipeline, opts))
+        .collect()
+}
+
+/// Renders rows as the `BENCH_smr.json` document ([`RowsDoc`] format).
+pub fn render_json(rows: &[SmrLoadRow]) -> String {
+    let mut doc = RowsDoc::new(SMR_SCHEMA);
+    doc.top("delta_us", JVal::U64(WALL_DELTA.as_micros()));
+    for r in rows {
+        doc.row(vec![
+            ("batch", JVal::U64(r.batch as u64)),
+            ("pipeline", JVal::U64(r.pipeline as u64)),
+            ("n", JVal::U64(r.n as u64)),
+            ("f", JVal::U64(r.f as u64)),
+            ("requests", JVal::U64(r.requests)),
+            ("committed", JVal::U64(r.committed)),
+            ("agreement", JVal::Bool(r.agreement)),
+            ("elapsed_us", JVal::U64(r.elapsed_us)),
+            ("commits_per_sec", JVal::F1(r.commits_per_sec)),
+            ("p50_us", r.p50_us.map_or(JVal::Null, JVal::U64)),
+            ("p95_us", r.p95_us.map_or(JVal::Null, JVal::U64)),
+            ("p99_us", r.p99_us.map_or(JVal::Null, JVal::U64)),
+        ]);
+    }
+    doc.render()
+}
+
+/// Structural CI check of a `BENCH_smr.json` document: parseable, right
+/// schema, at least three distinct `(batch, pipeline)` configurations,
+/// and every row committed traffic with agreement and a measured median.
+/// Deliberately **no** rate or latency gate — wall numbers are machine
+/// noise across CI runners; the trajectory file exists so humans can
+/// diff the serving envelope per PR.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural violation.
+pub fn check_doc(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    check_parsed(&doc)
+}
+
+fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
+    if doc.field_str("schema") != Some(SMR_SCHEMA) {
+        return Err(format!(
+            "schema is {:?}, expected {SMR_SCHEMA:?}",
+            doc.field_str("schema")
+        ));
+    }
+    let rows = doc
+        .field("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing rows array")?;
+    let mut configs = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let batch = row
+            .field_u64("batch")
+            .ok_or_else(|| format!("row {i}: missing batch"))?;
+        let pipeline = row
+            .field_u64("pipeline")
+            .ok_or_else(|| format!("row {i}: missing pipeline"))?;
+        if row.field_bool("agreement") != Some(true) {
+            return Err(format!(
+                "row {i} (batch {batch}, pipeline {pipeline}): agreement violated"
+            ));
+        }
+        match row.field_u64("committed") {
+            Some(c) if c > 0 => {}
+            _ => {
+                return Err(format!(
+                    "row {i} (batch {batch}, pipeline {pipeline}): no committed requests"
+                ))
+            }
+        }
+        if row.field_u64("p50_us").is_none() {
+            return Err(format!(
+                "row {i} (batch {batch}, pipeline {pipeline}): no measured p50 latency"
+            ));
+        }
+        if !configs.contains(&(batch, pipeline)) {
+            configs.push((batch, pipeline));
+        }
+    }
+    if configs.len() < 3 {
+        return Err(format!(
+            "only {} distinct (batch, pipeline) configurations; need >= 3",
+            configs.len()
+        ));
+    }
+    Ok(rows.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_sim::AdversaryMix;
+
+    #[test]
+    fn open_loop_socket_load_commits_and_passes_check() {
+        // Three tiny configurations keep the unit test cheap while still
+        // producing a full-shape document the structural gate accepts.
+        let spec = load_spec();
+        let opts = LoadOptions {
+            requests: 24,
+            gap: Duration::from_millis(1),
+            deadline: Duration::from_secs(20),
+        };
+        let rows: Vec<SmrLoadRow> = [(1, 4), (4, 4), (8, 8)]
+            .iter()
+            .map(|&(b, p)| run_load(&spec, b, p, opts))
+            .collect();
+        for r in &rows {
+            assert!(r.agreement, "batch {} pipeline {}", r.batch, r.pipeline);
+            assert!(
+                r.committed > 0,
+                "batch {} pipeline {}: no traffic committed",
+                r.batch,
+                r.pipeline
+            );
+            let p50 = r.p50_us.expect("median measured");
+            // Two injected 2 ms hops bound the commit path from below.
+            assert!(
+                p50 >= 2 * WALL_DELTA.as_micros(),
+                "batch {} pipeline {}: p50 {p50}µs under the 2-hop floor",
+                r.batch,
+                r.pipeline
+            );
+            assert!(r.p95_us.unwrap() >= p50);
+            assert!(r.p99_us.unwrap() >= r.p95_us.unwrap());
+        }
+        let doc = render_json(&rows);
+        let n = check_doc(&doc).expect("fresh rows pass the structural gate");
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn load_survives_f_crashed_replicas() {
+        // Satellite coverage: the full client path with f replicas down.
+        // Replica 3 crashes almost immediately; the three live replicas
+        // must keep serving the stream and land on identical logs.
+        let spec = load_spec().with_adversary(AdversaryMix::CrashAt {
+            party: PartyId::new(3),
+            handled: 3,
+        });
+        let row = run_load(
+            &spec,
+            4,
+            4,
+            LoadOptions {
+                requests: 24,
+                gap: Duration::from_millis(1),
+                deadline: Duration::from_secs(20),
+            },
+        );
+        assert!(row.agreement, "live replicas must agree with f crashed");
+        assert!(
+            row.committed > 0,
+            "a crashed follower must not stop the service"
+        );
+    }
+
+    #[test]
+    fn check_rejects_malformed_documents() {
+        assert!(check_doc("not json").is_err());
+        assert!(check_doc("{\"schema\": \"other/v9\", \"rows\": []}").is_err());
+        let empty = format!("{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": []}}");
+        let err = check_doc(&empty).unwrap_err();
+        assert!(err.contains("configurations"), "{err}");
+        // A row that never committed is a liveness failure, not a shape
+        // variation.
+        let dead = format!(
+            "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [{{\"batch\": 1, \
+             \"pipeline\": 1, \"agreement\": true, \"committed\": 0}}]}}"
+        );
+        let err = check_doc(&dead).unwrap_err();
+        assert!(err.contains("no committed requests"), "{err}");
+    }
+}

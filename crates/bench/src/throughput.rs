@@ -20,7 +20,7 @@
 use crate::json::{JVal, RowsDoc};
 use crate::scenarios::canonical;
 use gcl_sim::{Admission, Context, Protocol, ScenarioRegistry, ScenarioSpec, ValidityMode};
-use gcl_smr::{Counter, SlotEngine};
+use gcl_smr::{Counter, SlotEngine, SmrParams};
 use gcl_types::{Duration, PartyId, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -85,16 +85,21 @@ pub(crate) fn register(reg: &mut ScenarioRegistry) {
             let cfg = spec.config().expect("validated");
             let chain = gcl_crypto::Keychain::generate(spec.n, spec.seed);
             let workload: Vec<Value> = (1..=spec.params.commands).map(Value::new).collect();
+            let params = SmrParams {
+                batch: spec.params.batch,
+                pipeline: spec.params.pipeline,
+                ..SmrParams::default()
+            };
             spec.run_protocol_on(backend, |p| {
                 SlotEngine::new(
                     cfg,
                     chain.signer(p),
                     chain.pki(),
                     spec.big_delta,
-                    workload.clone(),
-                    spec.params.pipeline,
+                    params,
                     Arc::new(Mutex::new(Counter::default())),
                 )
+                .with_workload(workload.clone())
             })
         },
     );

@@ -94,4 +94,4 @@ mod socket;
 
 pub use backend::NetBackend;
 pub use runtime::{NetCommit, NetOutcome, NetRuntime};
-pub use socket::SocketBackend;
+pub use socket::{ClientHandle, SocketBackend};

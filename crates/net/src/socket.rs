@@ -198,15 +198,15 @@ fn delivery_frame(delivery: &Delivery) -> Vec<u8> {
     body
 }
 
-/// Parses a submission frame body (written by the party loop below, so a
-/// parse failure is an engine bug worth failing loudly on).
-fn parse_submission(from: PartyId, body: Vec<u8>) -> Submission {
+/// Parses a submission frame body. Total: a malformed frame (unknown kind,
+/// truncated header) yields `None`, and the dispatcher treats the sending
+/// party as crashed — one garbled peer must never abort the whole run.
+fn parse_submission(from: PartyId, body: Vec<u8>) -> Option<Submission> {
     let mut r = &body[..];
-    let kind = u8::decode(&mut r).expect("submission frame has a kind byte");
-    let kind = match kind {
+    let kind = match u8::decode(&mut r).ok()? {
         KIND_UNICAST => {
-            let to = PartyId::decode(&mut r).expect("unicast header");
-            let round = u32::decode(&mut r).expect("unicast header");
+            let to = PartyId::decode(&mut r).ok()?;
+            let round = u32::decode(&mut r).ok()?;
             SubmissionKind::Unicast {
                 to,
                 round,
@@ -214,8 +214,8 @@ fn parse_submission(from: PartyId, body: Vec<u8>) -> Submission {
             }
         }
         KIND_MULTICAST => {
-            let skip = Option::<PartyId>::decode(&mut r).expect("multicast header");
-            let round = u32::decode(&mut r).expect("multicast header");
+            let skip = Option::<PartyId>::decode(&mut r).ok()?;
+            let round = u32::decode(&mut r).ok()?;
             SubmissionKind::Multicast {
                 skip,
                 round,
@@ -223,16 +223,52 @@ fn parse_submission(from: PartyId, body: Vec<u8>) -> Submission {
             }
         }
         KIND_TIMER => {
-            let delay = u64::decode(&mut r).expect("timer header");
-            let tag = u64::decode(&mut r).expect("timer header");
+            let delay = u64::decode(&mut r).ok()?;
+            let tag = u64::decode(&mut r).ok()?;
             SubmissionKind::Timer {
                 delay: Duration::from_micros(delay),
                 tag,
             }
         }
-        other => panic!("unknown submission frame kind {other}"),
+        _ => return None,
     };
-    Submission { from, kind }
+    Some(Submission { from, kind })
+}
+
+/// A client's way into a socket run: injects encoded messages that are
+/// scheduled and delivered exactly like party traffic (self-link delay,
+/// real bytes across the recipient's socket).
+///
+/// Handed to the driver closure of
+/// [`SocketBackend::execute_with_client`]; cloneable so a driver may fan
+/// out over threads.
+#[derive(Clone)]
+pub struct ClientHandle {
+    sub_tx: crossbeam::channel::Sender<Submission>,
+}
+
+impl ClientHandle {
+    /// Injects one encoded message for `to` (delivered as if `to` had sent
+    /// it to itself, i.e. after the zero self-link delay). Returns `false`
+    /// once the run has shut down — drivers should stop submitting then.
+    pub fn submit(&self, to: PartyId, bytes: Vec<u8>) -> bool {
+        self.sub_tx
+            .send(Submission {
+                from: to,
+                kind: SubmissionKind::Unicast {
+                    to,
+                    round: 0,
+                    bytes,
+                },
+            })
+            .is_ok()
+    }
+}
+
+impl std::fmt::Debug for ClientHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ClientHandle")
+    }
 }
 
 /// Spawns one socket-backed event loop per slot plus a dispatcher, runs
@@ -240,10 +276,14 @@ fn parse_submission(from: PartyId, body: Vec<u8>) -> Submission {
 /// the observations. The transport contract: every delivered protocol
 /// message was encoded by its sender and decoded by its receiver — no
 /// in-memory payload sharing across the party boundary.
+///
+/// `driver`, when present, runs on its own thread with a [`ClientHandle`]
+/// and models external clients (open-loop load, fault injection).
 pub(crate) fn run_socket_slots(
     plan: EnginePlan,
     slots: Vec<(Box<dyn Strategy<ErasedMsg>>, bool)>,
     codec: MsgCodec,
+    driver: Option<Box<dyn FnOnce(ClientHandle) + Send>>,
 ) -> RawRun {
     let n = plan.config.n();
     assert_eq!(slots.len(), n, "one slot per party");
@@ -268,6 +308,15 @@ pub(crate) fn run_socket_slots(
     // Held by the engine thread to order the shutdown below.
     let shutdown_tx = sub_tx.clone();
 
+    // The client driver, if any, gets its own submission handle; its
+    // injected frames are scheduled exactly like party submissions.
+    let driver_handle = driver.map(|driver| {
+        let handle = ClientHandle {
+            sub_tx: sub_tx.clone(),
+        };
+        thread::spawn(move || driver(handle))
+    });
+
     // Dispatcher readers: one blocking-read loop per party socket, parsing
     // submission frames and stamping them into the scheduler's channel.
     let mut dispatcher_writers = Vec::with_capacity(n);
@@ -279,7 +328,13 @@ pub(crate) fn run_socket_slots(
         let from = PartyId::new(i as u32);
         reader_handles.push(thread::spawn(move || {
             while let Ok(Some(body)) = read_frame(&mut read_end) {
-                if sub_tx.send(parse_submission(from, body)).is_err() {
+                // A malformed frame means the party behind this socket is
+                // garbled: stop reading it (crashed, from the dispatcher's
+                // point of view) and keep the rest of the run live.
+                let Some(sub) = parse_submission(from, body) else {
+                    break;
+                };
+                if sub_tx.send(sub).is_err() {
                     break;
                 }
             }
@@ -392,23 +447,35 @@ pub(crate) fn run_socket_slots(
         party_reader_handles.push(thread::spawn(move || {
             while let Ok(Some(body)) = read_frame(&mut read_end) {
                 let mut r = &body[..];
-                let event = match u8::decode(&mut r).expect("delivery frame has a kind byte") {
-                    KIND_UNICAST => {
-                        let from = PartyId::decode(&mut r).expect("delivery header");
-                        let round = u32::decode(&mut r).expect("delivery header");
+                let event = match u8::decode(&mut r) {
+                    Ok(KIND_UNICAST) => {
+                        let header = PartyId::decode(&mut r)
+                            .and_then(|from| u32::decode(&mut r).map(|round| (from, round)));
+                        let Ok((from, round)) = header else {
+                            // Truncated delivery header: this stream is
+                            // corrupt beyond one frame; stop reading it.
+                            return;
+                        };
                         // The decode half of the wire round trip: the frame
-                        // payload is exactly one encoded message.
-                        let msg = codec.decode(r).unwrap_or_else(|e| {
-                            panic!("undecodable {} frame: {e}", codec.type_name())
-                        });
-                        PartyEvent::Msg { from, round, msg }
+                        // payload is exactly one encoded message. A payload
+                        // that does not decode came from a garbled peer —
+                        // drop the frame (sender treated as crashed) and
+                        // keep this party's run live.
+                        match codec.decode(r) {
+                            Ok(msg) => PartyEvent::Msg { from, round, msg },
+                            Err(_) => continue,
+                        }
                     }
-                    KIND_TIMER => PartyEvent::Timer(u64::decode(&mut r).expect("timer tag")),
-                    KIND_STOP => {
+                    Ok(KIND_TIMER) => match u64::decode(&mut r) {
+                        Ok(tag) => PartyEvent::Timer(tag),
+                        Err(_) => return,
+                    },
+                    Ok(KIND_STOP) => {
                         let _ = ev_tx.send(PartyEvent::Stop);
                         return;
                     }
-                    other => panic!("unknown delivery frame kind {other}"),
+                    // Unknown kind or empty frame: corrupt stream.
+                    _ => return,
                 };
                 if ev_tx.send(event).is_err() {
                     // Event loop exited (terminated); keep draining so the
@@ -574,14 +641,22 @@ pub(crate) fn run_socket_slots(
         events_handled += handled;
     }
     let (messages_sent, peak_queue) = scheduler.join().unwrap_or((0, 0));
-    // Reader panics are engine bugs (undecodable frames, unknown kinds) —
-    // propagate them just like party-loop panics instead of letting a
-    // codec failure masquerade as "party never terminated". All readers
+    // Readers parse totally: a malformed frame makes them stop reading the
+    // garbled stream (sender treated as crashed) rather than panic, so a
+    // reader panic here can only be an engine bug (e.g. a poisoned
+    // channel) — propagate it just like a party-loop panic. All readers
     // have exited by now (Stop frames then EOF), so these joins are
     // finite even on the panic path (a panicked party reader drops its
     // socket clone, the party loop exits on channel disconnect, and the
     // scheduler's writes to that party fail with EPIPE, which it ignores).
     for h in reader_handles.into_iter().chain(party_reader_handles) {
+        if let Err(panic) = h.join() {
+            std::panic::resume_unwind(panic);
+        }
+    }
+    // The driver sees its submits fail once the scheduler is gone, so this
+    // join is finite for any driver that stops on a failed submit.
+    if let Some(h) = driver_handle {
         if let Err(panic) = h.join() {
             std::panic::resume_unwind(panic);
         }
@@ -675,6 +750,31 @@ impl Backend for SocketBackend {
             engine_plan(spec, self.deadline),
             slots.into_iter().map(|s| (s.strategy, s.honest)).collect(),
             codec,
+            None,
+        );
+        outcome_from_raw(spec, raw)
+    }
+}
+
+impl SocketBackend {
+    /// Like [`Backend::execute`], but with an external client: `driver`
+    /// runs on its own thread for the duration of the run, injecting
+    /// encoded messages through its [`ClientHandle`] — the open-loop
+    /// serving path (e.g. a load generator feeding an SMR leader's
+    /// mempool). The driver must stop once [`ClientHandle::submit`]
+    /// returns `false`.
+    pub fn execute_with_client(
+        &self,
+        spec: &ScenarioSpec,
+        slots: Vec<ErasedSlot>,
+        codec: MsgCodec,
+        driver: impl FnOnce(ClientHandle) + Send + 'static,
+    ) -> Outcome {
+        let raw = run_socket_slots(
+            engine_plan(spec, self.deadline),
+            slots.into_iter().map(|s| (s.strategy, s.honest)).collect(),
+            codec,
+            Some(Box::new(driver)),
         );
         outcome_from_raw(spec, raw)
     }
@@ -785,5 +885,105 @@ mod tests {
         assert_eq!(read_frame(&mut b).unwrap(), Some(vec![]));
         drop(a);
         assert_eq!(read_frame(&mut b).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn malformed_submission_frames_are_rejected_not_fatal() {
+        // Fuzz-style sweep over the submission parser: truncations of every
+        // valid frame shape, unknown kinds, and LCG-generated garbage all
+        // come back as `None` (sender treated as crashed) — the pre-fix
+        // parser panicked the dispatcher reader on every one of these.
+        let from = PartyId::new(1);
+        let mut unicast = vec![KIND_UNICAST];
+        PartyId::new(2).encode(&mut unicast);
+        7u32.encode(&mut unicast);
+        unicast.extend_from_slice(b"payload");
+        let mut multicast = vec![KIND_MULTICAST];
+        Option::<PartyId>::None.encode(&mut multicast);
+        7u32.encode(&mut multicast);
+        let mut timer = vec![KIND_TIMER];
+        5u64.encode(&mut timer);
+        9u64.encode(&mut timer);
+        // Pair each frame with its header length: everything after the
+        // header is payload bytes, and a truncated *payload* is the codec's
+        // problem, not the framing's. Only the unicast frame above carries
+        // payload bytes (7 of them).
+        for (valid, header_len) in [
+            (&unicast, unicast.len() - 7),
+            (&multicast, multicast.len()),
+            (&timer, timer.len()),
+        ] {
+            assert!(parse_submission(from, valid.clone()).is_some());
+            // Every strict prefix of the header is truncated garbage.
+            for cut in 0..header_len {
+                assert!(
+                    parse_submission(from, valid[..cut].to_vec()).is_none(),
+                    "truncation at {cut} must be rejected"
+                );
+            }
+        }
+        assert!(parse_submission(from, vec![]).is_none(), "empty frame");
+        for kind in [0u8, KIND_STOP, 5, 99, 255] {
+            assert!(
+                parse_submission(from, vec![kind, 0, 0, 0, 0]).is_none(),
+                "kind {kind} is not a submission"
+            );
+        }
+        let mut state: u64 = 0x6b6f;
+        for len in 0..64usize {
+            let body: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8
+                })
+                .collect();
+            let _ = parse_submission(from, body); // must not panic
+        }
+    }
+
+    #[test]
+    fn garbled_client_frames_leave_the_run_live() {
+        // End-to-end: a client floods every party with undecodable frames
+        // mid-run. Party readers must drop them (garbled peer = crashed
+        // peer) and the broadcast must still commit on every honest party.
+        use gcl_core::asynchrony::{Brb2Msg, TwoRoundBrb};
+        use gcl_crypto::Keychain;
+        let spec = brb_spec();
+        let cfg = spec.config().expect("valid shape");
+        let chain = Keychain::generate(spec.n, spec.seed);
+        let slots = spec.erased_slots(|p| {
+            TwoRoundBrb::new(
+                cfg,
+                chain.signer(p),
+                chain.pki(),
+                spec.broadcaster,
+                spec.input_for(p),
+            )
+        });
+        let codec = MsgCodec::of::<Brb2Msg>();
+        let n = spec.n;
+        let o = SocketBackend::new().execute_with_client(
+            &spec,
+            slots,
+            codec,
+            move |client: ClientHandle| {
+                for round in 0..20u64 {
+                    for p in 0..n as u32 {
+                        // Tag 255 is no BrbMsg variant; the rest is noise.
+                        let garbage = vec![255, round as u8, 0xde, 0xad, 0xbe, 0xef];
+                        if !client.submit(PartyId::new(p), garbage) {
+                            return;
+                        }
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+            },
+        );
+        assert!(o.agreement_holds());
+        assert!(
+            o.all_honest_committed(),
+            "garbage frames must not stop the protocol"
+        );
+        assert_eq!(o.committed_value(), Some(spec.input));
     }
 }

@@ -187,6 +187,8 @@ pub struct FamilyParams {
     pub commands: u64,
     /// Pipeline depth for log-replication families.
     pub pipeline: usize,
+    /// Max commands per proposed batch for log-replication families.
+    pub batch: usize,
 }
 
 impl Default for FamilyParams {
@@ -195,6 +197,7 @@ impl Default for FamilyParams {
             m: 10,
             commands: 50,
             pipeline: 4,
+            batch: 4,
         }
     }
 }
@@ -406,6 +409,13 @@ impl ScenarioSpec {
     pub fn with_workload(mut self, commands: u64, pipeline: usize) -> Self {
         self.params.commands = commands;
         self.params.pipeline = pipeline;
+        self
+    }
+
+    /// Replaces the log-replication proposal batch size.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.params.batch = batch;
         self
     }
 

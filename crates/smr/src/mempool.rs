@@ -1,0 +1,195 @@
+//! Client command admission and batching.
+//!
+//! The mempool is the boundary between clients and consensus: commands are
+//! admitted (or rejected) here, queued in arrival order, and drained in
+//! leader-chosen batches. Admission enforces the reserved-value rule —
+//! [`Value::NO_OP`] is the protocol's filler decision and can never enter
+//! the log as a client command — and a capacity bound so an open-loop
+//! client cannot grow the queue without limit.
+
+use gcl_types::{Batch, Value};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why [`Mempool::submit`] refused a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The command is the reserved [`Value::NO_OP`] encoding.
+    Reserved,
+    /// The pool is at capacity; the client must back off and retry.
+    Full,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Reserved => write!(f, "reserved no-op encoding"),
+            AdmissionError::Full => write!(f, "mempool at capacity"),
+        }
+    }
+}
+
+/// A bounded FIFO of admitted-but-uncommitted client commands.
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    queue: VecDeque<Value>,
+    capacity: usize,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl Mempool {
+    /// An empty pool holding at most `capacity` pending commands.
+    pub fn new(capacity: usize) -> Self {
+        Mempool {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Admits one client command at the back of the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Reserved`] for the [`Value::NO_OP`] encoding,
+    /// [`AdmissionError::Full`] when the pool is at capacity. Rejected
+    /// commands are counted but never queued.
+    pub fn submit(&mut self, cmd: Value) -> Result<(), AdmissionError> {
+        let verdict = if cmd.is_no_op() {
+            Err(AdmissionError::Reserved)
+        } else if self.queue.len() >= self.capacity {
+            Err(AdmissionError::Full)
+        } else {
+            self.queue.push_back(cmd);
+            self.admitted += 1;
+            Ok(())
+        };
+        if verdict.is_err() {
+            self.rejected += 1;
+        }
+        verdict
+    }
+
+    /// Drains up to `max` commands (arrival order) into a proposal batch,
+    /// or `None` when the pool is empty. `max == 0` is treated as 1 so a
+    /// misconfigured batch size cannot stall the log.
+    pub fn take_batch(&mut self, max: usize) -> Option<Batch> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let take = self.queue.len().min(max.max(1));
+        Some(Batch::Commands(self.queue.drain(..take).collect()))
+    }
+
+    /// Commands currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Commands admitted over the pool's lifetime.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Commands rejected (reserved or over capacity) over the lifetime.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic LCG so the property-style tests need no
+    /// external randomness source.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    #[test]
+    fn reserved_no_op_rejected_at_admission() {
+        let mut pool = Mempool::new(16);
+        assert_eq!(
+            pool.submit(Value::NO_OP),
+            Err(AdmissionError::Reserved),
+            "the protocol filler value must never enter the pool"
+        );
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.rejected(), 1);
+    }
+
+    #[test]
+    fn old_magic_filler_is_now_a_legal_command() {
+        // Pre-batch engines used `u64::MAX - 1` as an in-band no-op filler;
+        // it is an ordinary command under the reserved-encoding rule.
+        let mut pool = Mempool::new(16);
+        let old_magic = Value::new(u64::MAX - 1);
+        assert_eq!(pool.submit(old_magic), Ok(()));
+        assert_eq!(pool.take_batch(8), Some(Batch::Commands(vec![old_magic])));
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut pool = Mempool::new(3);
+        for i in 0..3 {
+            assert_eq!(pool.submit(Value::new(i)), Ok(()));
+        }
+        assert_eq!(pool.submit(Value::new(9)), Err(AdmissionError::Full));
+        assert_eq!(pool.pending(), 3);
+        pool.take_batch(1);
+        assert_eq!(pool.submit(Value::new(9)), Ok(()), "drain frees a slot");
+    }
+
+    #[test]
+    fn batches_partition_the_admitted_sequence_in_order() {
+        // Property: for random submissions and random batch sizes, the
+        // concatenation of drained batches equals the admitted sequence —
+        // no loss, no duplication, no reordering.
+        let mut rng = Lcg(0x5eed);
+        for _ in 0..50 {
+            let mut pool = Mempool::new(1 << 12);
+            let count = (rng.next() % 200) as usize;
+            let mut submitted = Vec::new();
+            for _ in 0..count {
+                let cmd = Value::new(rng.next() % 1_000_000);
+                pool.submit(cmd).unwrap();
+                submitted.push(cmd);
+            }
+            let mut drained = Vec::new();
+            while let Some(batch) = pool.take_batch((rng.next() % 17) as usize) {
+                assert!(!batch.is_empty(), "take_batch never yields empty batches");
+                drained.extend_from_slice(batch.commands());
+            }
+            assert_eq!(drained, submitted);
+            assert!(pool.is_empty());
+            assert_eq!(pool.admitted(), count as u64);
+        }
+    }
+
+    #[test]
+    fn zero_batch_size_still_drains() {
+        let mut pool = Mempool::new(8);
+        pool.submit(Value::ONE).unwrap();
+        assert_eq!(pool.take_batch(0), Some(Batch::Commands(vec![Value::ONE])));
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 mod error;
 mod id;
@@ -34,6 +35,7 @@ mod validity;
 mod value;
 pub mod wire;
 
+pub use batch::Batch;
 pub use config::{Config, ResilienceRegime};
 pub use error::{ConfigError, ProtocolError};
 pub use id::{PartyId, View};

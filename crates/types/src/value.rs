@@ -27,6 +27,20 @@ impl Value {
     pub const ZERO: Value = Value(0);
     /// The canonical value "1" used by the lower-bound executions.
     pub const ONE: Value = Value(1);
+    /// The reserved "no operation" value.
+    ///
+    /// SMR slots that time out with nothing locked decide `NO_OP` and apply
+    /// nothing. The encoding is explicit and reserved: client commands equal
+    /// to `NO_OP` are rejected at mempool admission, so no legitimate input
+    /// can alias the protocol's filler decision. (Every other `u64` payload —
+    /// including the former magic filler `u64::MAX - 1` — is a legal
+    /// command.)
+    pub const NO_OP: Value = Value(u64::MAX);
+
+    /// Whether this is the reserved [`Value::NO_OP`] encoding.
+    pub const fn is_no_op(self) -> bool {
+        self.0 == u64::MAX
+    }
 
     /// Creates a value from its payload.
     pub const fn new(payload: u64) -> Self {

@@ -7,7 +7,7 @@
 
 use gcl::crypto::Keychain;
 use gcl::sim::{FixedDelay, Simulation, TimingModel};
-use gcl::smr::{KvStore, SlotEngine, StateMachine};
+use gcl::smr::{KvStore, SlotEngine, SmrParams, StateMachine};
 use gcl::types::{Config, ConfigError, Duration, GlobalTime, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -40,10 +40,14 @@ fn main() -> Result<(), ConfigError> {
                 chain.signer(p),
                 chain.pki(),
                 delta,
-                wl.clone(),
-                4, // pipeline depth
+                SmrParams {
+                    batch: 4,
+                    pipeline: 4,
+                    ..SmrParams::default()
+                },
                 ms[p.as_usize()].clone(),
             )
+            .with_workload(wl.clone())
         })
         .run();
 

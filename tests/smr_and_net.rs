@@ -5,7 +5,7 @@
 use gcl::crypto::Keychain;
 use gcl::net::NetBackend;
 use gcl::sim::{AdversaryMix, FixedDelay, Simulation, TimingModel};
-use gcl::smr::{Counter, KvStore, SlotEngine, StateMachine};
+use gcl::smr::{Counter, KvStore, SlotEngine, SmrParams, StateMachine};
 use gcl::types::{Config, Duration, GlobalTime, PartyId, Value};
 use gcl_bench::conformance::wall_spec;
 use parking_lot::Mutex;
@@ -35,10 +35,14 @@ fn smr_100_slots_replicate_identically() {
                 chain.signer(p),
                 chain.pki(),
                 DELTA,
-                workload.clone(),
-                8,
+                SmrParams {
+                    batch: 1,
+                    pipeline: 8,
+                    ..SmrParams::default()
+                },
                 ms[p.as_usize()].clone(),
             )
+            .with_workload(workload.clone())
         })
         .run();
     o.assert_agreement();
@@ -70,10 +74,14 @@ fn smr_amortized_slot_latency_beats_pbft_three_rounds() {
                 chain.signer(p),
                 chain.pki(),
                 DELTA,
-                workload.clone(),
-                8,
+                SmrParams {
+                    batch: 1,
+                    pipeline: 8,
+                    ..SmrParams::default()
+                },
                 Arc::new(Mutex::new(Counter::default())),
             )
+            .with_workload(workload.clone())
         })
         .run();
     assert!(o.all_honest_committed());
@@ -111,10 +119,14 @@ fn smr_kv_under_byzantine_silence() {
                 chain.signer(p),
                 chain.pki(),
                 DELTA,
-                workload.clone(),
-                4,
+                SmrParams {
+                    batch: 1,
+                    pipeline: 4,
+                    ..SmrParams::default()
+                },
                 ms[p.as_usize()].clone(),
             )
+            .with_workload(workload.clone())
         })
         .run();
     o.assert_agreement();

@@ -23,7 +23,7 @@ use gcl_core::sync::{
 };
 use gcl_crypto::{Digest, EquivocationEvidence, Keychain, QuorumCert, Signature};
 use gcl_smr::SmrMsg;
-use gcl_types::{Decode, Duration, Encode, PartyId, SlotId, Value, View};
+use gcl_types::{Batch, Decode, Duration, Encode, PartyId, SlotId, Value, View};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -345,9 +345,25 @@ proptest! {
     #[test]
     fn smr_messages(seed: u64) {
         let (mut rng, chain) = (StdRng::seed_from_u64(seed), chain());
-        round_trip(SmrMsg {
-            slot: SlotId::new(rng.gen_range(0u64..100)),
+        let slot = SlotId::new(rng.gen_range(0u64..100));
+        round_trip(SmrMsg::Slot {
+            slot,
             inner: vbb_msg(&mut rng, &chain),
+        });
+        let cmds: Vec<Value> = (0..rng.gen_range(0usize..8))
+            .map(|_| value(&mut rng))
+            .collect();
+        round_trip(SmrMsg::Payload {
+            slot,
+            batch: Batch::Commands(cmds),
+        });
+        round_trip(SmrMsg::Payload {
+            slot,
+            batch: Batch::Seal,
+        });
+        round_trip(SmrMsg::PayloadPull { slot });
+        round_trip(SmrMsg::Submit {
+            cmd: value(&mut rng),
         });
     }
 
