@@ -23,6 +23,17 @@
 //!
 //! Both rules are functions of the applied log prefix, so replicas that
 //! agree on the log agree on the stopping point and the digest.
+//!
+//! # Windowing and pruning
+//!
+//! All per-slot state is bounded relative to the applied frontier: slot
+//! instances are only *created* for indices in
+//! `[applied, applied + PAYLOAD_WINDOW]` (messages naming slots outside the
+//! window are dropped — a Byzantine peer cannot allocate unbounded
+//! instances by naming far-future slots), and instances, commit records,
+//! and payloads more than [`PAYLOAD_RETENTION`] slots *behind* the frontier
+//! are pruned. A replica that misses a payload re-requests it with
+//! [`SmrMsg::PayloadPull`], re-armed on a timer until the bytes arrive.
 
 use crate::machine::StateMachine;
 use crate::mempool::Mempool;
@@ -144,6 +155,12 @@ fn unpack_slot_tag(tag: u64) -> (SlotId, u64) {
     (SlotId::new(tag >> SLOT_TAG_BITS), tag & (MAX_INNER_TAG - 1))
 }
 
+/// Inner tag reserved for the engine's own per-slot payload-pull retry
+/// timer. [`SubCtx::set_timer`] refuses to pack it for the inner protocol,
+/// so a slot instance can never collide with it (VBB tags are view
+/// numbers, nowhere near 2^40 − 1 in any real execution).
+const PULL_RETRY_TAG: u64 = MAX_INNER_TAG - 1;
+
 /// Slots this far behind the applied frontier have their payloads pruned
 /// (retained so lagging peers can still pull recently applied batches).
 const PAYLOAD_RETENTION: u64 = 128;
@@ -220,8 +237,12 @@ pub struct SlotEngine<S> {
     committed: BTreeMap<SlotId, Value>,
     payloads: BTreeMap<SlotId, BTreeMap<Value, Batch>>,
     pulled: BTreeSet<SlotId>,
-    /// Next slot index this replica has never created an instance for.
-    opened: u64,
+    /// Leader-side proposal cursor: the next slot index this leader will
+    /// try to propose at. Advanced only by the leader itself (proposing,
+    /// or skipping a slot that other parties' view change already opened)
+    /// — never by incoming messages, so a peer naming a far-future slot
+    /// cannot push the cursor past the frontier window.
+    next_propose: u64,
     /// Applied frontier: all slots below are applied.
     applied: u64,
     /// Consecutive no-op slots at the applied frontier.
@@ -267,7 +288,7 @@ impl<S: StateMachine> SlotEngine<S> {
             committed: BTreeMap::new(),
             payloads: BTreeMap::new(),
             pulled: BTreeSet::new(),
-            opened: 0,
+            next_propose: 0,
             applied: 0,
             trailing_noops: 0,
             terminated: false,
@@ -320,6 +341,14 @@ impl<S: StateMachine> SlotEngine<S> {
         }
         let created = !self.slots.contains_key(&slot);
         if created {
+            // Creation window (mirrors store_payload): slots below the
+            // applied frontier are already decided (their instances, if
+            // any, have been pruned), and a far-future index would let a
+            // single Byzantine message allocate instances without bound.
+            // Messages to existing in-retention instances still route.
+            if slot.index() < self.applied || slot.index() > self.applied + PAYLOAD_WINDOW {
+                return;
+            }
             let input = self.is_leader().then_some(Value::NO_OP);
             let inst = VbbFiveFMinusOne::new(
                 self.config,
@@ -331,7 +360,6 @@ impl<S: StateMachine> SlotEngine<S> {
             )
             .with_fallback(Value::NO_OP);
             self.slots.insert(slot, inst);
-            self.opened = self.opened.max(slot.index() + 1);
         }
         let inst = self.slots.get_mut(&slot).expect("present");
         let mut sub = SubCtx {
@@ -364,17 +392,24 @@ impl<S: StateMachine> SlotEngine<S> {
             } else if let Some(b) = self.payloads.get(&slot).and_then(|m| m.get(&decided)) {
                 b.clone()
             } else {
-                // Decided but the bytes never arrived: ask the peers once.
+                // Decided but the bytes never arrived: ask the peers, and
+                // keep asking on a timer until they answer (a single pull
+                // can race every holder's pruning horizon and be lost).
                 if self.pulled.insert(slot) {
-                    ctx.multicast_except(SmrMsg::PayloadPull { slot }, self.me());
+                    self.send_pull(slot, ctx);
                 }
                 break;
             };
             progressed = true;
             self.applied += 1;
             self.pulled.remove(&slot);
-            let keep_from = self.applied.saturating_sub(PAYLOAD_RETENTION);
-            self.payloads = self.payloads.split_off(&SlotId::new(keep_from));
+            // Prune everything behind the retention horizon — payloads,
+            // the (committed, now inert) slot instances, and the decided
+            // values — so long-running serving replicas stay bounded.
+            let keep = SlotId::new(self.applied.saturating_sub(PAYLOAD_RETENTION));
+            self.payloads = self.payloads.split_off(&keep);
+            self.slots = self.slots.split_off(&keep);
+            self.committed = self.committed.split_off(&keep);
             if batch.is_seal() {
                 self.finish(ctx);
                 break;
@@ -397,6 +432,36 @@ impl<S: StateMachine> SlotEngine<S> {
         progressed
     }
 
+    /// Multicasts a [`SmrMsg::PayloadPull`] for `slot` and arms the retry
+    /// timer that keeps re-asking until the payload shows up.
+    fn send_pull(&mut self, slot: SlotId, ctx: &mut dyn Context<SmrMsg>) {
+        ctx.multicast_except(SmrMsg::PayloadPull { slot }, self.me());
+        if let Some(tag) = pack_slot_tag(slot, PULL_RETRY_TAG) {
+            ctx.set_timer(self.big_delta * 4, tag);
+        }
+    }
+
+    /// Pull-retry timer fired: if the slot is still stuck at (or past) the
+    /// frontier with its payload missing, ask again; otherwise let the
+    /// retry chain die.
+    fn retry_pull(&mut self, slot: SlotId, ctx: &mut dyn Context<SmrMsg>) {
+        if slot.index() < self.applied || !self.pulled.contains(&slot) {
+            return; // applied in the meantime
+        }
+        let resolved = match self.committed.get(&slot) {
+            Some(v) if v.is_no_op() => true,
+            Some(v) => self.payloads.get(&slot).is_some_and(|m| m.contains_key(v)),
+            None => true, // cannot happen: pulls are only sent for decided slots
+        };
+        if resolved {
+            // The bytes arrived but an earlier slot is holding the
+            // frontier back — nothing left to pull here.
+            self.pulled.remove(&slot);
+            return;
+        }
+        self.send_pull(slot, ctx);
+    }
+
     /// Reports the log digest as this replica's commit (for Outcome-level
     /// agreement checking) and halts.
     fn finish(&mut self, ctx: &mut dyn Context<SmrMsg>) {
@@ -412,11 +477,26 @@ impl<S: StateMachine> SlotEngine<S> {
     /// leader proposes drained batches (and finally the seal); followers
     /// open watcher instances, arming their view timers — this is what
     /// closes the old "timers only for the first `pipeline` slots"
-    /// liveness hole.
-    fn extend_frontier(&mut self, ctx: &mut dyn Context<SmrMsg>) {
+    /// liveness hole. Returns whether anything was proposed or armed.
+    ///
+    /// Followers arm per-slot, straight off the applied frontier: every
+    /// slot in `[applied, applied + pipeline)` without an instance gets a
+    /// watcher. There is deliberately no shared high-water mark — an
+    /// out-of-window instance creation (or any remote message) cannot
+    /// inflate a counter past the window and silence the arming loop.
+    fn extend_frontier(&mut self, ctx: &mut dyn Context<SmrMsg>) -> bool {
+        let mut progressed = false;
         let limit = (self.applied + self.params.pipeline as u64).min(MAX_SLOT_INDEX);
         if self.is_leader() {
-            while self.opened < limit && !self.terminated {
+            self.next_propose = self.next_propose.max(self.applied);
+            while self.next_propose < limit && !self.terminated {
+                let slot = SlotId::new(self.next_propose);
+                if self.slots.contains_key(&slot) {
+                    // Other parties' view change already opened this slot
+                    // (our input there was the no-op): skip past it.
+                    self.next_propose += 1;
+                    continue;
+                }
                 let proposal = if let Some(b) = self.mempool.take_batch(self.params.batch) {
                     Some(b)
                 } else if self.closed && !self.sealed {
@@ -426,15 +506,20 @@ impl<S: StateMachine> SlotEngine<S> {
                     None
                 };
                 let Some(batch) = proposal else { break };
-                self.propose(SlotId::new(self.opened), batch, ctx);
+                self.propose(slot, batch, ctx);
+                progressed = true;
             }
         } else {
-            while self.opened < limit && !self.terminated {
-                // Watcher instance: no input, view timer armed at start.
-                let slot = SlotId::new(self.opened);
-                self.with_slot(slot, ctx, |_, _| {});
+            for index in self.applied..limit {
+                let slot = SlotId::new(index);
+                if !self.slots.contains_key(&slot) {
+                    // Watcher instance: no input, view timer armed at start.
+                    self.with_slot(slot, ctx, |_, _| {});
+                    progressed = true;
+                }
             }
         }
+        progressed
     }
 
     /// Leader: disseminate the batch bytes, then start the slot's VBB
@@ -442,6 +527,10 @@ impl<S: StateMachine> SlotEngine<S> {
     /// goes out first so (under FIFO links) every replica holds the bytes
     /// before the digest can commit.
     fn propose(&mut self, slot: SlotId, batch: Batch, ctx: &mut dyn Context<SmrMsg>) {
+        debug_assert!(
+            !self.slots.contains_key(&slot),
+            "proposing into an already-open slot would clobber its instance"
+        );
         let value = batch_value(&batch);
         if !batch.is_no_op() {
             self.payloads
@@ -460,7 +549,7 @@ impl<S: StateMachine> SlotEngine<S> {
         )
         .with_fallback(Value::NO_OP);
         self.slots.insert(slot, inst);
-        self.opened = self.opened.max(slot.index() + 1);
+        self.next_propose = self.next_propose.max(slot.index() + 1);
         let inst = self.slots.get_mut(&slot).expect("just inserted");
         let mut sub = SubCtx {
             outer: ctx,
@@ -482,9 +571,8 @@ impl<S: StateMachine> SlotEngine<S> {
             if self.terminated {
                 break;
             }
-            let opened_before = self.opened;
-            self.extend_frontier(ctx);
-            if !applied_some && self.opened == opened_before {
+            let extended = self.extend_frontier(ctx);
+            if !applied_some && !extended {
                 break;
             }
         }
@@ -554,6 +642,10 @@ impl<S: StateMachine> Protocol for SlotEngine<S> {
             return;
         }
         let (slot, inner_tag) = unpack_slot_tag(tag);
+        if inner_tag == PULL_RETRY_TAG {
+            self.retry_pull(slot, ctx);
+            return;
+        }
         self.with_slot(slot, ctx, |inst, sub| {
             Protocol::on_timer(inst, inner_tag, sub);
         });
@@ -618,11 +710,13 @@ impl Context<VbbMsg> for SubCtx<'_> {
     }
     fn set_timer(&mut self, delay: Duration, tag: u64) {
         // Checked packing: an out-of-range pair would alias another slot's
-        // timers, so it is rejected (debug builds flag it loudly; release
-        // builds drop the timer, which at worst delays a view change).
+        // timers — and the top inner tag is reserved for the engine's own
+        // pull-retry timer — so both are rejected (debug builds flag it
+        // loudly; release builds drop the timer, which at worst delays a
+        // view change).
         match pack_slot_tag(self.slot, tag) {
-            Some(packed) => self.outer.set_timer(delay, packed),
-            None => debug_assert!(
+            Some(packed) if tag != PULL_RETRY_TAG => self.outer.set_timer(delay, packed),
+            _ => debug_assert!(
                 false,
                 "unpackable timer tag: slot {} inner {tag}",
                 self.slot.index()
@@ -641,9 +735,10 @@ impl Context<VbbMsg> for SubCtx<'_> {
 mod tests {
     use super::*;
     use crate::machine::{Counter, KvStore};
+    use gcl_core::psync::TimeoutMsg;
     use gcl_crypto::Keychain;
-    use gcl_sim::{Crashing, FixedDelay, Outcome, Simulation, TimingModel};
-    use gcl_types::GlobalTime;
+    use gcl_sim::{Crashing, FixedDelay, Outcome, Scripted, Simulation, TimingModel};
+    use gcl_types::{GlobalTime, View};
 
     const DELTA: Duration = Duration::from_micros(100);
 
@@ -989,6 +1084,7 @@ mod tests {
         config: Config,
         sent: Vec<(PartyId, SmrMsg)>,
         multicast: Vec<SmrMsg>,
+        timers: Vec<(Duration, u64)>,
         committed: Vec<Value>,
         terminated: bool,
     }
@@ -1000,9 +1096,17 @@ mod tests {
                 config,
                 sent: Vec::new(),
                 multicast: Vec::new(),
+                timers: Vec::new(),
                 committed: Vec::new(),
                 terminated: false,
             }
+        }
+
+        fn pulls_for(&self, slot: SlotId) -> usize {
+            self.multicast
+                .iter()
+                .filter(|m| matches!(m, SmrMsg::PayloadPull { slot: s } if *s == slot))
+                .count()
         }
     }
 
@@ -1025,7 +1129,9 @@ mod tests {
         fn multicast_except(&mut self, msg: SmrMsg, _skip: PartyId) {
             self.multicast.push(msg);
         }
-        fn set_timer(&mut self, _delay: Duration, _tag: u64) {}
+        fn set_timer(&mut self, delay: Duration, tag: u64) {
+            self.timers.push((delay, tag));
+        }
         fn commit(&mut self, value: Value) {
             self.committed.push(value);
         }
@@ -1072,6 +1178,230 @@ mod tests {
         assert_eq!(eng.applied, 1, "payload arrival unblocks the frontier");
         assert_eq!(machine.lock().applied(), 2);
         assert_eq!(machine.lock().total(), 16);
+    }
+
+    #[test]
+    fn payload_pull_retries_until_answered() {
+        // A single pull can be lost (or arrive after every holder pruned
+        // the slot); the pull must re-arm on a timer, not fire once.
+        let cfg = Config::new(4, 1).unwrap();
+        let chain = Keychain::generate(4, 140);
+        let mut eng = SlotEngine::new(
+            cfg,
+            chain.signer(PartyId::new(1)),
+            chain.pki(),
+            DELTA,
+            SmrParams::default(),
+            Arc::new(Mutex::new(Counter::default())),
+        );
+        let batch = Batch::Commands(vec![Value::new(3)]);
+        eng.committed.insert(SlotId::FIRST, batch_value(&batch));
+        let mut ctx = RecordingCtx::new(PartyId::new(1), cfg);
+        eng.pump(&mut ctx);
+        let retry_tag = pack_slot_tag(SlotId::FIRST, PULL_RETRY_TAG).unwrap();
+        assert_eq!(ctx.pulls_for(SlotId::FIRST), 1);
+        assert!(
+            ctx.timers.iter().any(|(_, t)| *t == retry_tag),
+            "the first pull must arm a retry timer"
+        );
+        // Still missing when the timer fires: pull again, re-arm.
+        Protocol::on_timer(&mut eng, retry_tag, &mut ctx);
+        assert_eq!(ctx.pulls_for(SlotId::FIRST), 2, "unanswered pull retries");
+        assert_eq!(
+            ctx.timers.iter().filter(|(_, t)| *t == retry_tag).count(),
+            2,
+            "the retry re-arms itself"
+        );
+        // Payload arrives, the slot applies; a stale retry firing later
+        // must not pull again.
+        Protocol::on_message(
+            &mut eng,
+            PartyId::new(2),
+            SmrMsg::Payload {
+                slot: SlotId::FIRST,
+                batch,
+            },
+            &mut ctx,
+        );
+        assert_eq!(eng.applied, 1);
+        Protocol::on_timer(&mut eng, retry_tag, &mut ctx);
+        assert_eq!(ctx.pulls_for(SlotId::FIRST), 2, "stale retry is a no-op");
+    }
+
+    #[test]
+    fn blocked_but_resolved_pull_stops_retrying() {
+        // Slot 1's payload arrived while slot 0 still blocks the frontier:
+        // the retry chain for slot 1 must die instead of re-pulling bytes
+        // the replica already holds.
+        let cfg = Config::new(4, 1).unwrap();
+        let chain = Keychain::generate(4, 141);
+        let mut eng = SlotEngine::new(
+            cfg,
+            chain.signer(PartyId::new(1)),
+            chain.pki(),
+            DELTA,
+            SmrParams::default(),
+            Arc::new(Mutex::new(Counter::default())),
+        );
+        let batch = Batch::Commands(vec![Value::new(8)]);
+        let slot = SlotId::new(1);
+        eng.committed.insert(slot, batch_value(&batch));
+        eng.pulled.insert(slot);
+        eng.store_payload(slot, batch);
+        let mut ctx = RecordingCtx::new(PartyId::new(1), cfg);
+        let retry_tag = pack_slot_tag(slot, PULL_RETRY_TAG).unwrap();
+        Protocol::on_timer(&mut eng, retry_tag, &mut ctx);
+        assert_eq!(ctx.pulls_for(slot), 0, "resolved pull must not re-fire");
+        assert!(!eng.pulled.contains(&slot));
+    }
+
+    #[test]
+    fn out_of_window_slot_messages_create_no_instances() {
+        // One Byzantine message naming a far-future slot used to bump the
+        // shared `opened` high-water mark past applied + pipeline, killing
+        // follower timer arming and leader proposing forever (and letting
+        // the attacker allocate instances without bound).
+        let cfg = Config::new(4, 1).unwrap();
+        let chain = Keychain::generate(4, 142);
+        let mut eng = SlotEngine::new(
+            cfg,
+            chain.signer(PartyId::new(1)),
+            chain.pki(),
+            DELTA,
+            SmrParams::default(),
+            Arc::new(Mutex::new(Counter::default())),
+        );
+        let mut ctx = RecordingCtx::new(PartyId::new(1), cfg);
+        Protocol::start(&mut eng, &mut ctx);
+        let baseline = eng.slots.len();
+        assert_eq!(
+            baseline,
+            SmrParams::default().pipeline,
+            "follower watchers cover the frontier window at start"
+        );
+        let attack = |index: u64| SmrMsg::Slot {
+            slot: SlotId::new(index),
+            inner: VbbMsg::Timeout(TimeoutMsg::bot(&chain.signer(PartyId::new(3)), View::FIRST)),
+        };
+        Protocol::on_message(
+            &mut eng,
+            PartyId::new(3),
+            attack(PAYLOAD_WINDOW + 1),
+            &mut ctx,
+        );
+        Protocol::on_message(
+            &mut eng,
+            PartyId::new(3),
+            attack(MAX_SLOT_INDEX - 1),
+            &mut ctx,
+        );
+        assert_eq!(eng.slots.len(), baseline, "out-of-window slots rejected");
+        // In-window slots still accept remote-driven instance creation.
+        Protocol::on_message(&mut eng, PartyId::new(3), attack(PAYLOAD_WINDOW), &mut ctx);
+        assert_eq!(eng.slots.len(), baseline + 1);
+        // The frontier watchers survive: every slot within pipeline of the
+        // applied frontier keeps an armed instance.
+        for i in 0..SmrParams::default().pipeline as u64 {
+            assert!(eng.slots.contains_key(&SlotId::new(i)));
+        }
+    }
+
+    #[test]
+    fn far_future_slot_attack_does_not_stall_the_log() {
+        // End-to-end regression for the frontier-stall attack: a Byzantine
+        // party names slot 500 000 early in the run. Pre-fix, every honest
+        // replica inflates `opened` past applied + pipeline, the leader
+        // stops proposing, followers stop arming view timers, and the log
+        // freezes with nothing committed. Post-fix the message is dropped
+        // and the full workload replicates.
+        let n = 4;
+        let cfg = Config::new(n, 1).unwrap();
+        let chain = Keychain::generate(n, 143);
+        let workload: Vec<Value> = (1..=20).map(Value::new).collect();
+        let machines: Vec<Arc<Mutex<Counter>>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(Counter::default())))
+            .collect();
+        let p = params(2, 2);
+        let attack = SmrMsg::Slot {
+            slot: SlotId::new(500_000),
+            inner: VbbMsg::Timeout(TimeoutMsg::bot(&chain.signer(PartyId::new(3)), View::FIRST)),
+        };
+        let honest: Vec<PartyId> = (0..3).map(PartyId::new).collect();
+        let script = Scripted::multicast_at(LocalTime::from_micros(1), &honest, attack);
+        let ms = machines.clone();
+        let o = Simulation::build(cfg)
+            .timing(TimingModel::PartialSynchrony {
+                gst: GlobalTime::ZERO,
+                big_delta: DELTA,
+            })
+            .oracle(FixedDelay::new(DELTA))
+            .byzantine(PartyId::new(3), script)
+            .spawn_honest(move |q| {
+                SlotEngine::new(
+                    cfg,
+                    chain.signer(q),
+                    chain.pki(),
+                    DELTA,
+                    p,
+                    ms[q.as_usize()].clone(),
+                )
+                .with_workload(workload.clone())
+            })
+            .run();
+        assert!(o.agreement_holds());
+        assert!(
+            o.all_honest_committed(),
+            "a far-future slot name must not freeze the applied frontier"
+        );
+        assert!(o.all_honest_terminated());
+        for m in &machines[..3] {
+            assert_eq!(m.lock().applied(), 20, "the whole workload replicates");
+            assert_eq!(m.lock().total(), (1..=20).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn state_is_pruned_behind_the_retention_horizon() {
+        // Serving replicas run indefinitely: instances, decided values and
+        // payloads behind the retention horizon must be dropped, not kept
+        // for the lifetime of the log.
+        let total = PAYLOAD_RETENTION * 3;
+        let cfg = Config::new(4, 1).unwrap();
+        let chain = Keychain::generate(4, 144);
+        let p = SmrParams {
+            quiesce_after: total + 1,
+            ..SmrParams::default()
+        };
+        let mut eng = SlotEngine::new(
+            cfg,
+            chain.signer(PartyId::new(1)),
+            chain.pki(),
+            DELTA,
+            p,
+            Arc::new(Mutex::new(Counter::default())),
+        );
+        let mut ctx = RecordingCtx::new(PartyId::new(1), cfg);
+        for i in 0..total {
+            let slot = SlotId::new(i);
+            eng.with_slot(slot, &mut ctx, |_, _| {});
+            eng.committed.insert(slot, Value::NO_OP);
+        }
+        assert_eq!(eng.slots.len() as u64, total);
+        eng.pump(&mut ctx);
+        assert_eq!(eng.applied, total);
+        assert!(!eng.terminated, "quiesce_after is above the no-op run");
+        let bound = (PAYLOAD_RETENTION as usize) + p.pipeline;
+        assert!(
+            eng.slots.len() <= bound,
+            "instances must be pruned: {} > {bound}",
+            eng.slots.len()
+        );
+        assert!(
+            eng.committed.len() <= bound,
+            "decided values must be pruned: {} > {bound}",
+            eng.committed.len()
+        );
+        assert!(eng.payloads.len() <= bound);
     }
 
     #[test]
