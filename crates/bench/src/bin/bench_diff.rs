@@ -1,0 +1,74 @@
+//! Wall-trajectory diff gate: a fresh `BENCH_net.json` / `BENCH_smr.json`
+//! measurement against the committed baseline.
+//!
+//! ```text
+//! bench_diff --baseline PATH --fresh PATH [--factor N]
+//! ```
+//!
+//! Exits nonzero on structural drift (schema mismatch, a scenario row
+//! missing from either side, renamed columns) or a gross regression (a
+//! gated metric more than `--factor`× worse than the baseline; default
+//! 25×, loose on purpose — wall numbers are machine noise across CI
+//! runners, and the gate exists to catch categorical breakage, not to
+//! re-litigate latency). Run in CI right after the per-document structure
+//! checks, with `--fresh` pointing at the document the smoke job just
+//! measured.
+
+use gcl_bench::diff::{diff_docs, DEFAULT_FACTOR};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut baseline: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut factor = DEFAULT_FACTOR;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(p),
+                None => return usage("--baseline needs a path"),
+            },
+            "--fresh" => match args.next() {
+                Some(p) => fresh = Some(p),
+                None => return usage("--fresh needs a path"),
+            },
+            "--factor" => match args.next().and_then(|x| x.parse::<f64>().ok()) {
+                Some(x) if x >= 1.0 => factor = x,
+                _ => return usage("--factor needs a number >= 1"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let (Some(baseline_path), Some(fresh_path)) = (baseline, fresh) else {
+        return usage("--baseline and --fresh are both required");
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(base_text), Some(fresh_text)) = (read(&baseline_path), read(&fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    match diff_docs(&base_text, &fresh_text, factor) {
+        Ok(summary) => {
+            eprintln!("{baseline_path} vs {fresh_path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {baseline_path} vs {fresh_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!("usage: bench_diff --baseline PATH --fresh PATH [--factor N]");
+    ExitCode::FAILURE
+}

@@ -8,8 +8,9 @@
 //! * `--out PATH` — where to write the JSON document (default
 //!   `BENCH_smr.json` in the current directory).
 //! * `--check BASELINE` — after measuring, parse `BASELINE` and exit
-//!   nonzero if it is malformed, misses the three-configuration floor, or
-//!   any row records a safety/liveness failure. Deliberately no rate or
+//!   nonzero if it is malformed, misses the three-configuration floor or
+//!   the leader-failover row, or any row records a safety/liveness or
+//!   exactly-once failure. Deliberately no rate or
 //!   latency comparison: wall numbers are machine noise across CI runners.
 //! * `--quick` — CI smoke shape (fewer requests per configuration).
 //! * `--deadline-ms N` — per-run wall deadline override (quiesce exits
@@ -58,14 +59,23 @@ fn main() -> ExitCode {
     let rows = smr_load_rows(opts);
     for r in &rows {
         eprintln!(
-            "  batch={:<3} pipeline={:<2} committed={:<4}/{:<4} rate={:>8.1}/s p50={} p99={}",
+            "  batch={:<3} pipeline={:<2} crashes={} acked={:<4}/{:<4} committed={:<4} \
+             rate={:>8.1}/s p50={} p99={} retries={} audit={}",
             r.batch,
             r.pipeline,
-            r.committed,
+            r.crashes,
+            r.acked,
             r.requests,
+            r.committed,
             r.commits_per_sec,
             r.p50_us.map_or_else(|| "-".into(), |us| format!("{us}us")),
             r.p99_us.map_or_else(|| "-".into(), |us| format!("{us}us")),
+            r.retries,
+            if r.exactly_once && r.acked_applied {
+                "ok"
+            } else {
+                "FAIL"
+            },
         );
     }
 

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod diff;
 pub mod json;
 pub mod netlat;
 pub mod scenarios;

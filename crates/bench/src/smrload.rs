@@ -12,18 +12,28 @@
 //! exactly when the system saturates, which is when latency matters.
 //!
 //! Each measured configuration is a `(batch, pipeline)` point: requests
-//! stream into the leader's mempool as [`SmrMsg::Submit`] frames over a
-//! real Unix-domain socket, the leader drains them into batched
-//! proposals, and every replica applies committed batches in slot order.
-//! When the stream stops the log quiesces (trailing no-op slots), so the
-//! run terminates without anyone knowing the workload length in advance.
-//! Per-request latency is submit-to-apply wall time at a follower
-//! replica; the row reports p50/p95/p99 and sustained commits/sec.
+//! fan out to every replica's mempool as [`SmrMsg::Submit`] frames over a
+//! real Unix-domain socket, leaders drain them into batched proposals,
+//! and every replica applies committed batches in slot order. When the
+//! stream stops the log quiesces (trailing no-op slots), so the run
+//! terminates without anyone knowing the workload length in advance.
+//!
+//! Since the serving layer grew client acknowledgements, per-request
+//! latency is **acknowledged end-to-end time**: first submit to first
+//! [`SmrMsg::Ack`] received back over the client channel — not
+//! follower-observed applies. The client retries unacknowledged requests
+//! on a budget, so the measured tail includes retransmission cost, and a
+//! **failover row** crashes the first two rotation leaders mid-run
+//! ([`AdversaryMix::LeaderCascade`]) to measure commits/sec and ack
+//! latency *through* leader failover. Every row carries an exactly-once
+//! audit (no command applied twice, every acked command applied) and the
+//! probed replica's mempool counters.
 //!
 //! Wall numbers are machine-dependent, so the CI gate ([`check_doc`])
 //! validates *structure*, not speed: right schema, at least three
-//! distinct `(batch, pipeline)` configurations, every row committed with
-//! agreement and a measured p50. Regeneration:
+//! distinct `(batch, pipeline)` configurations, a failover row, and
+//! every row committed with agreement, a measured p50, and a passing
+//! exactly-once audit. Regeneration:
 //!
 //! ```text
 //! cargo run --release -p gcl_bench --bin smr_load -- --out BENCH_smr.json
@@ -33,17 +43,20 @@ use crate::conformance::{wall_spec, WALL_DELTA};
 use crate::json::{parse, JVal, RowsDoc, Value as JsonValue};
 use crate::registry;
 use gcl_crypto::Keychain;
-use gcl_net::SocketBackend;
-use gcl_sim::{MsgCodec, ScenarioSpec};
-use gcl_smr::{SlotEngine, SmrMsg, SmrParams, StateMachine};
-use gcl_types::{Encode, PartyId, SlotId, Value};
+use gcl_net::{ClientHandle, SocketBackend};
+use gcl_sim::{AdversaryMix, AdversaryRole, MsgCodec, ScenarioSpec};
+use gcl_smr::{MempoolStats, SlotEngine, SmrMsg, SmrParams, StateMachine};
+use gcl_types::{Decode, Encode, PartyId, SlotId, Value};
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// The `schema` field of every `BENCH_smr.json` document.
-pub const SMR_SCHEMA: &str = "gcl-bench/smr-load/v1";
+/// The `schema` field of every `BENCH_smr.json` document. v2: ack-based
+/// latency, mempool counters, and leader-failover rows with the
+/// exactly-once audit.
+pub const SMR_SCHEMA: &str = "gcl-bench/smr-load/v2";
 
 /// A shared `(command, apply-instant)` side log one replica's
 /// [`RecordingMachine`] appends to.
@@ -52,6 +65,14 @@ pub type ApplyLog = Arc<Mutex<Vec<(Value, Instant)>>>;
 /// The measured `(batch, pipeline)` grid: serial baseline, the moderate
 /// default, and a deep/wide point that exercises coalescing under burst.
 pub const LOAD_CONFIGS: [(usize, usize); 3] = [(1, 4), (4, 4), (32, 8)];
+
+/// Retries the client may spend per unacknowledged request.
+const RETRY_BUDGET: u32 = 3;
+/// How long a request stays unacknowledged before the client retries it.
+const RETRY_AFTER: Duration = Duration::from_millis(300);
+/// How long the client keeps waiting after the last acknowledgement made
+/// progress before it gives up on the stragglers.
+const ACK_PATIENCE: Duration = Duration::from_secs(3);
 
 /// Knobs of one load run (how much traffic, how fast, how long to wait).
 #[derive(Debug, Clone, Copy)]
@@ -96,22 +117,36 @@ pub struct SmrLoadRow {
     pub n: usize,
     /// Fault budget.
     pub f: usize,
+    /// Leaders crashed by the run's kill schedule.
+    pub crashes: u64,
     /// Requests the client submitted.
     pub requests: u64,
+    /// Requests acknowledged back to the client.
+    pub acked: u64,
+    /// Retransmissions the client spent.
+    pub retries: u64,
+    /// Back-pressure rejects the client observed.
+    pub client_rejects: u64,
     /// Requests observed applied at the probe replica.
     pub committed: u64,
     /// Whether replica log digests agreed at termination.
     pub agreement: bool,
+    /// Exactly-once audit: no command applied twice at the probe replica.
+    pub exactly_once: bool,
+    /// Liveness audit: every acknowledged command is in the probe log.
+    pub acked_applied: bool,
     /// First-submit-to-last-apply wall time, µs.
     pub elapsed_us: u64,
     /// Sustained commit rate over `elapsed_us`.
     pub commits_per_sec: f64,
-    /// Median submit-to-apply latency, µs.
+    /// Median submit-to-ack latency, µs.
     pub p50_us: Option<u64>,
-    /// 95th-percentile submit-to-apply latency, µs.
+    /// 95th-percentile submit-to-ack latency, µs.
     pub p95_us: Option<u64>,
-    /// 99th-percentile submit-to-apply latency, µs.
+    /// 99th-percentile submit-to-ack latency, µs.
     pub p99_us: Option<u64>,
+    /// The probe replica's mempool counters at the end of the run.
+    pub mempool: MempoolStats,
 }
 
 /// A [`Counter`]-equivalent state machine that also timestamps every
@@ -159,6 +194,20 @@ pub fn load_spec() -> ScenarioSpec {
     wall_spec(registry(), "smr")
 }
 
+/// The failover scenario: `(9, 2)` — the smallest shape whose fault
+/// budget admits two dead leaders under `n ≥ 5f − 1` — with a
+/// [`AdversaryMix::LeaderCascade`] killing the view-1 leader early in the
+/// stream and its first rotation successor shortly after it takes over.
+pub fn failover_spec() -> ScenarioSpec {
+    load_spec()
+        .with_shape(9, 2)
+        .with_adversary(AdversaryMix::LeaderCascade {
+            count: 2,
+            first_handled: 40,
+            stagger: 120,
+        })
+}
+
 fn percentile(sorted_us: &[u64], p: f64) -> Option<u64> {
     if sorted_us.is_empty() {
         return None;
@@ -167,12 +216,127 @@ fn percentile(sorted_us: &[u64], p: f64) -> Option<u64> {
     Some(sorted_us[idx.min(sorted_us.len() - 1)])
 }
 
+/// What the open-loop client measured: per-request first-submit and
+/// first-ack instants, plus retry/reject counters.
+#[derive(Debug, Default)]
+struct ClientReport {
+    sends: Vec<Instant>,
+    acks: Vec<Option<Instant>>,
+    retries: u64,
+    rejects: u64,
+}
+
+/// Decodes one client-addressed delivery, recording a fresh ack. Returns
+/// whether the delivery acknowledged a previously-unacked request.
+fn note_delivery(bytes: &[u8], report: &mut ClientReport) -> bool {
+    match SmrMsg::from_wire(bytes) {
+        Ok(SmrMsg::Ack { cmd, .. }) => {
+            let Some(idx) = cmd.as_u64().checked_sub(1) else {
+                return false;
+            };
+            let idx = idx as usize;
+            if idx < report.acks.len() && report.acks[idx].is_none() {
+                report.acks[idx] = Some(Instant::now());
+                return true;
+            }
+            false
+        }
+        Ok(SmrMsg::Reject { .. }) => {
+            report.rejects += 1;
+            false
+        }
+        _ => false,
+    }
+}
+
+/// The open-loop client: submits `requests` commands on a fixed `gap`
+/// schedule, fanning each out to every replica (all serving replicas
+/// admit, so a failover leader holds the command), drains
+/// acknowledgements, and retries unacked requests on a budget.
+fn drive_open_loop(client: &ClientHandle, n: usize, requests: u64, gap: Duration) -> ClientReport {
+    let submit_fan = |client: &ClientHandle, i: u64| -> bool {
+        let frame = SmrMsg::Submit {
+            cmd: Value::new(i + 1),
+        }
+        .to_wire();
+        let mut live = true;
+        for p in 0..n as u32 {
+            live &= client.submit(PartyId::new(p), frame.clone());
+        }
+        live
+    };
+
+    let mut report = ClientReport {
+        sends: Vec::with_capacity(requests as usize),
+        acks: vec![None; requests as usize],
+        retries: 0,
+        rejects: 0,
+    };
+    let mut last_attempt: Vec<Instant> = Vec::with_capacity(requests as usize);
+    let mut budget = vec![RETRY_BUDGET; requests as usize];
+    let mut live = true;
+
+    // Submission phase: request i goes out at `start + i·gap` no matter
+    // how far behind the replicas are; acks drain between submits.
+    let start = Instant::now();
+    for i in 0..requests {
+        let due = start + gap * (i as u32);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            thread::sleep(wait);
+        }
+        report.sends.push(Instant::now());
+        last_attempt.push(Instant::now());
+        if !submit_fan(client, i) {
+            live = false; // run already over (deadline) — stop submitting
+            break;
+        }
+        while let Some(bytes) = client.try_recv() {
+            note_delivery(&bytes, &mut report);
+        }
+    }
+
+    // Drain-and-retry phase: wait for the stragglers, retransmitting any
+    // request unacked past RETRY_AFTER while its budget lasts. Gives up
+    // once nothing has been acknowledged for ACK_PATIENCE.
+    let mut last_progress = Instant::now();
+    while live
+        && last_progress.elapsed() < ACK_PATIENCE
+        && report.acks[..report.sends.len()]
+            .iter()
+            .any(Option::is_none)
+    {
+        if let Some(bytes) = client.recv_timeout(Duration::from_millis(20)) {
+            if note_delivery(&bytes, &mut report) {
+                last_progress = Instant::now();
+            }
+        }
+        let now = Instant::now();
+        for i in 0..report.sends.len() {
+            if report.acks[i].is_none()
+                && budget[i] > 0
+                && now.duration_since(last_attempt[i]) >= RETRY_AFTER
+            {
+                budget[i] -= 1;
+                last_attempt[i] = now;
+                report.retries += 1;
+                if !submit_fan(client, i as u64) {
+                    live = false;
+                    break;
+                }
+            }
+        }
+    }
+    report
+}
+
 /// Runs one open-loop load experiment over the socket backend.
 ///
-/// The client thread submits `opts.requests` commands (`Value::new(1)`,
-/// `Value::new(2)`, …) to the leader on a fixed `opts.gap` schedule; the
-/// run ends when the idle log quiesces. Latency is measured at replica 1
-/// (a follower — its applies ride the full two-round commit path).
+/// The client thread fans `opts.requests` commands (`Value::new(1)`,
+/// `Value::new(2)`, …) out to every replica on a fixed `opts.gap`
+/// schedule and measures first-submit-to-first-ack latency; the run ends
+/// when the idle log quiesces. Applies and mempool counters are probed at
+/// the highest-indexed honest replica (a follower — its applies ride the
+/// full commit path, and it survives every kill schedule).
 ///
 /// # Panics
 ///
@@ -190,10 +354,28 @@ pub fn run_load(
         pipeline,
         ..SmrParams::default()
     };
+    let byzantine: BTreeSet<usize> = spec
+        .adversary_slots()
+        .iter()
+        .map(|(p, _)| p.as_usize())
+        .collect();
+    let crashes = spec
+        .adversary_slots()
+        .iter()
+        .filter(|(_, r)| matches!(r, AdversaryRole::Crash { .. }))
+        .count() as u64;
+    let probe_id = (0..spec.n)
+        .rev()
+        .find(|i| !byzantine.contains(i))
+        .expect("at least one honest replica");
     let logs: Vec<ApplyLog> = (0..spec.n)
         .map(|_| Arc::new(Mutex::new(Vec::new())))
         .collect();
+    let stats: Vec<Arc<Mutex<MempoolStats>>> = (0..spec.n)
+        .map(|_| Arc::new(Mutex::new(MempoolStats::default())))
+        .collect();
     let engine_logs = logs.clone();
+    let engine_stats = stats.clone();
     let slots = spec.erased_slots(|p| {
         SlotEngine::new(
             cfg,
@@ -205,50 +387,46 @@ pub fn run_load(
                 engine_logs[p.as_usize()].clone(),
             ))),
         )
+        .with_stats_probe(engine_stats[p.as_usize()].clone())
     });
 
-    let sends: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
-    let client_sends = Arc::clone(&sends);
+    let report: Arc<Mutex<ClientReport>> = Arc::new(Mutex::new(ClientReport::default()));
+    let client_report = Arc::clone(&report);
     let requests = opts.requests;
     let gap = opts.gap;
-    let leader = PartyId::new(0);
+    let n = spec.n;
     let o = SocketBackend::new()
         .deadline(opts.deadline)
         .execute_with_client(spec, slots, MsgCodec::of::<SmrMsg>(), move |client| {
-            let start = Instant::now();
-            for i in 0..requests {
-                // Open loop: request i goes out at `start + i·gap` no
-                // matter how far behind the replicas are.
-                let due = start + gap * (i as u32);
-                if let Some(wait) = due.checked_duration_since(Instant::now()) {
-                    thread::sleep(wait);
-                }
-                let frame = SmrMsg::Submit {
-                    cmd: Value::new(i + 1),
-                }
-                .to_wire();
-                client_sends.lock().push(Instant::now());
-                if !client.submit(leader, frame) {
-                    break; // run already over (deadline) — stop submitting
-                }
-            }
+            *client_report.lock() = drive_open_loop(&client, n, requests, gap);
         });
 
-    let sends = sends.lock();
-    // Probe at replica 1: a follower, so each apply crosses the full
-    // propose→vote→commit path plus payload dissemination.
-    let probe = logs[1].lock();
-    let mut lats_us: Vec<u64> = probe
+    let report = report.lock();
+    // Ack-based latency: first submit to first acknowledgement.
+    let mut lats_us: Vec<u64> = report
+        .sends
         .iter()
-        .filter_map(|(v, at)| {
-            let idx = v.as_u64().checked_sub(1)? as usize;
-            let sent = sends.get(idx)?;
-            Some(at.duration_since(*sent).as_micros() as u64)
-        })
+        .zip(&report.acks)
+        .filter_map(|(sent, acked)| acked.map(|at| at.duration_since(*sent).as_micros() as u64))
         .collect();
     lats_us.sort_unstable();
+    let acked = report.acks.iter().flatten().count() as u64;
+
+    // Exactly-once + liveness audit at the probe replica: no command may
+    // appear twice in its apply log, and every acknowledged command must
+    // have been applied there.
+    let probe = logs[probe_id].lock();
+    let mut applied_set: BTreeSet<Value> = BTreeSet::new();
+    let exactly_once = probe.iter().all(|(v, _)| applied_set.insert(*v));
+    let acked_applied = report
+        .acks
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.is_some())
+        .all(|(i, _)| applied_set.contains(&Value::new(i as u64 + 1)));
+
     let committed = probe.len() as u64;
-    let elapsed_us = match (sends.first(), probe.last()) {
+    let elapsed_us = match (report.sends.first(), probe.last()) {
         (Some(first), Some((_, last))) => last.duration_since(*first).as_micros() as u64,
         _ => 0,
     };
@@ -257,29 +435,40 @@ pub fn run_load(
     } else {
         0.0
     };
+    let mempool = *stats[probe_id].lock();
     SmrLoadRow {
         batch,
         pipeline,
         n: spec.n,
         f: spec.f,
+        crashes,
         requests,
+        acked,
+        retries: report.retries,
+        client_rejects: report.rejects,
         committed,
         agreement: o.agreement_holds(),
+        exactly_once,
+        acked_applied,
         elapsed_us,
         commits_per_sec,
         p50_us: percentile(&lats_us, 0.50),
         p95_us: percentile(&lats_us, 0.95),
         p99_us: percentile(&lats_us, 0.99),
+        mempool,
     }
 }
 
-/// Measures every [`LOAD_CONFIGS`] point on the socket backend.
+/// Measures every [`LOAD_CONFIGS`] point plus the leader-failover
+/// scenario on the socket backend.
 pub fn smr_load_rows(opts: LoadOptions) -> Vec<SmrLoadRow> {
     let spec = load_spec();
-    LOAD_CONFIGS
+    let mut rows: Vec<SmrLoadRow> = LOAD_CONFIGS
         .iter()
         .map(|&(batch, pipeline)| run_load(&spec, batch, pipeline, opts))
-        .collect()
+        .collect();
+    rows.push(run_load(&failover_spec(), 4, 4, opts));
+    rows
 }
 
 /// Renders rows as the `BENCH_smr.json` document ([`RowsDoc`] format).
@@ -292,25 +481,37 @@ pub fn render_json(rows: &[SmrLoadRow]) -> String {
             ("pipeline", JVal::U64(r.pipeline as u64)),
             ("n", JVal::U64(r.n as u64)),
             ("f", JVal::U64(r.f as u64)),
+            ("crashes", JVal::U64(r.crashes)),
             ("requests", JVal::U64(r.requests)),
+            ("acked", JVal::U64(r.acked)),
+            ("retries", JVal::U64(r.retries)),
+            ("client_rejects", JVal::U64(r.client_rejects)),
             ("committed", JVal::U64(r.committed)),
             ("agreement", JVal::Bool(r.agreement)),
+            ("exactly_once", JVal::Bool(r.exactly_once)),
+            ("acked_applied", JVal::Bool(r.acked_applied)),
             ("elapsed_us", JVal::U64(r.elapsed_us)),
             ("commits_per_sec", JVal::F1(r.commits_per_sec)),
             ("p50_us", r.p50_us.map_or(JVal::Null, JVal::U64)),
             ("p95_us", r.p95_us.map_or(JVal::Null, JVal::U64)),
             ("p99_us", r.p99_us.map_or(JVal::Null, JVal::U64)),
+            ("mp_occupancy", JVal::U64(r.mempool.occupancy as u64)),
+            ("mp_admitted", JVal::U64(r.mempool.admitted)),
+            ("mp_rejected", JVal::U64(r.mempool.rejected)),
+            ("mp_requeued", JVal::U64(r.mempool.requeued)),
+            ("mp_committed", JVal::U64(r.mempool.committed)),
         ]);
     }
     doc.render()
 }
 
 /// Structural CI check of a `BENCH_smr.json` document: parseable, right
-/// schema, at least three distinct `(batch, pipeline)` configurations,
-/// and every row committed traffic with agreement and a measured median.
-/// Deliberately **no** rate or latency gate — wall numbers are machine
-/// noise across CI runners; the trajectory file exists so humans can
-/// diff the serving envelope per PR.
+/// schema, at least three distinct `(batch, pipeline)` configurations, a
+/// leader-failover row, and every row committed traffic with agreement, a
+/// measured ack median, and a passing exactly-once audit. Deliberately
+/// **no** rate or latency gate — wall numbers are machine noise across CI
+/// runners; the trajectory file exists so humans can diff the serving
+/// envelope per PR.
 ///
 /// # Errors
 ///
@@ -332,6 +533,7 @@ fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
         .and_then(JsonValue::as_array)
         .ok_or("missing rows array")?;
     let mut configs = Vec::new();
+    let mut failover_rows = 0usize;
     for (i, row) in rows.iter().enumerate() {
         let batch = row
             .field_u64("batch")
@@ -339,6 +541,9 @@ fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
         let pipeline = row
             .field_u64("pipeline")
             .ok_or_else(|| format!("row {i}: missing pipeline"))?;
+        let crashes = row
+            .field_u64("crashes")
+            .ok_or_else(|| format!("row {i}: missing crashes"))?;
         if row.field_bool("agreement") != Some(true) {
             return Err(format!(
                 "row {i} (batch {batch}, pipeline {pipeline}): agreement violated"
@@ -352,10 +557,36 @@ fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
                 ))
             }
         }
+        match row.field_u64("acked") {
+            Some(a) if a > 0 => {}
+            _ => {
+                return Err(format!(
+                    "row {i} (batch {batch}, pipeline {pipeline}): no acknowledged requests"
+                ))
+            }
+        }
+        if row.field_bool("exactly_once") != Some(true) {
+            return Err(format!(
+                "row {i} (batch {batch}, pipeline {pipeline}): exactly-once audit failed"
+            ));
+        }
+        if row.field_bool("acked_applied") != Some(true) {
+            return Err(format!(
+                "row {i} (batch {batch}, pipeline {pipeline}): an acked command was never applied"
+            ));
+        }
         if row.field_u64("p50_us").is_none() {
             return Err(format!(
-                "row {i} (batch {batch}, pipeline {pipeline}): no measured p50 latency"
+                "row {i} (batch {batch}, pipeline {pipeline}): no measured p50 ack latency"
             ));
+        }
+        if row.field_u64("mp_admitted").is_none() {
+            return Err(format!(
+                "row {i} (batch {batch}, pipeline {pipeline}): missing mempool counters"
+            ));
+        }
+        if crashes >= 1 {
+            failover_rows += 1;
         }
         if !configs.contains(&(batch, pipeline)) {
             configs.push((batch, pipeline));
@@ -367,6 +598,9 @@ fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
             configs.len()
         ));
     }
+    if failover_rows == 0 {
+        return Err("no leader-failover row (crashes >= 1)".to_string());
+    }
     Ok(rows.len())
 }
 
@@ -377,18 +611,28 @@ mod tests {
 
     #[test]
     fn open_loop_socket_load_commits_and_passes_check() {
-        // Three tiny configurations keep the unit test cheap while still
-        // producing a full-shape document the structural gate accepts.
+        // Three tiny configurations plus a follower-crash failover row
+        // keep the unit test cheap while still producing a full-shape
+        // document the structural gate accepts.
         let spec = load_spec();
         let opts = LoadOptions {
             requests: 24,
             gap: Duration::from_millis(1),
             deadline: Duration::from_secs(20),
         };
-        let rows: Vec<SmrLoadRow> = [(1, 4), (4, 4), (8, 8)]
+        let mut rows: Vec<SmrLoadRow> = [(1, 4), (4, 4), (8, 8)]
             .iter()
             .map(|&(b, p)| run_load(&spec, b, p, opts))
             .collect();
+        rows.push(run_load(
+            &spec.with_adversary(AdversaryMix::CrashAt {
+                party: PartyId::new(0),
+                handled: 30,
+            }),
+            4,
+            4,
+            opts,
+        ));
         for r in &rows {
             assert!(r.agreement, "batch {} pipeline {}", r.batch, r.pipeline);
             assert!(
@@ -397,8 +641,11 @@ mod tests {
                 r.batch,
                 r.pipeline
             );
+            assert!(r.exactly_once, "a command applied twice");
+            assert!(r.acked_applied, "an acked command was lost");
             let p50 = r.p50_us.expect("median measured");
-            // Two injected 2 ms hops bound the commit path from below.
+            // Two injected 2 ms hops bound the commit path from below
+            // (the ack adds at least one more, but two is the floor).
             assert!(
                 p50 >= 2 * WALL_DELTA.as_micros(),
                 "batch {} pipeline {}: p50 {p50}µs under the 2-hop floor",
@@ -407,10 +654,11 @@ mod tests {
             );
             assert!(r.p95_us.unwrap() >= p50);
             assert!(r.p99_us.unwrap() >= r.p95_us.unwrap());
+            assert!(r.mempool.admitted > 0, "probe admitted no commands");
         }
         let doc = render_json(&rows);
         let n = check_doc(&doc).expect("fresh rows pass the structural gate");
-        assert_eq!(n, 3);
+        assert_eq!(n, 4);
     }
 
     #[test]
@@ -437,12 +685,47 @@ mod tests {
             row.committed > 0,
             "a crashed follower must not stop the service"
         );
+        assert!(row.exactly_once && row.acked_applied);
+    }
+
+    #[test]
+    fn leader_cascade_failover_serves_the_full_acked_workload() {
+        // The acceptance scenario: the initial leader AND its first
+        // rotation successor die mid-run under open-loop load. The
+        // service must acknowledge the entire stream (retries allowed),
+        // apply every acked command exactly once, and agree.
+        let opts = LoadOptions {
+            requests: 32,
+            gap: Duration::from_millis(1),
+            deadline: Duration::from_secs(30),
+        };
+        let row = run_load(&failover_spec(), 4, 4, opts);
+        assert_eq!(row.crashes, 2, "two successive leaders die");
+        assert!(row.agreement, "survivors agree through failover");
+        assert_eq!(
+            row.acked, row.requests,
+            "the full workload must be acknowledged through failover \
+             (retries: {}, rejects: {})",
+            row.retries, row.client_rejects
+        );
+        assert!(row.exactly_once, "failover double-applied a command");
+        assert!(row.acked_applied, "an acked command was lost in failover");
+        assert!(
+            row.committed >= row.requests,
+            "probe applied {} of {} requests",
+            row.committed,
+            row.requests
+        );
     }
 
     #[test]
     fn check_rejects_malformed_documents() {
         assert!(check_doc("not json").is_err());
         assert!(check_doc("{\"schema\": \"other/v9\", \"rows\": []}").is_err());
+        assert!(
+            check_doc("{\"schema\": \"gcl-bench/smr-load/v1\", \"rows\": []}").is_err(),
+            "v1 documents no longer pass the v2 gate"
+        );
         let empty = format!("{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": []}}");
         let err = check_doc(&empty).unwrap_err();
         assert!(err.contains("configurations"), "{err}");
@@ -450,9 +733,17 @@ mod tests {
         // variation.
         let dead = format!(
             "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [{{\"batch\": 1, \
-             \"pipeline\": 1, \"agreement\": true, \"committed\": 0}}]}}"
+             \"pipeline\": 1, \"crashes\": 0, \"agreement\": true, \"committed\": 0}}]}}"
         );
         let err = check_doc(&dead).unwrap_err();
         assert!(err.contains("no committed requests"), "{err}");
+        // A failed exactly-once audit must be fatal even with traffic.
+        let dup = format!(
+            "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [{{\"batch\": 1, \
+             \"pipeline\": 1, \"crashes\": 1, \"agreement\": true, \"committed\": 5, \
+             \"acked\": 5, \"exactly_once\": false}}]}}"
+        );
+        let err = check_doc(&dup).unwrap_err();
+        assert!(err.contains("exactly-once"), "{err}");
     }
 }

@@ -140,6 +140,39 @@ fn throughput_scenarios_match_pre_refactor_runner() {
 }
 
 #[test]
+fn leader_crash_smr_rotation_is_deterministic_and_pinned() {
+    // Leader rotation must be a pure function of (spec, seed): the view-1
+    // leader of the crashed slots hands off on the deterministic view
+    // timetable, so the whole failover trace — events, messages, commit
+    // round — pins exactly, and a sweep over crash cells reports the
+    // same numbers at any thread count.
+    use gcl_sim::{AdversaryMix, Sweep};
+    use gcl_types::PartyId;
+    let spec = canonical("smr", 4, 1)
+        .with_workload(50, 4)
+        .with_adversary(AdversaryMix::CrashAt {
+            party: PartyId::new(0),
+            handled: 12,
+        });
+    check(
+        ("smr_50_leader_crash", 793, 742, Some(2600), Some(17)),
+        &spec,
+    );
+    let cells: Vec<ScenarioSpec> = (0..4).map(|i| spec.clone().with_seed(100 + i)).collect();
+    let one = Sweep::new(registry())
+        .cells(cells.clone())
+        .threads(1)
+        .seed(7)
+        .run();
+    let four = Sweep::new(registry()).cells(cells).threads(4).seed(7).run();
+    assert!(
+        one.deterministic_eq(&four),
+        "leader-crash SMR cells depend on sweep thread count"
+    );
+    assert_eq!(one.safety_violations().count(), 0);
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Same spec, same seed, same everything: the registry path has no
     // hidden nondeterminism (hash maps, pointer ordering, wall clocks).

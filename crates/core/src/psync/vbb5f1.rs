@@ -219,7 +219,6 @@ const fn view_tag(view: View) -> u64 {
 /// assert_eq!(outcome.good_case_rounds(), Some(2));
 /// # Ok::<(), gcl_types::ConfigError>(())
 /// ```
-#[derive(Debug)]
 pub struct VbbFiveFMinusOne {
     config: Config,
     signer: Signer,
@@ -230,6 +229,12 @@ pub struct VbbFiveFMinusOne {
     input: Option<Value>,
     /// Proposed when leading a later view with only genesis locks around.
     fallback: Value,
+    /// Late-bound alternative to [`fallback`](Self::fallback): consulted at
+    /// the moment this party proposes as a late-view leader with nothing
+    /// locked, so an embedding layer (e.g. an SMR slot engine rotating
+    /// proposal rights) can substitute a *fresh* value — drained from its
+    /// mempool — instead of a constant chosen at construction time.
+    fallback_source: Option<Box<dyn FnMut(View) -> Value + Send>>,
     view: View,
     cert: Certificate,
     voted: Option<LeaderSigned>,
@@ -287,6 +292,7 @@ impl VbbFiveFMinusOne {
             big_delta,
             input,
             fallback,
+            fallback_source: None,
             view: View::FIRST,
             cert: Certificate::Genesis,
             voted: None,
@@ -305,6 +311,23 @@ impl VbbFiveFMinusOne {
     #[must_use]
     pub fn with_fallback(mut self, v: Value) -> Self {
         self.fallback = v;
+        self
+    }
+
+    /// Installs a dynamic fallback: when this party proposes as a late-view
+    /// leader and no value is locked, `source(view)` supplies the proposal
+    /// instead of the static [`with_fallback`](Self::with_fallback) value.
+    /// Every value the source returns must be externally valid.
+    ///
+    /// The source is consulted at most once per view led by this party, and
+    /// only on the no-lock path — a locked value always wins, preserving
+    /// the protocol's safety argument unchanged.
+    #[must_use]
+    pub fn with_fallback_source(
+        mut self,
+        source: impl FnMut(View) -> Value + Send + 'static,
+    ) -> Self {
+        self.fallback_source = Some(Box::new(source));
         self
     }
 
@@ -504,7 +527,10 @@ impl VbbFiveFMinusOne {
                 .expect("quorum checked");
             let v = match highest.lock(self.config) {
                 Some(Lock::Exactly(v)) => v,
-                _ => self.fallback,
+                _ => match self.fallback_source.as_mut() {
+                    Some(source) => source(w),
+                    None => self.fallback,
+                },
             };
             (v, Proof::Statuses(statuses))
         };
@@ -514,6 +540,20 @@ impl VbbFiveFMinusOne {
         let vote = VoteMsg::new(&self.signer, ls);
         ctx.multicast(VbbMsg::Propose { ls, proof });
         ctx.multicast(VbbMsg::Vote(vote));
+    }
+}
+
+// Manual impl: the optional fallback-source closure is not `Debug`.
+impl std::fmt::Debug for VbbFiveFMinusOne {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VbbFiveFMinusOne")
+            .field("me", &self.signer.id())
+            .field("view", &self.view)
+            .field("committed", &self.committed)
+            .field("proposed", &self.proposed)
+            .field("fallback", &self.fallback)
+            .field("dynamic_fallback", &self.fallback_source.is_some())
+            .finish_non_exhaustive()
     }
 }
 
@@ -721,6 +761,51 @@ mod tests {
         assert!(o.all_honest_committed(), "termination after GST");
         // The view-2 leader (P1) proposed its fallback.
         assert_eq!(o.committed_value(), Some(Value::new(1_000_001)));
+    }
+
+    #[test]
+    fn fallback_source_supplies_the_late_view_proposal() {
+        // Same silent-leader schedule, but the view-2 leader carries a
+        // dynamic fallback source: the converged value must come from the
+        // source (stamped with the view it was asked for), and parties
+        // without a source must be unaffected.
+        let n = 9;
+        let cfg = Config::new(n, 2).unwrap();
+        let chain = Keychain::generate(n, 23);
+        let asked: Arc<std::sync::Mutex<Vec<View>>> = Arc::default();
+        let log = Arc::clone(&asked);
+        let o = Simulation::build(cfg)
+            .timing(psync_gst0())
+            .oracle(FixedDelay::new(Duration::from_micros(10)))
+            .byzantine(PartyId::new(0), Silent::new())
+            .spawn_honest(move |p| {
+                let vbb = VbbFiveFMinusOne::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    accept_all(),
+                    DELTA,
+                    None,
+                );
+                if p == PartyId::new(1) {
+                    let log = Arc::clone(&log);
+                    vbb.with_fallback_source(move |view| {
+                        log.lock().unwrap().push(view);
+                        Value::new(7_000 + view.number())
+                    })
+                } else {
+                    vbb
+                }
+            })
+            .run();
+        o.assert_agreement();
+        assert!(o.all_honest_committed());
+        assert_eq!(o.committed_value(), Some(Value::new(7_002)));
+        assert_eq!(
+            asked.lock().unwrap().as_slice(),
+            &[View::new(2)],
+            "the source is consulted exactly once, for the view being led"
+        );
     }
 
     #[test]

@@ -376,6 +376,12 @@ pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
                     }
                 }
                 for (to, msg) in ctx.sends {
+                    if to.as_usize() >= n {
+                        // Out-of-band addresses (the reserved client id):
+                        // this runtime has no client endpoint, so client
+                        // acknowledgements are dropped here.
+                        continue;
+                    }
                     let _ = sched.send(Submit {
                         due: Instant::now() + links[to.as_usize()],
                         to,

@@ -237,14 +237,18 @@ fn parse_submission(from: PartyId, body: Vec<u8>) -> Option<Submission> {
 
 /// A client's way into a socket run: injects encoded messages that are
 /// scheduled and delivered exactly like party traffic (self-link delay,
-/// real bytes across the recipient's socket).
+/// real bytes across the recipient's socket) — and receives the frames
+/// replicas address to the reserved [`PartyId::CLIENT`] (serving
+/// acknowledgements and back-pressure).
 ///
 /// Handed to the driver closure of
 /// [`SocketBackend::execute_with_client`]; cloneable so a driver may fan
-/// out over threads.
+/// out over threads (receives are serialized behind a mutex — one clone
+/// draining the delivery channel is the intended shape).
 #[derive(Clone)]
 pub struct ClientHandle {
     sub_tx: crossbeam::channel::Sender<Submission>,
+    delivery_rx: Arc<Mutex<crossbeam::channel::Receiver<Vec<u8>>>>,
 }
 
 impl ClientHandle {
@@ -262,6 +266,18 @@ impl ClientHandle {
                 },
             })
             .is_ok()
+    }
+
+    /// Receives the next client-addressed delivery (the encoded bytes of a
+    /// message a replica sent to [`PartyId::CLIENT`]), waiting up to
+    /// `timeout`. `None` on timeout or once the run has shut down.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Vec<u8>> {
+        self.delivery_rx.lock().recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive of the next client-addressed delivery.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.delivery_rx.lock().try_recv().ok()
     }
 }
 
@@ -309,10 +325,15 @@ pub(crate) fn run_socket_slots(
     let shutdown_tx = sub_tx.clone();
 
     // The client driver, if any, gets its own submission handle; its
-    // injected frames are scheduled exactly like party submissions.
+    // injected frames are scheduled exactly like party submissions, and
+    // frames the replicas address to the reserved client id come back to
+    // it through the delivery channel. Without a driver the receiver is
+    // dropped here and the scheduler's client deliveries fail harmlessly.
+    let (client_tx, client_rx) = unbounded::<Vec<u8>>();
     let driver_handle = driver.map(|driver| {
         let handle = ClientHandle {
             sub_tx: sub_tx.clone(),
+            delivery_rx: Arc::new(Mutex::new(client_rx)),
         };
         thread::spawn(move || driver(handle))
     });
@@ -378,9 +399,22 @@ pub(crate) fn run_socket_slots(
                         }
                         SubmissionKind::Unicast { to, round, bytes } => {
                             messages += 1;
+                            // Client-addressed frames (the reserved
+                            // out-of-band id) cross the sender's worst
+                            // link — the external client is at least as
+                            // far away as the farthest party.
+                            let delay = if to.as_usize() >= n {
+                                links[row..row + n]
+                                    .iter()
+                                    .copied()
+                                    .max()
+                                    .unwrap_or_default()
+                            } else {
+                                links[row + to.as_usize()]
+                            };
                             push(
                                 &mut heap,
-                                now + links[row + to.as_usize()],
+                                now + delay,
                                 to,
                                 Delivery::Msg {
                                     from: sub.from,
@@ -422,6 +456,15 @@ pub(crate) fn run_socket_slots(
             }
             while heap.peek().is_some_and(|s| s.due <= Instant::now()) {
                 let s = heap.pop().expect("peeked");
+                if s.to.as_usize() >= n {
+                    // Client delivery: hand the payload bytes to the
+                    // external client channel (dropped when no driver is
+                    // attached — a send failure is harmless).
+                    if let Delivery::Msg { bytes, .. } = &s.delivery {
+                        let _ = client_tx.send(bytes.as_ref().clone());
+                    }
+                    continue;
+                }
                 let frame = delivery_frame(&s.delivery);
                 // A write failure means the recipient is gone (terminated
                 // and closed its end) — past the run's horizon, drop it.

@@ -436,6 +436,14 @@ impl<M> Router<M> {
     /// Asks the oracle for a delay, clamps it to the timing model, and
     /// enqueues the delivery (or drops it, on an unconstrained link).
     fn route(&mut self, from: PartyId, to: PartyId, msg: Payload<M>, now: GlobalTime, round: u32) {
+        if to.as_usize() >= self.n {
+            // Out-of-band addresses (the reserved client id): the
+            // simulator has no client endpoint, so such sends are dropped
+            // before they touch the message counter — simulated runs stay
+            // message-identical whether or not a protocol acknowledges an
+            // (absent) client.
+            return;
+        }
         self.messages_sent += 1;
         if to == from {
             // Self-delivery: immediate, not adversary-controlled.

@@ -176,6 +176,21 @@ pub enum AdversaryMix {
         /// Events it handles before going silent.
         handled: u32,
     },
+    /// A kill schedule for leader-rotation fault injection: the first
+    /// `min(count, f)` parties — the round-robin leaders of views
+    /// 1, 2, … — run the honest code wrapped in [`Crashing`], with party
+    /// `i` crashing after `first_handled + i × stagger` handled events.
+    /// The result is `k ≤ f` *successive* leaders dying mid-run, each a
+    /// little later than its predecessor, so every crash lands on the
+    /// party currently holding proposal rights.
+    LeaderCascade {
+        /// Requested cascade length (clamped to `f`).
+        count: u32,
+        /// Crash budget of the first leader (party 0).
+        first_handled: u32,
+        /// Additional handled events each successive leader survives.
+        stagger: u32,
+    },
 }
 
 /// Family-specific tuning knobs that do not warrant their own family key.
@@ -510,6 +525,20 @@ impl ScenarioSpec {
             AdversaryMix::CrashAt { party, handled } => {
                 vec![(party, AdversaryRole::Crash { handled })]
             }
+            AdversaryMix::LeaderCascade {
+                count,
+                first_handled,
+                stagger,
+            } => (0..clamp(count) as u32)
+                .map(|i| {
+                    (
+                        PartyId::new(i),
+                        AdversaryRole::Crash {
+                            handled: first_handled + i * stagger,
+                        },
+                    )
+                })
+                .collect(),
         }
     }
 
@@ -661,6 +690,7 @@ impl ScenarioSpec {
             AdversaryMix::RandomSilent { .. } => s.push_str("/silent-rand"),
             AdversaryMix::RandomCrashing { .. } => s.push_str("/crash-rand"),
             AdversaryMix::CrashAt { .. } => s.push_str("/crash-at"),
+            AdversaryMix::LeaderCascade { .. } => s.push_str("/crash-cascade"),
         }
         if self.delays != DelayChoice::Fixed {
             s.push_str("/jitter");
@@ -1120,6 +1150,28 @@ mod tests {
         assert_eq!(ids, sorted, "ascending installation order");
         let other = spec.with_seed(8).adversary_slots();
         assert_ne!(a, other, "different seed moves the subset");
+    }
+
+    #[test]
+    fn leader_cascade_crashes_successive_leaders_staggered() {
+        let spec =
+            ScenarioSpec::asynchronous("x", 9, 2).with_adversary(AdversaryMix::LeaderCascade {
+                count: 5,
+                first_handled: 10,
+                stagger: 20,
+            });
+        let slots = spec.adversary_slots();
+        assert_eq!(slots.len(), 2, "cascade length is clamped to f");
+        assert_eq!(
+            slots[0],
+            (PartyId::new(0), AdversaryRole::Crash { handled: 10 })
+        );
+        assert_eq!(
+            slots[1],
+            (PartyId::new(1), AdversaryRole::Crash { handled: 30 }),
+            "each successive leader survives `stagger` more events"
+        );
+        assert!(spec.label().ends_with("/crash-cascade"), "{}", spec.label());
     }
 
     #[test]

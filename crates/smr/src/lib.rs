@@ -68,4 +68,4 @@ mod mempool;
 
 pub use engine::{SlotEngine, SmrMsg, SmrParams};
 pub use machine::{Counter, KvStore, StateMachine};
-pub use mempool::{AdmissionError, Mempool};
+pub use mempool::{AdmissionError, Mempool, MempoolStats};

@@ -22,9 +22,21 @@ use std::fmt;
 pub struct PartyId(u32);
 
 impl PartyId {
+    /// The reserved out-of-band client address: never one of the `n`
+    /// parties. Serving protocols (the SMR engine) address acknowledgements
+    /// here; backends either route such sends to their external client
+    /// channel (the socket backend) or drop them (the simulator and the
+    /// in-memory thread runtime, which have no client endpoint).
+    pub const CLIENT: PartyId = PartyId(u32::MAX);
+
     /// Creates a party id from its index.
     pub const fn new(index: u32) -> Self {
         PartyId(index)
+    }
+
+    /// Whether this is the reserved [`PartyId::CLIENT`] address.
+    pub const fn is_client(self) -> bool {
+        self.0 == u32::MAX
     }
 
     /// Returns the index in `0..n`.
@@ -132,6 +144,14 @@ mod tests {
     #[test]
     fn party_id_display() {
         assert_eq!(PartyId::new(0).to_string(), "P0");
+    }
+
+    #[test]
+    fn client_address_is_reserved() {
+        assert!(PartyId::CLIENT.is_client());
+        assert!(!PartyId::new(0).is_client());
+        // No realistic party count collides with the client address.
+        assert_eq!(PartyId::CLIENT.index(), u32::MAX);
     }
 
     #[test]

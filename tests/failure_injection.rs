@@ -152,3 +152,37 @@ fn two_delta_bb_crash_follower_ba_still_terminates() {
         assert!(o.all_honest_terminated());
     }
 }
+
+#[test]
+fn smr_socket_leader_cascade_under_load_stays_live_and_exactly_once() {
+    // End-to-end fault injection on the wall: open-loop client load over
+    // real Unix-domain sockets while the kill schedule crashes the
+    // initial SMR leader and its first rotation successor (k = f = 2
+    // successive leaders at n = 9). The surviving replicas must keep
+    // acknowledging the stream, every acked command must land in the
+    // probe replica's log exactly once, and the replica group must agree.
+    use gcl_bench::smrload::{failover_spec, run_load, LoadOptions};
+    let row = run_load(
+        &failover_spec(),
+        4,
+        4,
+        LoadOptions {
+            requests: 16,
+            gap: std::time::Duration::from_millis(1),
+            deadline: std::time::Duration::from_secs(30),
+        },
+    );
+    assert_eq!(row.crashes, 2, "two successive leaders must die");
+    assert!(row.agreement, "survivors disagree after failover");
+    assert_eq!(
+        row.acked, row.requests,
+        "liveness through failover: every request acked (retries {})",
+        row.retries
+    );
+    assert!(row.exactly_once, "a command applied more than once");
+    assert!(row.acked_applied, "an acked command never applied");
+    assert!(
+        row.committed >= row.acked,
+        "probe log shorter than the acked workload"
+    );
+}

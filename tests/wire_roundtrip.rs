@@ -365,6 +365,52 @@ proptest! {
         round_trip(SmrMsg::Submit {
             cmd: value(&mut rng),
         });
+        round_trip(SmrMsg::Ack {
+            cmd: value(&mut rng),
+            slot,
+        });
+        round_trip(SmrMsg::Reject {
+            cmd: value(&mut rng),
+        });
+    }
+
+    #[test]
+    fn smr_client_frames_reject_truncation_and_bad_tags(seed: u64) {
+        // The ack path hands client-addressed frames to an untrusted
+        // socket reader, so every strict prefix of a valid Ack/Reject
+        // encoding must decode to an error (never panic, never a bogus
+        // message), and an unknown leading tag must be rejected outright.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slot = SlotId::new(rng.gen_range(0u64..100));
+        let frames = [
+            SmrMsg::Ack {
+                cmd: value(&mut rng),
+                slot,
+            }
+            .to_wire(),
+            SmrMsg::Reject {
+                cmd: value(&mut rng),
+            }
+            .to_wire(),
+        ];
+        for full in &frames {
+            for cut in 0..full.len() {
+                prop_assert!(
+                    SmrMsg::from_wire(&full[..cut]).is_err(),
+                    "{cut}-byte prefix of a {}-byte frame decoded",
+                    full.len()
+                );
+            }
+            let mut bad = full.clone();
+            bad[0] = rng.gen_range(7u8..=u8::MAX);
+            prop_assert!(SmrMsg::from_wire(&bad).is_err(), "bad tag accepted");
+            let mut trailing = full.clone();
+            trailing.push(rng.gen());
+            prop_assert!(
+                SmrMsg::from_wire(&trailing).is_err(),
+                "trailing garbage accepted"
+            );
+        }
     }
 
     #[test]
