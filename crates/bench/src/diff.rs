@@ -25,9 +25,10 @@
 //! trajectory diff in review.
 //!
 //! Rows are keyed by their identity columns, not their position:
-//! `(family, backend)` for the net-latency trajectory and
-//! `(batch, pipeline, n, f, crashes)` for the SMR serving trajectory, so
-//! reordering rows is not drift but re-shaping a scenario is.
+//! `(family, backend)` for the net-latency trajectory,
+//! `(batch, pipeline, n, f, crashes)` for the SMR serving trajectory, and
+//! `scenario` for the simulator-throughput trajectory, so reordering rows
+//! is not drift but re-shaping a scenario is.
 //!
 //! [`netlat`]: crate::netlat
 //! [`smrload`]: crate::smrload
@@ -35,6 +36,7 @@
 use crate::json::{parse, Value};
 use crate::netlat::NET_SCHEMA;
 use crate::smrload::SMR_SCHEMA;
+use crate::throughput::SIM_SCHEMA;
 
 /// Default gross-regression bound: a metric may be up to this many times
 /// worse than the committed baseline before the diff fails.
@@ -81,6 +83,21 @@ fn shape_of(schema: &str) -> Option<Shape> {
                 },
                 Metric {
                     field: "p50_us",
+                    better: Better::Lower,
+                },
+            ],
+        }),
+        s if s == SIM_SCHEMA => Some(Shape {
+            key: &["scenario"],
+            metrics: &[
+                Metric {
+                    field: "events_per_sec",
+                    better: Better::Higher,
+                },
+                // Deterministic, not noisy: a jump in MACs actually
+                // computed means a verify cache stopped amortizing.
+                Metric {
+                    field: "verify_macs",
                     better: Better::Lower,
                 },
             ],
@@ -327,10 +344,37 @@ mod tests {
     }
 
     #[test]
+    fn sim_rows_gate_throughput_and_verifier_work() {
+        let doc = |eps: f64, macs: u64| {
+            format!(
+                "{{\"schema\": \"{SIM_SCHEMA}\", \"rows\": [{{\"scenario\": \"brb2_n256_f85\", \
+                 \"events_per_sec\": {eps}, \"verify_macs\": {macs}}}]}}"
+            )
+        };
+        diff_docs(&doc(50_000.0, 1000), &doc(20_000.0, 1000), DEFAULT_FACTOR)
+            .expect("ordinary noise passes");
+        let err = diff_docs(&doc(50_000.0, 1000), &doc(100.0, 1000), DEFAULT_FACTOR).unwrap_err();
+        assert!(err.contains("events_per_sec"), "{err}");
+        // A verify cache that stopped amortizing shows up as a
+        // deterministic explosion in MACs computed.
+        let err = diff_docs(
+            &doc(50_000.0, 1000),
+            &doc(50_000.0, 700_000),
+            DEFAULT_FACTOR,
+        )
+        .unwrap_err();
+        assert!(err.contains("verify_macs"), "{err}");
+    }
+
+    #[test]
     fn committed_baselines_diff_cleanly_against_themselves() {
         // The repo-root trajectory files must be valid diff inputs — this
         // is what CI runs (against a fresh measurement) on every push.
-        for path in ["../../BENCH_net.json", "../../BENCH_smr.json"] {
+        for path in [
+            "../../BENCH_net.json",
+            "../../BENCH_smr.json",
+            "../../BENCH_sim.json",
+        ] {
             let text = std::fs::read_to_string(path).expect(path);
             let summary = diff_docs(&text, &text, DEFAULT_FACTOR).expect(path);
             assert!(summary.contains("rows matched"), "{summary}");

@@ -124,11 +124,21 @@ pub struct ThroughputRow {
     pub wall_ns: u64,
     /// `events / wall` of the best repetition.
     pub events_per_sec: f64,
+    /// MAC compressions actually computed in one run (the
+    /// [`gcl_crypto::VerifyProbe`] delta): the crypto work the verify
+    /// caches could not avoid.
+    pub verify_macs: u64,
+    /// Signature/memo cache hits in one run: verifications answered
+    /// without recomputing a MAC.
+    pub verify_hits: u64,
     /// Repetitions actually measured (best wins; fast scenarios repeat
     /// until a cumulative wall-time floor so one noisy sample can't
     /// dominate).
     pub reps: u32,
 }
+
+/// Schema tag of the `BENCH_sim.json` document.
+pub const SIM_SCHEMA: &str = "gcl-bench/sim-throughput/v1";
 
 /// Minimum cumulative measured wall time per scenario: microsecond-scale
 /// runs repeat until this floor so a single scheduler hiccup on a noisy CI
@@ -138,13 +148,22 @@ const MIN_TOTAL_NS: u64 = 5_000_000;
 const MAX_REPS: u32 = 64;
 
 /// The fixed trajectory scenarios: stable key → registry spec.
+///
+/// The crypto-heavy rows (`dolev_strong`, `brb2`, `vbb5f1`, `pbft3`) are
+/// the ones the amortized-verification layer targets; the `n = 1024`
+/// sweep points exist to expose the *next* bottleneck once signature
+/// re-verification stops dominating.
 pub fn rows_under_measure() -> Vec<(&'static str, ScenarioSpec)> {
     vec![
         ("flood_n16", canonical("flood", 16, 5)),
         ("flood_n64", canonical("flood", 64, 21)),
         ("flood_n256", canonical("flood", 256, 85)),
+        ("flood_n1024", canonical("flood", 1024, 341)),
         ("dolev_strong_n64_f21", canonical("dolev_strong", 64, 21)),
         ("brb2_n256_f85", canonical("brb2", 256, 85)),
+        ("brb2_n1024_f341", canonical("brb2", 1024, 341)),
+        ("vbb5f1_n64_f13", canonical("vbb5f1", 64, 13)),
+        ("pbft3_n64_f21", canonical("pbft3", 64, 21)),
         ("smr_1k", canonical("smr", 4, 1).with_workload(1_000, 8)),
     ]
 }
@@ -153,19 +172,30 @@ pub fn rows_under_measure() -> Vec<(&'static str, ScenarioSpec)> {
 /// wall time (repeating up to the cumulative floor), with the row's
 /// `(n, f)` taken from the spec itself.
 pub fn measure(scenario: &str, spec: &ScenarioSpec, min_reps: u32) -> ThroughputRow {
+    let probe = gcl_crypto::VerifyProbe::global();
     let mut best_ns = u64::MAX;
     let mut total_ns: u64 = 0;
     let mut reps = 0;
     let mut events = 0;
     let mut messages = 0;
     let mut peak_queue = 0;
+    let mut verify_macs = 0;
+    let mut verify_hits = 0;
     while reps < min_reps || (total_ns < MIN_TOTAL_NS && reps < MAX_REPS) {
+        // Verifiers flush their counters to the global probe when the
+        // run's protocol instances drop, i.e. before `run` returns; the
+        // per-rep delta is the run's crypto work. (Deltas are only exact
+        // when runs are sequential, which the bench binary guarantees.)
+        let macs0 = probe.macs();
+        let hits0 = probe.hits();
         let start = Instant::now();
         let o = crate::scenarios::run(spec);
         let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         events = o.events_processed();
         messages = o.messages_sent();
         peak_queue = o.peak_queue_depth() as u64;
+        verify_macs = probe.macs().saturating_sub(macs0);
+        verify_hits = probe.hits().saturating_sub(hits0);
         best_ns = best_ns.min(ns.max(1));
         total_ns = total_ns.saturating_add(ns);
         reps += 1;
@@ -179,6 +209,8 @@ pub fn measure(scenario: &str, spec: &ScenarioSpec, min_reps: u32) -> Throughput
         peak_queue,
         wall_ns: best_ns,
         events_per_sec: events as f64 * 1e9 / best_ns as f64,
+        verify_macs,
+        verify_hits,
         reps,
     }
 }
@@ -197,7 +229,7 @@ pub fn throughput_rows(quick: bool) -> Vec<ThroughputRow> {
 /// Renders rows as the `BENCH_sim.json` document (via the shared
 /// [`RowsDoc`] serializer).
 pub fn render_json(rows: &[ThroughputRow], mode: &str) -> String {
-    let mut doc = RowsDoc::new("gcl-bench/sim-throughput/v1");
+    let mut doc = RowsDoc::new(SIM_SCHEMA);
     doc.top("mode", JVal::Str(mode.to_string()));
     for r in rows {
         doc.row(vec![
@@ -209,6 +241,8 @@ pub fn render_json(rows: &[ThroughputRow], mode: &str) -> String {
             ("peak_queue", JVal::U64(r.peak_queue)),
             ("wall_ns", JVal::U64(r.wall_ns)),
             ("events_per_sec", JVal::F1(r.events_per_sec)),
+            ("verify_macs", JVal::U64(r.verify_macs)),
+            ("verify_hits", JVal::U64(r.verify_hits)),
             ("reps", JVal::U64(u64::from(r.reps))),
         ]);
     }
@@ -221,7 +255,7 @@ pub fn parse_json(text: &str) -> Result<Vec<ThroughputRow>, String> {
     let doc = crate::json::parse(text)?;
     doc.as_object().ok_or("top level must be an object")?;
     let schema = doc.field_str("schema").ok_or("missing schema")?;
-    if schema != "gcl-bench/sim-throughput/v1" {
+    if schema != SIM_SCHEMA {
         return Err(format!("unknown schema {schema:?}"));
     }
     let rows = doc
@@ -249,6 +283,8 @@ pub fn parse_json(text: &str) -> Result<Vec<ThroughputRow>, String> {
                 peak_queue: num_field("peak_queue")? as u64,
                 wall_ns: num_field("wall_ns")? as u64,
                 events_per_sec: num_field("events_per_sec")?,
+                verify_macs: num_field("verify_macs")? as u64,
+                verify_hits: num_field("verify_hits")? as u64,
                 reps: num_field("reps")? as u32,
             })
         })
@@ -308,6 +344,23 @@ mod tests {
         assert_eq!(parsed[0].events, rows[0].events);
         assert_eq!(parsed[0].messages, rows[0].messages);
         assert_eq!(parsed[0].wall_ns, rows[0].wall_ns);
+        assert_eq!(parsed[0].verify_macs, rows[0].verify_macs);
+        assert_eq!(parsed[0].verify_hits, rows[0].verify_hits);
+    }
+
+    #[test]
+    fn crypto_rows_report_verifier_work() {
+        // The probe deltas are only exact in a sequential process; under a
+        // parallel test runner other tests can only ADD to the global
+        // counters, so `> 0` assertions stay sound.
+        let row = measure("ds_n8_f2", &canonical("dolev_strong", 8, 2), 1);
+        assert!(row.verify_macs > 0, "Dolev-Strong verifies signatures");
+        let flood = measure("flood_n8", &canonical("flood", 8, 2), 1);
+        assert_eq!(
+            flood.scenario, "flood_n8",
+            "flood has no signatures; its macs column only picks up \
+             whatever parallel tests flushed, so no exact assertion"
+        );
     }
 
     #[test]
@@ -321,6 +374,8 @@ mod tests {
             peak_queue: 10,
             wall_ns: 1000,
             events_per_sec: eps,
+            verify_macs: 0,
+            verify_hits: 0,
             reps: 1,
         };
         let baseline = vec![

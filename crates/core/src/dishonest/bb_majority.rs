@@ -31,11 +31,10 @@
 //! equivocation, which the tests below exercise.
 
 use super::trustcast::{trustcast_deadline, TrustCast, TrustCastMsg, TrustGraph};
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
 use gcl_types::{Config, Duration, PartyId, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
 
 /// Leader-signed proposal for one epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,9 +60,9 @@ impl MajProposal {
         }
     }
 
-    fn verify(&self, leader: PartyId, pki: &Pki) -> bool {
+    fn verify(&self, leader: PartyId, v: &impl Verify) -> bool {
         self.sig.signer() == leader
-            && pki.verify(leader, Self::digest(self.value, self.epoch), &self.sig)
+            && v.verify(leader, Self::digest(self.value, self.epoch), &self.sig)
     }
 }
 
@@ -91,8 +90,8 @@ impl MajVote {
         }
     }
 
-    fn verify(&self, pki: &Pki) -> bool {
-        pki.verify_embedded(Self::digest(self.value, self.epoch), &self.sig)
+    fn verify(&self, v: &impl Verify) -> bool {
+        v.verify_embedded(Self::digest(self.value, self.epoch), &self.sig)
     }
 
     /// The voter.
@@ -210,7 +209,7 @@ const TAG_EPOCH_BASE: u64 = 1;
 pub struct BbMajority {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     big_delta: Duration,
     broadcaster: PartyId,
     input: Option<Value>,
@@ -247,7 +246,7 @@ impl BbMajority {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: Arc<Pki>,
+        verifier: impl Into<Verifier>,
         big_delta: Duration,
         broadcaster: PartyId,
         input: Option<Value>,
@@ -257,7 +256,7 @@ impl BbMajority {
         BbMajority {
             config,
             signer,
-            pki,
+            verifier: verifier.into(),
             big_delta,
             broadcaster,
             input,
@@ -309,7 +308,7 @@ impl BbMajority {
     }
 
     fn record_vote(&mut self, vote: MajVote, ctx: &mut dyn Context<MajorityMsg>) {
-        if !vote.verify(&self.pki) {
+        if !vote.verify(&self.verifier) {
             return;
         }
         // Flood exactly once.
@@ -380,7 +379,7 @@ impl BbMajority {
         let epoch = cert[0].epoch;
         if !cert
             .iter()
-            .all(|v| v.value == value && v.epoch == epoch && v.verify(&self.pki))
+            .all(|v| v.value == value && v.epoch == epoch && v.verify(&self.verifier))
         {
             return;
         }
@@ -448,7 +447,7 @@ impl BbMajority {
     }
 
     fn handle_proposal(&mut self, prop: MajProposal, ctx: &mut dyn Context<MajorityMsg>) {
-        if !prop.verify(self.leader(prop.epoch), &self.pki) {
+        if !prop.verify(self.leader(prop.epoch), &self.verifier) {
             return;
         }
         let first_of_value = self
@@ -493,7 +492,7 @@ impl Protocol for BbMajority {
             }
             MajorityMsg::CommitCert(cert) => self.on_commit_cert(cert, ctx),
             MajorityMsg::Done(d) => {
-                if d.epoch == u64::MAX && d.verify(&self.pki) {
+                if d.epoch == u64::MAX && d.verify(&self.verifier) {
                     self.done_from.insert(d.voter());
                     self.maybe_halt(ctx);
                 }

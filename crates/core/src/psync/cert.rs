@@ -15,8 +15,8 @@
 //! are expressed through `n` and `f`: quorum `q = n − f` (= `4f−1`), rule-1
 //! threshold `q − 2f` (= `2f−1`), rule-2 threshold `q − 2f + 1` (= `2f`).
 
-use gcl_crypto::{Digest, Digestible, Pki, Sha256, Signature, Signer};
-use gcl_types::{Config, ExternalValidity, PartyId, Value, View};
+use gcl_crypto::{Digest, Digestible, MemoTag, Sha256, Signature, Signer, Verify};
+use gcl_types::{Config, Encode, ExternalValidity, PartyId, Value, View};
 use std::collections::BTreeSet;
 
 /// `⟨v, w⟩_{L_w}`: a value-view pair signed by the leader of view `w`.
@@ -50,10 +50,10 @@ impl LeaderSigned {
 
     /// Verifies the leader signature against the round-robin leader of
     /// `view`.
-    pub fn verify(&self, config: Config, pki: &Pki) -> bool {
+    pub fn verify(&self, config: Config, v: &impl Verify) -> bool {
         let leader = self.view.leader(config.n());
         self.leader_sig.signer() == leader
-            && pki.verify(
+            && v.verify(
                 leader,
                 Self::digest(self.value, self.view),
                 &self.leader_sig,
@@ -97,8 +97,8 @@ impl VoteMsg {
     }
 
     /// Verifies both signatures.
-    pub fn verify(&self, config: Config, pki: &Pki) -> bool {
-        self.ls.verify(config, pki) && pki.verify_embedded(Self::digest(&self.ls), &self.voter_sig)
+    pub fn verify(&self, config: Config, v: &impl Verify) -> bool {
+        self.ls.verify(config, v) && v.verify_embedded(Self::digest(&self.ls), &self.voter_sig)
     }
 }
 
@@ -171,13 +171,13 @@ impl TimeoutMsg {
     }
 
     /// Verifies signatures and (for values) external validity.
-    pub fn verify(&self, config: Config, pki: &Pki, validity: &ExternalValidity) -> bool {
+    pub fn verify(&self, config: Config, v: &impl Verify, validity: &ExternalValidity) -> bool {
         match self {
-            TimeoutMsg::Bot { view, sig } => pki.verify_embedded(Self::bot_digest(*view), sig),
+            TimeoutMsg::Bot { view, sig } => v.verify_embedded(Self::bot_digest(*view), sig),
             TimeoutMsg::Val { ls, voter_sig } => {
                 validity.check(ls.value)
-                    && ls.verify(config, pki)
-                    && pki.verify_embedded(VoteMsg::digest(ls), voter_sig)
+                    && ls.verify(config, v)
+                    && v.verify_embedded(VoteMsg::digest(ls), voter_sig)
             }
         }
     }
@@ -319,19 +319,36 @@ impl Certificate {
 
     /// Validity per Figure 2: enough entries, distinct senders, all
     /// signatures good, all for `self.view()`, values externally valid.
-    pub fn is_valid(&self, config: Config, pki: &Pki, validity: &ExternalValidity) -> bool {
+    ///
+    /// With an amortizing [`gcl_crypto::Verifier`] the verdict is memoized
+    /// on the certificate's exact wire bytes plus every other input it
+    /// depends on — `(n, f)` and the validity predicate's name (a verifier
+    /// is per-protocol-instance, which holds a single predicate, so the
+    /// name uniquely identifies it) — making re-delivery of a known
+    /// certificate O(1) instead of O(q) signature checks.
+    pub fn is_valid(&self, config: Config, v: &impl Verify, validity: &ExternalValidity) -> bool {
         match self {
             Certificate::Genesis => true,
             Certificate::Assembled { view, entries } => {
                 if *view == View::ZERO {
                     return false;
                 }
-                let distinct: BTreeSet<PartyId> = entries.iter().map(TimeoutMsg::sender).collect();
-                distinct.len() >= config.quorum()
-                    && distinct.len() == entries.len()
-                    && entries
-                        .iter()
-                        .all(|t| t.view() == *view && t.verify(config, pki, validity))
+                let name = validity.name().as_bytes();
+                let mut key = MemoTag::Cert.key(24 + name.len() + 80 * entries.len());
+                key.extend_from_slice(&(config.n() as u64).to_le_bytes());
+                key.extend_from_slice(&(config.f() as u64).to_le_bytes());
+                key.extend_from_slice(&(name.len() as u64).to_le_bytes());
+                key.extend_from_slice(name);
+                self.encode(&mut key);
+                v.memoized(key, || {
+                    let distinct: BTreeSet<PartyId> =
+                        entries.iter().map(TimeoutMsg::sender).collect();
+                    distinct.len() >= config.quorum()
+                        && distinct.len() == entries.len()
+                        && entries
+                            .iter()
+                            .all(|t| t.view() == *view && t.verify(config, v, validity))
+                })
             }
         }
     }

@@ -6,11 +6,10 @@
 //! `3f + 1 ≤ n ≤ 5f − 2`; by Theorem 2 it is one round slower than
 //! necessary whenever `n ≥ 5f − 1` (including the famous `n = 4, f = 1`).
 
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, MemoTag, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
-use gcl_types::{Config, Duration, ExternalValidity, PartyId, Value, View};
+use gcl_types::{Config, Duration, Encode, ExternalValidity, PartyId, Value, View};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
 
 /// `⟨v, w⟩_{L_w}` with a PBFT-specific signing domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +37,10 @@ impl PbftProposal {
     }
 
     /// Verifies against the round-robin leader of `view`.
-    pub fn verify(&self, config: Config, pki: &Pki) -> bool {
+    pub fn verify(&self, config: Config, v: &impl Verify) -> bool {
         let leader = self.view.leader(config.n());
         self.sig.signer() == leader
-            && pki.verify(leader, Self::digest(self.value, self.view), &self.sig)
+            && v.verify(leader, Self::digest(self.value, self.view), &self.sig)
     }
 }
 
@@ -69,8 +68,8 @@ impl PhaseVote {
         }
     }
 
-    fn verify(&self, phase: &'static str, pki: &Pki) -> bool {
-        pki.verify_embedded(Self::digest(phase, self.value, self.view), &self.sig)
+    fn verify(&self, phase: &'static str, v: &impl Verify) -> bool {
+        v.verify_embedded(Self::digest(phase, self.value, self.view), &self.sig)
     }
 
     /// The voter.
@@ -96,14 +95,25 @@ pub struct PreparedCert {
 
 impl PreparedCert {
     /// Full verification: quorum size, distinct voters, signatures.
-    pub fn verify(&self, config: Config, pki: &Pki) -> bool {
-        let voters: BTreeSet<PartyId> = self.prepares.iter().map(PhaseVote::voter).collect();
-        voters.len() >= config.quorum()
-            && voters.len() == self.prepares.len()
-            && self
-                .prepares
-                .iter()
-                .all(|p| p.value == self.value && p.view == self.view && p.verify(PREPARE, pki))
+    ///
+    /// The verdict is memoized on the verifier (tagged
+    /// [`MemoTag::Prepared`]): a certificate carried by every view-change
+    /// message of a quorum costs `n − f` MAC checks once, then one lookup
+    /// per re-appearance.
+    pub fn verify(&self, config: Config, v: &impl Verify) -> bool {
+        let mut key = MemoTag::Prepared.key(56 + 52 * self.prepares.len());
+        key.extend_from_slice(&(config.n() as u64).to_le_bytes());
+        key.extend_from_slice(&(config.f() as u64).to_le_bytes());
+        self.encode(&mut key);
+        v.memoized(key, || {
+            let voters: BTreeSet<PartyId> = self.prepares.iter().map(PhaseVote::voter).collect();
+            voters.len() >= config.quorum()
+                && voters.len() == self.prepares.len()
+                && self
+                    .prepares
+                    .iter()
+                    .all(|p| p.value == self.value && p.view == self.view && p.verify(PREPARE, v))
+        })
     }
 }
 
@@ -144,14 +154,24 @@ impl ViewChangeMsg {
     }
 
     /// Verifies signature and embedded certificate.
-    pub fn verify(&self, config: Config, pki: &Pki) -> bool {
-        if !pki.verify_embedded(Self::digest(self.view, &self.prepared), &self.sig) {
-            return false;
-        }
-        match &self.prepared {
-            None => true,
-            Some(pc) => pc.view <= self.view && pc.verify(config, pki),
-        }
+    ///
+    /// Memoized whole (tagged [`MemoTag::ViewChange`]), so a message seen
+    /// both directly and inside a forwarded [`PbftMsg::ViewChangeBundle`]
+    /// or a proposal proof is re-checked in O(1).
+    pub fn verify(&self, config: Config, v: &impl Verify) -> bool {
+        let mut key = MemoTag::ViewChange.key(64);
+        key.extend_from_slice(&(config.n() as u64).to_le_bytes());
+        key.extend_from_slice(&(config.f() as u64).to_le_bytes());
+        self.encode(&mut key);
+        v.memoized(key, || {
+            if !v.verify_embedded(Self::digest(self.view, &self.prepared), &self.sig) {
+                return false;
+            }
+            match &self.prepared {
+                None => true,
+                Some(pc) => pc.view <= self.view && pc.verify(config, v),
+            }
+        })
     }
 }
 
@@ -275,7 +295,7 @@ mod wire_codec {
 pub struct PbftPsyncVbb {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     validity: ExternalValidity,
     big_delta: Duration,
     input: Option<Value>,
@@ -303,7 +323,7 @@ impl PbftPsyncVbb {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: Arc<Pki>,
+        verifier: impl Into<Verifier>,
         validity: ExternalValidity,
         big_delta: Duration,
         input: Option<Value>,
@@ -315,7 +335,7 @@ impl PbftPsyncVbb {
         PbftPsyncVbb {
             config,
             signer,
-            pki,
+            verifier: verifier.into(),
             validity,
             big_delta,
             input,
@@ -364,7 +384,7 @@ impl PbftPsyncVbb {
         }
         if !proof
             .iter()
-            .all(|vc| vc.view == prev && vc.verify(self.config, &self.pki))
+            .all(|vc| vc.view == prev && vc.verify(self.config, &self.verifier))
         {
             return false;
         }
@@ -480,6 +500,45 @@ impl PbftPsyncVbb {
         }
     }
 
+    // Byte-equality re-delivery checks: a message identical to the copy
+    // already recorded for its slot was verified when first recorded, so
+    // the verdict is `true` with no verifier work. A differing message in
+    // the same slot (two valid view-changes from one Byzantine sender)
+    // falls through to full verification, preserving overwrite semantics.
+
+    fn prepare_checks(&self, v: &PhaseVote) -> bool {
+        match self
+            .prepares
+            .get(&(v.view, v.value))
+            .and_then(|m| m.get(&v.voter()))
+        {
+            Some(r) if r == v => true,
+            _ => v.verify(PREPARE, &self.verifier) && self.validity.check(v.value),
+        }
+    }
+
+    fn commit_checks(&self, v: &PhaseVote) -> bool {
+        match self
+            .commits
+            .get(&(v.view, v.value))
+            .and_then(|m| m.get(&v.voter()))
+        {
+            Some(r) if r == v => true,
+            _ => v.verify(COMMIT, &self.verifier) && self.validity.check(v.value),
+        }
+    }
+
+    fn view_change_checks(&self, vc: &ViewChangeMsg) -> bool {
+        match self
+            .view_changes
+            .get(&vc.view)
+            .and_then(|m| m.get(&vc.sender()))
+        {
+            Some(r) if r == vc => true,
+            _ => vc.verify(self.config, &self.verifier),
+        }
+    }
+
     fn propose_with(&mut self, proof: Vec<ViewChangeMsg>, ctx: &mut dyn Context<PbftMsg>) {
         if self.committed || self.proposed {
             return;
@@ -519,7 +578,7 @@ impl Protocol for PbftPsyncVbb {
         match msg {
             PbftMsg::Propose { prop, proof } => {
                 if from != self.leader(prop.view)
-                    || !prop.verify(self.config, &self.pki)
+                    || !prop.verify(self.config, &self.verifier)
                     || !self.validity.check(prop.value)
                 {
                     return;
@@ -531,18 +590,18 @@ impl Protocol for PbftPsyncVbb {
                 }
             }
             PbftMsg::Prepare(v) => {
-                if v.verify(PREPARE, &self.pki) && self.validity.check(v.value) {
+                if self.prepare_checks(&v) {
                     self.record_prepare(v, ctx);
                 }
             }
             PbftMsg::Commit(v) => {
-                if v.verify(COMMIT, &self.pki) && self.validity.check(v.value) {
+                if self.commit_checks(&v) {
                     self.record_commit(v, ctx);
                 }
             }
             PbftMsg::CommitBundle(votes) => {
                 for v in votes {
-                    if v.verify(COMMIT, &self.pki) && self.validity.check(v.value) {
+                    if self.commit_checks(&v) {
                         self.record_commit(v, ctx);
                         if self.committed {
                             break;
@@ -551,7 +610,7 @@ impl Protocol for PbftPsyncVbb {
                 }
             }
             PbftMsg::ViewChange(vc) => {
-                if vc.verify(self.config, &self.pki) && vc.view >= self.view {
+                if vc.view >= self.view && self.view_change_checks(&vc) {
                     self.view_changes
                         .entry(vc.view)
                         .or_default()
@@ -562,7 +621,7 @@ impl Protocol for PbftPsyncVbb {
             PbftMsg::ViewChangeBundle(vcs) => {
                 let mut touched = false;
                 for vc in vcs {
-                    if vc.verify(self.config, &self.pki) && vc.view >= self.view {
+                    if vc.view >= self.view && self.view_change_checks(&vc) {
                         self.view_changes
                             .entry(vc.view)
                             .or_default()

@@ -6,11 +6,10 @@
 //! broadcaster + double-voting accomplices) makes two honest parties
 //! commit different values before any cross-traffic can warn them.
 
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
 use gcl_types::{Config, PartyId, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
 
 /// Signed vote (same shape as Figure 5's, no embedded proposal needed for
 /// the strawman).
@@ -35,8 +34,8 @@ impl EarlyVote {
         }
     }
 
-    fn verify(&self, pki: &Pki) -> bool {
-        pki.verify_embedded(Self::digest(self.value), &self.sig)
+    fn verify(&self, v: &impl Verify) -> bool {
+        v.verify_embedded(Self::digest(self.value), &self.sig)
     }
 }
 
@@ -90,7 +89,7 @@ mod wire_codec {
 pub struct EarlyCommitBb {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     broadcaster: PartyId,
     input: Option<Value>,
     voted: bool,
@@ -103,7 +102,7 @@ impl EarlyCommitBb {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: Arc<Pki>,
+        verifier: impl Into<Verifier>,
         broadcaster: PartyId,
         input: Option<Value>,
     ) -> Self {
@@ -111,7 +110,7 @@ impl EarlyCommitBb {
         EarlyCommitBb {
             config,
             signer,
-            pki,
+            verifier: verifier.into(),
             broadcaster,
             input,
             voted: false,
@@ -139,7 +138,7 @@ impl Protocol for EarlyCommitBb {
                 }
             }
             EarlyMsg::Vote(vote) => {
-                if !vote.verify(&self.pki) {
+                if !vote.verify(&self.verifier) {
                     return;
                 }
                 let set = self.votes.entry(vote.value).or_default();

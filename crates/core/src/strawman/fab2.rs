@@ -10,11 +10,10 @@
 //!
 //! Only two views are modeled — enough to realize the Figure 4 violation.
 
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
 use gcl_types::{Config, Duration, PartyId, Value, View};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
 
 /// Leader-signed proposal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +69,8 @@ impl FabVote {
         }
     }
 
-    fn verify(&self, pki: &Pki) -> bool {
-        pki.verify_embedded(Self::digest(self.value, self.view), &self.sig)
+    fn verify(&self, v: &impl Verify) -> bool {
+        v.verify_embedded(Self::digest(self.value, self.view), &self.sig)
     }
 }
 
@@ -100,8 +99,8 @@ impl FabViewChange {
         }
     }
 
-    fn verify(&self, pki: &Pki) -> bool {
-        pki.verify_embedded(Self::digest(self.view, self.voted), &self.sig)
+    fn verify(&self, v: &impl Verify) -> bool {
+        v.verify_embedded(Self::digest(self.view, self.voted), &self.sig)
     }
 
     /// The sender.
@@ -183,7 +182,7 @@ const TAG_TIMEOUT: u64 = 1;
 pub struct FabTwoRound {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     big_delta: Duration,
     input: Option<Value>,
     view: View,
@@ -201,7 +200,7 @@ impl FabTwoRound {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: Arc<Pki>,
+        verifier: impl Into<Verifier>,
         big_delta: Duration,
         input: Option<Value>,
     ) -> Self {
@@ -209,7 +208,7 @@ impl FabTwoRound {
         FabTwoRound {
             config,
             signer,
-            pki,
+            verifier: verifier.into(),
             big_delta,
             input,
             view: View::FIRST,
@@ -242,7 +241,7 @@ impl FabTwoRound {
     }
 
     fn record_vote(&mut self, vote: FabVote, ctx: &mut dyn Context<FabMsg>) {
-        if !vote.verify(&self.pki) {
+        if !vote.verify(&self.verifier) {
             return;
         }
         let q = self.q();
@@ -305,7 +304,8 @@ impl Protocol for FabTwoRound {
                     }
                     let senders: BTreeSet<PartyId> =
                         prop.proof.iter().map(FabViewChange::sender).collect();
-                    if senders.len() < self.q() || !prop.proof.iter().all(|vc| vc.verify(&self.pki))
+                    if senders.len() < self.q()
+                        || !prop.proof.iter().all(|vc| vc.verify(&self.verifier))
                     {
                         return;
                     }
@@ -322,7 +322,7 @@ impl Protocol for FabTwoRound {
             },
             FabMsg::Vote(vote) => self.record_vote(vote, ctx),
             FabMsg::ViewChange(vc) => {
-                if vc.verify(&self.pki) && vc.view == View::FIRST {
+                if vc.verify(&self.verifier) && vc.view == View::FIRST {
                     self.vcs.insert(vc.sender(), vc);
                     self.try_propose_v2(ctx);
                 }

@@ -21,11 +21,10 @@
 //! the local time its figure prescribes.
 
 use super::dolev_strong::{DsInstance, DsRelay, BOT_SENTINEL};
-use gcl_crypto::{Pki, Signer};
+use gcl_crypto::{Signer, Verifier};
 use gcl_sim::Context;
 use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// Re-export: the `⊥` value committed when agreement yields no real value.
 pub use super::dolev_strong::BOT_SENTINEL as BOT;
@@ -49,7 +48,7 @@ gcl_types::wire_newtype!(BaMsg);
 pub struct LockstepBa {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     big_delta: Duration,
     start: Option<LocalTime>,
     current_round: usize,
@@ -74,12 +73,17 @@ impl LockstepBa {
     }
 
     /// Creates an idle BA component.
-    pub fn new(config: Config, signer: Signer, pki: Arc<Pki>, big_delta: Duration) -> Self {
+    pub fn new(
+        config: Config,
+        signer: Signer,
+        verifier: impl Into<Verifier>,
+        big_delta: Duration,
+    ) -> Self {
         let n = config.n();
         LockstepBa {
             config,
             signer,
-            pki,
+            verifier: verifier.into(),
             big_delta,
             start: None,
             current_round: 1,
@@ -132,7 +136,7 @@ impl LockstepBa {
     /// 3Δ round absorbs the skew).
     pub fn on_message(&mut self, msg: BaMsg) {
         let relay = msg.0;
-        if self.decided.is_some() || !relay.verify(BA_DOMAIN, &self.pki) {
+        if self.decided.is_some() {
             return;
         }
         // Before our own invocation we are logically in round 1.
@@ -141,6 +145,18 @@ impl LockstepBa {
         } else {
             1
         };
+        // Out-of-range instance ids were previously rejected by chain
+        // verification (no valid signer exists); the bounds check keeps
+        // that rejection while letting the sig-independent accept
+        // predicate run first — most re-deliveries skip crypto entirely.
+        let Some(inst) = self.instances.get(relay.instance.as_usize()) else {
+            return;
+        };
+        if !inst.considers(&relay, round, self.config.f())
+            || !relay.verify(BA_DOMAIN, &self.verifier)
+        {
+            return;
+        }
         let inst = &mut self.instances[relay.instance.as_usize()];
         if inst.accept(&relay, round, self.config.f()) {
             self.outbox.push(relay.extend(BA_DOMAIN, &self.signer));

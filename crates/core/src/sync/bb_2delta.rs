@@ -15,7 +15,7 @@
 //! parties whenever anyone commits, and BA validity finishes the job.
 
 use super::ba::{BaMsg, LockstepBa, BOT};
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
 use gcl_types::{Config, Duration, PartyId, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -42,8 +42,8 @@ impl Fig10Vote {
         }
     }
 
-    fn verify(&self, pki: &Pki) -> bool {
-        pki.verify_embedded(Self::digest(self.value), &self.sig)
+    fn verify(&self, v: &impl Verify) -> bool {
+        v.verify_embedded(Self::digest(self.value), &self.sig)
     }
 
     /// The voter.
@@ -73,9 +73,9 @@ impl Fig10Proposal {
         }
     }
 
-    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
+    fn verify(&self, broadcaster: PartyId, v: &impl Verify) -> bool {
         self.sig.signer() == broadcaster
-            && pki.verify(broadcaster, Self::digest(self.value), &self.sig)
+            && v.verify(broadcaster, Self::digest(self.value), &self.sig)
     }
 }
 
@@ -173,7 +173,7 @@ const TAG_BA_START: u64 = 1;
 pub struct TwoDeltaBb {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     big_delta: Duration,
     broadcaster: PartyId,
     input: Option<Value>,
@@ -195,18 +195,24 @@ impl TwoDeltaBb {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: Arc<Pki>,
+        verifier: impl Into<Verifier>,
         big_delta: Duration,
         broadcaster: PartyId,
         input: Option<Value>,
     ) -> Self {
         assert!(3 * config.f() < config.n(), "2δ-BB requires f < n/3");
         assert_eq!(input.is_some(), signer.id() == broadcaster);
-        let ba = LockstepBa::new(config, signer.clone(), Arc::clone(&pki), big_delta);
+        let verifier = verifier.into();
+        let ba = LockstepBa::new(
+            config,
+            signer.clone(),
+            Arc::clone(verifier.pki()),
+            big_delta,
+        );
         TwoDeltaBb {
             config,
             signer,
-            pki,
+            verifier,
             big_delta,
             broadcaster,
             input,
@@ -230,7 +236,7 @@ impl TwoDeltaBb {
     }
 
     fn on_vote(&mut self, vote: Fig10Vote, ctx: &mut dyn Context<TwoDeltaMsg>) {
-        if !vote.verify(&self.pki) {
+        if !vote.verify(&self.verifier) {
             return;
         }
         let quorum = self.config.quorum();
@@ -264,7 +270,7 @@ impl Protocol for TwoDeltaBb {
             TwoDeltaMsg::Propose(prop) => {
                 if from == self.broadcaster
                     && !self.voted
-                    && prop.verify(self.broadcaster, &self.pki)
+                    && prop.verify(self.broadcaster, &self.verifier)
                 {
                     self.voted = true;
                     ctx.multicast(TwoDeltaMsg::Vote(Fig10Vote::new(&self.signer, prop.value)));

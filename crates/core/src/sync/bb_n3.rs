@@ -12,7 +12,7 @@
 //! adopted.
 
 use super::ba::{BaMsg, LockstepBa, BOT};
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
 use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -39,9 +39,9 @@ impl Fig5Proposal {
         }
     }
 
-    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
+    fn verify(&self, broadcaster: PartyId, v: &impl Verify) -> bool {
         self.sig.signer() == broadcaster
-            && pki.verify(broadcaster, Self::digest(self.value), &self.sig)
+            && v.verify(broadcaster, Self::digest(self.value), &self.sig)
     }
 }
 
@@ -66,9 +66,9 @@ impl Fig5Vote {
         }
     }
 
-    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
-        self.prop.verify(broadcaster, pki)
-            && pki.verify_embedded(Self::digest(self.prop.value), &self.sig)
+    fn verify(&self, broadcaster: PartyId, v: &impl Verify) -> bool {
+        self.prop.verify(broadcaster, v)
+            && v.verify_embedded(Self::digest(self.prop.value), &self.sig)
     }
 
     /// The voter.
@@ -98,8 +98,8 @@ impl Fig5Commit {
         }
     }
 
-    fn verify(&self, pki: &Pki) -> bool {
-        pki.verify_embedded(Self::digest(self.value), &self.sig)
+    fn verify(&self, v: &impl Verify) -> bool {
+        v.verify_embedded(Self::digest(self.value), &self.sig)
     }
 }
 
@@ -212,7 +212,7 @@ const TAG_STEP4: u64 = 2;
 pub struct ThirdBb {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     big_delta: Duration,
     broadcaster: PartyId,
     input: Option<Value>,
@@ -239,7 +239,7 @@ impl ThirdBb {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: Arc<Pki>,
+        verifier: impl Into<Verifier>,
         big_delta: Duration,
         broadcaster: PartyId,
         input: Option<Value>,
@@ -249,11 +249,17 @@ impl ThirdBb {
             "(Δ+δ)-n/3-BB requires f <= n/3"
         );
         assert_eq!(input.is_some(), signer.id() == broadcaster);
-        let ba = LockstepBa::new(config, signer.clone(), Arc::clone(&pki), big_delta);
+        let verifier = verifier.into();
+        let ba = LockstepBa::new(
+            config,
+            signer.clone(),
+            Arc::clone(verifier.pki()),
+            big_delta,
+        );
         ThirdBb {
             config,
             signer,
-            pki,
+            verifier,
             big_delta,
             broadcaster,
             input,
@@ -382,7 +388,7 @@ impl Protocol for ThirdBb {
     fn on_message(&mut self, from: PartyId, msg: ThirdMsg, ctx: &mut dyn Context<ThirdMsg>) {
         match msg {
             ThirdMsg::Propose(prop) => {
-                if !prop.verify(self.broadcaster, &self.pki) {
+                if !prop.verify(self.broadcaster, &self.verifier) {
                     return;
                 }
                 self.note_proposal(prop);
@@ -394,7 +400,7 @@ impl Protocol for ThirdBb {
                 self.try_fast_commit(ctx);
             }
             ThirdMsg::Vote(vote) => {
-                if vote.verify(self.broadcaster, &self.pki) {
+                if vote.verify(self.broadcaster, &self.verifier) {
                     self.record_vote(vote, ctx.now());
                     self.try_fast_commit(ctx);
                 }
@@ -402,14 +408,14 @@ impl Protocol for ThirdBb {
             ThirdMsg::VoteBundle(votes) => {
                 let now = ctx.now();
                 for vote in votes {
-                    if vote.verify(self.broadcaster, &self.pki) {
+                    if vote.verify(self.broadcaster, &self.verifier) {
                         self.record_vote(vote, now);
                     }
                 }
                 self.try_fast_commit(ctx);
             }
             ThirdMsg::Commit(c) => {
-                if c.verify(&self.pki) {
+                if c.verify(&self.verifier) {
                     self.commits_received.insert(c.sig.signer(), c.value);
                 }
             }

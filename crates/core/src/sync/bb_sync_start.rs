@@ -11,7 +11,7 @@
 //! ([`super::UnsyncBb`]).
 
 use super::ba::{BaMsg, LockstepBa, BOT};
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
 use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -38,9 +38,9 @@ impl Fig6Proposal {
         }
     }
 
-    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
+    fn verify(&self, broadcaster: PartyId, v: &impl Verify) -> bool {
         self.sig.signer() == broadcaster
-            && pki.verify(broadcaster, Self::digest(self.value), &self.sig)
+            && v.verify(broadcaster, Self::digest(self.value), &self.sig)
     }
 }
 
@@ -68,9 +68,9 @@ impl Fig6Vote {
         }
     }
 
-    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
-        self.prop.verify(broadcaster, pki)
-            && pki.verify_embedded(Self::digest(self.d, self.prop.value), &self.sig)
+    fn verify(&self, broadcaster: PartyId, v: &impl Verify) -> bool {
+        self.prop.verify(broadcaster, v)
+            && v.verify_embedded(Self::digest(self.d, self.prop.value), &self.sig)
     }
 
     /// The voter.
@@ -170,7 +170,7 @@ const TAG_CHECK_BASE: u64 = 100;
 pub struct SyncStartBb {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     big_delta: Duration,
     broadcaster: PartyId,
     input: Option<Value>,
@@ -198,18 +198,24 @@ impl SyncStartBb {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: Arc<Pki>,
+        verifier: impl Into<Verifier>,
         big_delta: Duration,
         broadcaster: PartyId,
         input: Option<Value>,
     ) -> Self {
         assert!(2 * config.f() < config.n(), "(Δ+δ)-BB requires f < n/2");
         assert_eq!(input.is_some(), signer.id() == broadcaster);
-        let ba = LockstepBa::new(config, signer.clone(), Arc::clone(&pki), big_delta);
+        let verifier = verifier.into();
+        let ba = LockstepBa::new(
+            config,
+            signer.clone(),
+            Arc::clone(verifier.pki()),
+            big_delta,
+        );
         SyncStartBb {
             config,
             signer,
-            pki,
+            verifier,
             big_delta,
             broadcaster,
             input,
@@ -314,7 +320,7 @@ impl Protocol for SyncStartBb {
     ) {
         match msg {
             SyncStartMsg::Propose(prop) => {
-                if !prop.verify(self.broadcaster, &self.pki) {
+                if !prop.verify(self.broadcaster, &self.verifier) {
                     return;
                 }
                 let now = ctx.now();
@@ -329,7 +335,7 @@ impl Protocol for SyncStartBb {
                 }
             }
             SyncStartMsg::Vote(vote) => {
-                if vote.verify(self.broadcaster, &self.pki) && vote.d <= self.big_delta {
+                if vote.verify(self.broadcaster, &self.verifier) && vote.d <= self.big_delta {
                     self.note_proposal(vote.prop.value, ctx.now());
                     self.votes
                         .entry(vote.prop.value)
@@ -341,7 +347,7 @@ impl Protocol for SyncStartBb {
             SyncStartMsg::VoteBundle(votes) => {
                 let mut touched = BTreeSet::new();
                 for vote in votes {
-                    if vote.verify(self.broadcaster, &self.pki) && vote.d <= self.big_delta {
+                    if vote.verify(self.broadcaster, &self.verifier) && vote.d <= self.big_delta {
                         self.note_proposal(vote.prop.value, ctx.now());
                         self.votes
                             .entry(vote.prop.value)

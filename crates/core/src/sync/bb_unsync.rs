@@ -19,7 +19,7 @@
 //! `m`.
 
 use super::ba::{BaMsg, LockstepBa, BOT};
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
 use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -47,9 +47,9 @@ impl Fig9Proposal {
         }
     }
 
-    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
+    fn verify(&self, broadcaster: PartyId, v: &impl Verify) -> bool {
         self.sig.signer() == broadcaster
-            && pki.verify(broadcaster, Self::digest(self.value), &self.sig)
+            && v.verify(broadcaster, Self::digest(self.value), &self.sig)
     }
 }
 
@@ -77,9 +77,9 @@ impl Fig9Vote {
         }
     }
 
-    fn verify(&self, broadcaster: PartyId, pki: &Pki) -> bool {
-        self.prop.verify(broadcaster, pki)
-            && pki.verify_embedded(Self::digest(self.d, self.prop.value), &self.sig)
+    fn verify(&self, broadcaster: PartyId, v: &impl Verify) -> bool {
+        self.prop.verify(broadcaster, v)
+            && v.verify_embedded(Self::digest(self.d, self.prop.value), &self.sig)
     }
 
     /// The voter.
@@ -187,7 +187,7 @@ const TAG_CHECK_BASE: u64 = 10_000;
 pub struct UnsyncBb {
     config: Config,
     signer: Signer,
-    pki: Arc<Pki>,
+    verifier: Verifier,
     big_delta: Duration,
     grid: Vec<Duration>,
     broadcaster: PartyId,
@@ -219,7 +219,7 @@ impl UnsyncBb {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: Arc<Pki>,
+        verifier: impl Into<Verifier>,
         big_delta: Duration,
         m: u64,
         broadcaster: PartyId,
@@ -229,11 +229,17 @@ impl UnsyncBb {
         assert!(m >= 1, "grid needs at least one step");
         assert_eq!(input.is_some(), signer.id() == broadcaster);
         let grid: Vec<Duration> = (0..=m).map(|k| big_delta * k / m).collect();
-        let ba = LockstepBa::new(config, signer.clone(), Arc::clone(&pki), big_delta);
+        let verifier = verifier.into();
+        let ba = LockstepBa::new(
+            config,
+            signer.clone(),
+            Arc::clone(verifier.pki()),
+            big_delta,
+        );
         UnsyncBb {
             config,
             signer,
-            pki,
+            verifier,
             big_delta,
             grid,
             broadcaster,
@@ -359,18 +365,18 @@ impl Protocol for UnsyncBb {
     fn on_message(&mut self, from: PartyId, msg: UnsyncMsg, ctx: &mut dyn Context<UnsyncMsg>) {
         match msg {
             UnsyncMsg::Propose(prop) => {
-                if prop.verify(self.broadcaster, &self.pki) {
+                if prop.verify(self.broadcaster, &self.verifier) {
                     self.adopt_proposal(from, prop, ctx);
                 }
             }
             UnsyncMsg::Vote(vote) => {
-                if vote.verify(self.broadcaster, &self.pki) && vote.d <= self.big_delta {
+                if vote.verify(self.broadcaster, &self.verifier) && vote.d <= self.big_delta {
                     self.record_vote(vote, ctx);
                 }
             }
             UnsyncMsg::VoteBundle(votes) => {
                 for vote in votes {
-                    if vote.verify(self.broadcaster, &self.pki) && vote.d <= self.big_delta {
+                    if vote.verify(self.broadcaster, &self.verifier) && vote.d <= self.big_delta {
                         self.record_vote(vote, ctx);
                     }
                 }

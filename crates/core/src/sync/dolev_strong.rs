@@ -17,9 +17,9 @@
 //! boundary. After round `f + 1`, a party outputs the unique extracted
 //! value, or the default `⊥` encoding if it extracted zero or ≥ 2 values.
 
-use gcl_crypto::{Digest, Pki, Signature, Signer};
+use gcl_crypto::{Digest, MemoTag, Signature, Signer, Verifier, Verify};
 use gcl_sim::{Context, Protocol};
-use gcl_types::{Config, Duration, LocalTime, PartyId, Value};
+use gcl_types::{Config, Duration, Encode, LocalTime, PartyId, Value};
 use std::collections::BTreeSet;
 
 /// The `⊥` encoding used when broadcast/agreement extracts no unique value.
@@ -68,12 +68,42 @@ impl DsRelay {
 
     /// Chain validity: all signatures distinct, valid, and the instance
     /// sender's signature present.
-    pub fn verify(&self, domain: &'static str, pki: &Pki) -> bool {
+    ///
+    /// With an amortizing [`Verifier`] this is *incremental*: verified
+    /// chains are memoized by `(digest, exact signature bytes)`, and a chain
+    /// whose all-but-last prefix already verified only MACs the newly
+    /// appended signature — O(1) per relay instead of O(round). The
+    /// structural checks (distinct signers, sender present) always run;
+    /// they are cheap and sig-independent.
+    pub fn verify(&self, domain: &'static str, v: &impl Verify) -> bool {
         let digest = Self::digest(domain, self.instance, self.value);
         let signers: BTreeSet<PartyId> = self.chain.iter().map(Signature::signer).collect();
-        signers.len() == self.chain.len()
-            && signers.contains(&self.instance)
-            && self.chain.iter().all(|s| pki.verify_embedded(digest, s))
+        if signers.len() != self.chain.len() || !signers.contains(&self.instance) {
+            return false;
+        }
+        let mut key = MemoTag::Chain.key(32 + 36 * self.chain.len());
+        key.extend_from_slice(digest.as_bytes());
+        let mut prefix_len = key.len();
+        for sig in &self.chain {
+            prefix_len = key.len();
+            sig.encode(&mut key);
+        }
+        if let Some(verdict) = v.memo_check(&key) {
+            return verdict;
+        }
+        // A memoized-true prefix covers distinctness, sender presence (for
+        // its own sigs) and every prefix MAC; the full chain's structural
+        // checks passed above, so only the appended signature is open.
+        let verdict = match self.chain.split_last() {
+            Some((last, prefix))
+                if !prefix.is_empty() && v.memo_check(&key[..prefix_len]) == Some(true) =>
+            {
+                v.verify_embedded(digest, last)
+            }
+            _ => self.chain.iter().all(|s| v.verify_embedded(digest, s)),
+        };
+        v.memo_store(key, verdict);
+        verdict
     }
 
     /// Number of distinct signatures.
@@ -96,6 +126,20 @@ pub(crate) struct DsInstance {
 }
 
 impl DsInstance {
+    /// The signature-independent half of the accept rule: would a chain of
+    /// this length carrying this value matter in local round `round`?
+    ///
+    /// Checked *before* chain verification — when it is `false`,
+    /// [`DsInstance::accept`] would reject without mutating state, so
+    /// skipping verification is observationally identical and saves the
+    /// dominant re-delivery cost (relays for already-extracted values).
+    pub fn considers(&self, relay: &DsRelay, round: usize, f: usize) -> bool {
+        relay.len() >= round
+            && relay.len() <= f + 1
+            && self.extracted.len() < 2
+            && !self.extracted.contains(&relay.value)
+    }
+
     /// Accepts a verified chain in local round `round` (1-based).
     /// Returns `true` if the value is newly extracted and should be relayed
     /// (i.e. the chain can still grow: `len ≤ f`).
@@ -164,7 +208,7 @@ const DS_DOMAIN: &str = "ds-bb";
 pub struct DolevStrongBb {
     config: Config,
     signer: Signer,
-    pki: std::sync::Arc<Pki>,
+    verifier: Verifier,
     big_delta: Duration,
     broadcaster: PartyId,
     input: Option<Value>,
@@ -187,7 +231,7 @@ impl DolevStrongBb {
     pub fn new(
         config: Config,
         signer: Signer,
-        pki: std::sync::Arc<Pki>,
+        verifier: impl Into<Verifier>,
         big_delta: Duration,
         broadcaster: PartyId,
         input: Option<Value>,
@@ -196,7 +240,7 @@ impl DolevStrongBb {
         DolevStrongBb {
             config,
             signer,
-            pki,
+            verifier: verifier.into(),
             big_delta,
             broadcaster,
             input,
@@ -230,11 +274,18 @@ impl Protocol for DolevStrongBb {
 
     fn on_message(&mut self, _from: PartyId, msg: DsMsg, ctx: &mut dyn Context<DsMsg>) {
         let relay = msg.0;
-        if self.decided || relay.instance != self.broadcaster || !relay.verify(DS_DOMAIN, &self.pki)
-        {
+        if self.decided || relay.instance != self.broadcaster {
             return;
         }
         let round = self.round_of(ctx.now());
+        // Sig-independent accept predicate first: relays that would be
+        // rejected anyway (chiefly re-deliveries of an already-extracted
+        // value) skip chain verification entirely.
+        if !self.instance.considers(&relay, round, self.config.f())
+            || !relay.verify(DS_DOMAIN, &self.verifier)
+        {
+            return;
+        }
         if self.instance.accept(&relay, round, self.config.f()) {
             self.outbox.push(relay.extend(DS_DOMAIN, &self.signer));
         }

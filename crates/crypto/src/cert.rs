@@ -1,9 +1,10 @@
 //! Quorum certificates: multi-signature accumulation over one digest.
 
 use crate::digest::{Digest, Digestible};
-use crate::keys::{Pki, Signature};
+use crate::keys::Signature;
 use crate::sha256::Sha256;
-use gcl_types::PartyId;
+use crate::verify::{MemoTag, Verify};
+use gcl_types::{Encode, PartyId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -89,12 +90,26 @@ impl QuorumCert {
     }
 
     /// Verifies every signature and the quorum size.
-    pub fn verify(&self, pki: &Pki, quorum: usize) -> bool {
-        self.sigs.len() >= quorum
-            && self
-                .sigs
+    ///
+    /// With an amortizing [`crate::Verifier`] the all-signatures-valid check
+    /// is memoized on the cert's exact wire bytes, so re-delivery of an
+    /// already-verified cert is O(1); the quorum-size comparison stays
+    /// outside the memo because `quorum` is the one input not covered by
+    /// those bytes. With a plain [`crate::Pki`] every signature is
+    /// recomputed, as before.
+    pub fn verify(&self, v: &impl Verify, quorum: usize) -> bool {
+        self.sigs.len() >= quorum && self.sigs_valid(v)
+    }
+
+    /// Memoized "every accumulated signature is valid over the digest".
+    fn sigs_valid(&self, v: &impl Verify) -> bool {
+        let mut key = MemoTag::QuorumCert.key(36 + 36 * self.sigs.len());
+        self.encode(&mut key);
+        v.memoized(key, || {
+            self.sigs
                 .iter()
-                .all(|(p, sig)| pki.verify(*p, self.digest, sig))
+                .all(|(p, sig)| v.verify(*p, self.digest, sig))
+        })
     }
 
     /// The signers of `self` that also appear in `other` — the quorum
@@ -164,6 +179,29 @@ mod tests {
         qc.add(chain.signer(PartyId::new(0)).sign(other));
         // ...but verify catches it.
         assert!(!qc.verify(&chain.pki(), 1));
+    }
+
+    #[test]
+    fn verify_amortizes_on_redelivery() {
+        let (chain, d) = setup();
+        let mut qc = QuorumCert::new(d);
+        for i in 0..4 {
+            qc.add(chain.signer(PartyId::new(i)).sign(d));
+        }
+        let v = chain.verifier();
+        assert!(qc.verify(&v, 4));
+        let macs = v.macs_computed();
+        assert_eq!(macs, 4, "first delivery verifies each signature");
+        for _ in 0..5 {
+            assert!(qc.verify(&v, 4));
+            assert!(!qc.verify(&v, 5), "quorum check stays outside the memo");
+        }
+        assert_eq!(v.macs_computed(), macs, "re-delivery is memo-only");
+        // A tampered cert (extra signature over a foreign digest) misses the
+        // memo and fails exactly as recomputation would.
+        let mut bad = qc.clone();
+        bad.add(chain.signer(PartyId::new(4)).sign(Digest::of(&("y", 9u64))));
+        assert!(!bad.verify(&v, 4));
     }
 
     #[test]

@@ -10,10 +10,11 @@
 
 use crate::digest::Digest;
 use crate::sha256::Sha256;
+use crate::verify::BoundedMap;
 use gcl_types::PartyId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A signature by one party over one [`Digest`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -26,6 +27,12 @@ impl Signature {
     /// The party this signature claims to be from (verify before trusting).
     pub const fn signer(&self) -> PartyId {
         self.signer
+    }
+
+    /// The raw MAC bytes, for comparison against a recomputed true MAC
+    /// (crate-internal: only [`crate::Verifier`] needs them).
+    pub(crate) const fn mac_bytes(&self) -> &[u8; 32] {
+        &self.mac
     }
 }
 
@@ -104,6 +111,13 @@ impl fmt::Debug for Signer {
 /// extracted through it.
 pub struct Pki {
     keys: Vec<SecretKey>,
+    /// Process-wide second-level MAC cache shared by every [`crate::Verifier`]
+    /// over this key universe. `compute_mac` is a pure function of `keys`, so
+    /// a recomputed MAC answers any party's later lookup byte-identically;
+    /// only recomputed values are ever stored (never attacker-asserted ones),
+    /// so a Byzantine signature can't poison it. Bounded FIFO keeps memory
+    /// flat on long runs.
+    shared_sigs: Mutex<BoundedMap<(PartyId, Digest), [u8; 32]>>,
 }
 
 impl Pki {
@@ -130,6 +144,39 @@ impl Pki {
     pub fn verify_embedded(&self, digest: Digest, sig: &Signature) -> bool {
         self.verify(sig.signer, digest, sig)
     }
+
+    /// The one valid MAC for `(party, digest)`, or `None` if `party` is out
+    /// of range. Crate-internal: [`crate::Verifier`] caches this value to
+    /// answer any claimed signature over the pair without recomputation.
+    pub(crate) fn compute_mac(&self, party: PartyId, digest: Digest) -> Option<[u8; 32]> {
+        self.keys.get(party.as_usize()).map(|key| key.mac(digest))
+    }
+
+    /// The shared-cache entry for `(party, digest)`, if some verifier
+    /// already recomputed it.
+    pub(crate) fn shared_mac_lookup(&self, party: PartyId, digest: Digest) -> Option<[u8; 32]> {
+        lock(&self.shared_sigs).get(&(party, digest)).copied()
+    }
+
+    /// Recomputes the MAC for `(party, digest)` and publishes it to the
+    /// shared cache; `None` only for out-of-range ids. A lost race (two
+    /// verifiers compute the same pair concurrently) is harmless: both
+    /// compute the identical value, and `BoundedMap::insert` ignores the
+    /// duplicate.
+    pub(crate) fn shared_mac_store(&self, party: PartyId, digest: Digest) -> Option<[u8; 32]> {
+        let mac = self.compute_mac(party, digest)?;
+        lock(&self.shared_sigs).insert((party, digest), mac);
+        Some(mac)
+    }
+}
+
+/// Locks the shared cache, recovering from a poisoned mutex: the cache holds
+/// only recomputed (always-valid) entries, so state after a panicking holder
+/// is still correct.
+fn lock(
+    m: &Mutex<BoundedMap<(PartyId, Digest), [u8; 32]>>,
+) -> MutexGuard<'_, BoundedMap<(PartyId, Digest), [u8; 32]>> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
 impl fmt::Debug for Pki {
@@ -163,7 +210,10 @@ impl Keychain {
             .collect();
         Keychain {
             seed,
-            pki: Arc::new(Pki { keys }),
+            pki: Arc::new(Pki {
+                keys,
+                shared_sigs: Mutex::new(BoundedMap::new(crate::verify::DEFAULT_SIG_CAPACITY)),
+            }),
         }
     }
 
@@ -187,6 +237,13 @@ impl Keychain {
     /// The shared verification handle.
     pub fn pki(&self) -> Arc<Pki> {
         Arc::clone(&self.pki)
+    }
+
+    /// A fresh amortizing [`Verifier`](crate::Verifier) over this chain's
+    /// [`Pki`]. One per party instance — verifiers hold per-party caches and
+    /// are not shared.
+    pub fn verifier(&self) -> crate::Verifier {
+        crate::Verifier::new(self.pki())
     }
 }
 

@@ -24,11 +24,14 @@ use std::rc::Rc;
 pub(crate) type Shared<M> = Rc<M>;
 
 /// A delivery payload. Multicasts share one reference-counted allocation
-/// across all `n` in-flight copies; unicasts and self-deliveries stay
-/// inline in the event — no per-message allocation at all.
+/// across all `n` in-flight copies; unicasts and self-deliveries pay one
+/// boxing allocation. Both variants are pointer-sized, which keeps queue
+/// entries small: an n-way multicast under load parks tens of thousands of
+/// events at once, and entry size — not push arithmetic — dominates the
+/// queue's cache traffic.
 pub(crate) enum Payload<M> {
-    /// The sole in-flight copy (unicast / self-delivery), stored inline.
-    Owned(M),
+    /// The sole in-flight copy (unicast / self-delivery).
+    Owned(Box<M>),
     /// One of the in-flight copies of a multicast.
     Multicast(Shared<M>),
 }
@@ -50,7 +53,7 @@ impl<M: Clone> Payload<M> {
     /// clone lazily — a dropped or clamped-away message is never cloned.
     pub fn into_msg(self) -> M {
         match self {
-            Payload::Owned(m) => m,
+            Payload::Owned(m) => *m,
             Payload::Multicast(rc) => Shared::try_unwrap(rc).unwrap_or_else(|s| (*s).clone()),
         }
     }
@@ -303,7 +306,7 @@ mod tests {
 
     #[test]
     fn payload_unwraps_or_clones() {
-        let owned: Payload<String> = Payload::Owned("inline".into());
+        let owned: Payload<String> = Payload::Owned(Box::new("inline".into()));
         assert_eq!(owned.into_msg(), "inline");
         let rc = Shared::new("shared".to_string());
         let (a, b) = (

@@ -356,7 +356,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
             let out_round = max_round[slot].map_or(0, |r| r + 1);
             for op in sends.drain(..) {
                 match op {
-                    SendOp::One(to, m) => net.route(party, to, Payload::Owned(m), now, out_round),
+                    SendOp::One(to, m) => {
+                        net.route(party, to, Payload::Owned(Box::new(m)), now, out_round)
+                    }
                     SendOp::All { except, msg } => {
                         // Multicast fast path: one shared payload, n
                         // pointer bumps, destinations in id order (exactly

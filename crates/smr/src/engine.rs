@@ -40,7 +40,7 @@
 use crate::machine::StateMachine;
 use crate::mempool::{AdmissionError, Mempool, MempoolStats};
 use gcl_core::psync::{VbbFiveFMinusOne, VbbMsg};
-use gcl_crypto::{Digest, Pki, Signer};
+use gcl_crypto::{Digest, Pki, Signer, Verifier};
 use gcl_sim::{Context, Protocol};
 use gcl_types::{
     accept_all, Batch, Config, Decode, Duration, Encode, LocalTime, PartyId, SlotId, Value, View,
@@ -486,10 +486,13 @@ impl<S: StateMachine> SlotEngine<S> {
                 return;
             }
             let input = self.is_leader().then_some(Value::NO_OP);
+            // Each slot instance gets its own `Verifier`: vote bundles,
+            // timeout bundles, and re-proposed certificates inside one slot
+            // amortize to cache hits without any cross-slot sharing.
             let inst = VbbFiveFMinusOne::new(
                 self.config,
                 self.signer.clone(),
-                Arc::clone(&self.pki),
+                Verifier::new(Arc::clone(&self.pki)),
                 accept_all(),
                 self.big_delta,
                 input,
@@ -719,7 +722,7 @@ impl<S: StateMachine> SlotEngine<S> {
         let inst = VbbFiveFMinusOne::new(
             self.config,
             self.signer.clone(),
-            Arc::clone(&self.pki),
+            Verifier::new(Arc::clone(&self.pki)),
             accept_all(),
             self.big_delta,
             Some(value),
