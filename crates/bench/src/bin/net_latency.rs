@@ -3,18 +3,24 @@
 //!
 //! ```text
 //! net_latency [--out PATH] [--check BASELINE] [--deadline-ms N]
+//!             [--scale-deadline-ms N]
 //! ```
 //!
 //! * `--out PATH` — where to write the JSON document (default
 //!   `BENCH_net.json` in the current directory).
 //! * `--check BASELINE` — after measuring, parse `BASELINE` and exit
-//!   nonzero if it is malformed, misses a (family × backend) row, or any
-//!   row records a safety/liveness failure. Deliberately no latency
-//!   comparison: wall numbers are machine noise across CI runners.
-//! * `--deadline-ms N` — per-run wall deadline (default 2000; honest
-//!   termination exits early, so the good case never waits it out).
+//!   nonzero if it is malformed, misses a (family × backend) row or an
+//!   async scale row, or any row records a safety/liveness failure.
+//!   Deliberately no latency comparison: wall numbers are machine noise
+//!   across CI runners.
+//! * `--deadline-ms N` — per-run wall deadline for the catalog rows
+//!   (default 2000; honest termination exits early, so the good case
+//!   never waits it out).
+//! * `--scale-deadline-ms N` — per-run deadline for the large-n async
+//!   rows (default 120000: the n = 1024 rows move ~2 M real frames, so
+//!   the ceiling is generous — a healthy run exits in seconds).
 
-use gcl_bench::netlat::{check_doc, net_latency_rows, render_json};
+use gcl_bench::netlat::{check_doc, net_latency_rows, render_json, scale_rows};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -22,6 +28,7 @@ fn main() -> ExitCode {
     let mut out = String::from("BENCH_net.json");
     let mut check: Option<String> = None;
     let mut deadline = Duration::from_millis(2_000);
+    let mut scale_deadline = Duration::from_millis(120_000);
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,15 +45,21 @@ fn main() -> ExitCode {
                 Some(ms) => deadline = Duration::from_millis(ms),
                 None => return usage("--deadline-ms needs a number"),
             },
+            "--scale-deadline-ms" => match args.next().and_then(|x| x.parse().ok()) {
+                Some(ms) => scale_deadline = Duration::from_millis(ms),
+                None => return usage("--scale-deadline-ms needs a number"),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
 
     eprintln!("measuring wall-clock good-case latencies (deadline {deadline:?} per run)...");
-    let rows = net_latency_rows(deadline);
+    let mut rows = net_latency_rows(deadline);
+    eprintln!("measuring async scale rows (deadline {scale_deadline:?} per run)...");
+    rows.extend(scale_rows(scale_deadline));
     for r in &rows {
         eprintln!(
-            "  {:<16} {:<7} n={:<3} f={:<2} messages={:<6} latency={}",
+            "  {:<16} {:<7} n={:<4} f={:<2} messages={:<8} latency={}{}",
             r.family,
             r.backend,
             r.n,
@@ -54,6 +67,10 @@ fn main() -> ExitCode {
             r.messages,
             r.latency_us
                 .map_or_else(|| "-".into(), |us| format!("{us}us")),
+            r.sched.map_or_else(String::new, |s| format!(
+                " workers={} wakeups={} peak_out={}B",
+                s.workers, s.wakeups, s.peak_outbound_bytes
+            )),
         );
     }
 
@@ -92,6 +109,9 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    eprintln!("usage: net_latency [--out PATH] [--check BASELINE] [--deadline-ms N]");
+    eprintln!(
+        "usage: net_latency [--out PATH] [--check BASELINE] [--deadline-ms N] \
+         [--scale-deadline-ms N]"
+    );
     ExitCode::FAILURE
 }

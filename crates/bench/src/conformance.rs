@@ -1,5 +1,5 @@
 //! Multi-backend conformance: every registered scenario family, one spec,
-//! three execution backends, the same committed value.
+//! four execution backends, the same committed value.
 //!
 //! The paper's claims are about *real* good-case latency, so the workspace
 //! keeps its execution targets honest against each other:
@@ -7,10 +7,13 @@
 //! * the deterministic **simulator** (exact δ/Δ, the source of every
 //!   measured number),
 //! * `gcl_net`'s **thread** runtime (`NetBackend` — wall clocks, real
-//!   concurrency, in-memory `Arc` message passing), and
+//!   concurrency, in-memory `Arc` message passing),
 //! * `gcl_net`'s **socket** runtime (`SocketBackend` — the same wall-clock
 //!   discipline, but every message encoded to bytes, carried across a
-//!   Unix-domain socket, and decoded on the far side).
+//!   Unix-domain socket, and decoded on the far side), and
+//! * `gcl_net`'s **async** runtime (`AsyncBackend` — the socket transport
+//!   contract, but every party a state machine behind a nonblocking
+//!   socket, all n multiplexed over a fixed readiness-loop worker pool).
 //!
 //! This module builds, for each registered family, a **wall-safe** variant
 //! of its canonical spec — millisecond-scale bounds so protocol timeouts
@@ -19,16 +22,18 @@
 //! good case the executions must agree: same committed value, agreement
 //! and full honest commitment on every wall backend. The socket column is
 //! the codec's end-to-end gate: a family whose message type does not
-//! survive `gcl_types::wire` serialization cannot pass it.
+//! survive `gcl_types::wire` serialization cannot pass it. The async
+//! column additionally gates the readiness loop: partial reads, timer
+//! wheel, and worker-pool scheduling must be invisible to the protocols.
 //!
 //! The suite doubles as the regression gate for the wall runtimes' early
-//! termination: ~15 families × 2 wall backends against multi-second
+//! termination: ~15 families × 3 wall backends against multi-second
 //! deadlines complete in a few seconds *only* because honest termination
 //! exits each run early (`crates/bench/tests/net_conformance.rs` enforces
-//! a hard 30 s ceiling, and CI's `net-smoke` job runs it in release).
+//! a hard wall ceiling, and CI's `net-smoke` job runs it in release).
 
 use crate::registry;
-use gcl_net::{NetBackend, SocketBackend};
+use gcl_net::{AsyncBackend, NetBackend, SocketBackend};
 use gcl_sim::{Backend, ScenarioRegistry, ScenarioSpec};
 use gcl_types::{Duration as SimDuration, Value};
 use std::time::{Duration, Instant};
@@ -77,7 +82,7 @@ pub fn wall_spec(reg: &ScenarioRegistry, key: &str) -> ScenarioSpec {
 /// One wall-clock backend's result for one family.
 #[derive(Debug, Clone)]
 pub struct BackendRun {
-    /// The backend's stable name (`"net"`, `"socket"`).
+    /// The backend's stable name (`"net"`, `"socket"`, `"async"`).
     pub backend: &'static str,
     /// The committed value (agreement already folded in: `None` means
     /// disagreement or nobody committed).
@@ -141,6 +146,7 @@ pub fn wall_backends(deadline: Duration) -> Vec<Box<dyn Backend + Sync>> {
     vec![
         Box::new(NetBackend::new().deadline(deadline)),
         Box::new(SocketBackend::new().deadline(deadline)),
+        Box::new(AsyncBackend::new().deadline(deadline)),
     ]
 }
 
@@ -213,11 +219,11 @@ mod tests {
     }
 
     #[test]
-    fn wall_backend_catalog_is_net_then_socket() {
+    fn wall_backend_catalog_is_net_socket_then_async() {
         let names: Vec<&str> = wall_backends(Duration::from_secs(1))
             .iter()
             .map(|b| b.name())
             .collect();
-        assert_eq!(names, ["net", "socket"]);
+        assert_eq!(names, ["net", "socket", "async"]);
     }
 }

@@ -25,10 +25,11 @@
 //! trajectory diff in review.
 //!
 //! Rows are keyed by their identity columns, not their position:
-//! `(family, backend)` for the net-latency trajectory,
-//! `(batch, pipeline, n, f, crashes)` for the SMR serving trajectory, and
-//! `scenario` for the simulator-throughput trajectory, so reordering rows
-//! is not drift but re-shaping a scenario is.
+//! `(family, backend, n)` for the net-latency trajectory (the async
+//! backend measures the same family at several scales),
+//! `(backend, batch, pipeline, n, f, crashes)` for the SMR serving
+//! trajectory, and `scenario` for the simulator-throughput trajectory, so
+//! reordering rows is not drift but re-shaping a scenario is.
 //!
 //! [`netlat`]: crate::netlat
 //! [`smrload`]: crate::smrload
@@ -68,14 +69,14 @@ struct Shape {
 fn shape_of(schema: &str) -> Option<Shape> {
     match schema {
         s if s == NET_SCHEMA => Some(Shape {
-            key: &["family", "backend"],
+            key: &["family", "backend", "n"],
             metrics: &[Metric {
                 field: "latency_us",
                 better: Better::Lower,
             }],
         }),
         s if s == SMR_SCHEMA => Some(Shape {
-            key: &["batch", "pipeline", "n", "f", "crashes"],
+            key: &["backend", "batch", "pipeline", "n", "f", "crashes"],
             metrics: &[
                 Metric {
                     field: "commits_per_sec",
@@ -249,12 +250,12 @@ pub fn diff_docs(baseline: &str, fresh: &str, factor: f64) -> Result<String, Str
 mod tests {
     use super::*;
 
-    fn net_doc(rows: &[(&str, &str, u64)]) -> String {
+    fn net_doc(rows: &[(&str, &str, u64, u64)]) -> String {
         let body: Vec<String> = rows
             .iter()
-            .map(|(fam, be, lat)| {
+            .map(|(fam, be, n, lat)| {
                 format!(
-                    "{{\"family\": \"{fam}\", \"backend\": \"{be}\", \
+                    "{{\"family\": \"{fam}\", \"backend\": \"{be}\", \"n\": {n}, \
                      \"latency_us\": {lat}, \"agreement\": true}}"
                 )
             })
@@ -267,19 +268,37 @@ mod tests {
 
     #[test]
     fn identical_documents_pass() {
-        let doc = net_doc(&[("flood", "net", 2000), ("flood", "socket", 2500)]);
+        let doc = net_doc(&[("flood", "net", 4, 2000), ("flood", "socket", 4, 2500)]);
         let summary = diff_docs(&doc, &doc, DEFAULT_FACTOR).expect("identity diff passes");
         assert!(summary.contains("2 rows matched"), "{summary}");
     }
 
     #[test]
+    fn scale_rows_are_distinct_by_n() {
+        // The async backend measures the same family at several shapes;
+        // the n column keeps those rows distinct identities.
+        let base = net_doc(&[
+            ("flood", "async", 4, 2300),
+            ("flood", "async", 256, 90_000),
+            ("flood", "async", 1024, 900_000),
+        ]);
+        let summary = diff_docs(&base, &base, DEFAULT_FACTOR).expect("per-n rows join");
+        assert!(summary.contains("3 rows matched"), "{summary}");
+        // Dropping one scale point is structural drift, not noise.
+        let shrunk = net_doc(&[("flood", "async", 4, 2300), ("flood", "async", 256, 90_000)]);
+        let err = diff_docs(&base, &shrunk, DEFAULT_FACTOR).unwrap_err();
+        assert!(err.contains("no fresh counterpart"), "{err}");
+    }
+
+    #[test]
     fn noise_within_factor_passes_and_gross_regression_fails() {
-        let base = net_doc(&[("flood", "net", 2000)]);
-        let noisy = net_doc(&[("flood", "net", 9000)]);
+        let base = net_doc(&[("flood", "net", 4, 2000)]);
+        let noisy = net_doc(&[("flood", "net", 4, 9000)]);
         diff_docs(&base, &noisy, DEFAULT_FACTOR).expect("4.5x is machine noise");
         // An improvement is never a regression, however large.
-        diff_docs(&base, &net_doc(&[("flood", "net", 10)]), DEFAULT_FACTOR).expect("fast is fine");
-        let broken = net_doc(&[("flood", "net", 2_000_000)]);
+        diff_docs(&base, &net_doc(&[("flood", "net", 4, 10)]), DEFAULT_FACTOR)
+            .expect("fast is fine");
+        let broken = net_doc(&[("flood", "net", 4, 2_000_000)]);
         let err = diff_docs(&base, &broken, DEFAULT_FACTOR).unwrap_err();
         assert!(err.contains("gross regression"), "{err}");
         assert!(err.contains("latency_us"), "{err}");
@@ -287,28 +306,28 @@ mod tests {
 
     #[test]
     fn missing_and_extra_rows_are_structural_drift() {
-        let base = net_doc(&[("flood", "net", 2000), ("bracha", "net", 6000)]);
-        let missing = net_doc(&[("flood", "net", 2000)]);
+        let base = net_doc(&[("flood", "net", 4, 2000), ("bracha", "net", 4, 6000)]);
+        let missing = net_doc(&[("flood", "net", 4, 2000)]);
         let err = diff_docs(&base, &missing, DEFAULT_FACTOR).unwrap_err();
         assert!(err.contains("no fresh counterpart"), "{err}");
         let extra = net_doc(&[
-            ("flood", "net", 2000),
-            ("bracha", "net", 6000),
-            ("pbft3", "net", 7000),
+            ("flood", "net", 4, 2000),
+            ("bracha", "net", 4, 6000),
+            ("pbft3", "net", 4, 7000),
         ]);
         let err = diff_docs(&base, &extra, DEFAULT_FACTOR).unwrap_err();
         assert!(err.contains("not in the baseline"), "{err}");
         // Reordering rows is NOT drift: the join is by identity columns.
-        let reordered = net_doc(&[("bracha", "net", 6000), ("flood", "net", 2000)]);
+        let reordered = net_doc(&[("bracha", "net", 4, 6000), ("flood", "net", 4, 2000)]);
         diff_docs(&base, &reordered, DEFAULT_FACTOR).expect("order is irrelevant");
     }
 
     #[test]
     fn column_drift_and_schema_drift_fail() {
-        let base = net_doc(&[("flood", "net", 2000)]);
+        let base = net_doc(&[("flood", "net", 4, 2000)]);
         let renamed = format!(
             "{{\"schema\": \"{NET_SCHEMA}\", \"rows\": [{{\"family\": \"flood\", \
-             \"backend\": \"net\", \"lat_us\": 2000, \"agreement\": true}}]}}"
+             \"backend\": \"net\", \"n\": 4, \"lat_us\": 2000, \"agreement\": true}}]}}"
         );
         let err = diff_docs(&base, &renamed, DEFAULT_FACTOR).unwrap_err();
         assert!(err.contains("columns differ"), "{err}");
@@ -324,7 +343,8 @@ mod tests {
     fn smr_rows_gate_rate_and_ack_latency() {
         let row = |rate: f64, p50: u64| {
             format!(
-                "{{\"batch\": 4, \"pipeline\": 4, \"n\": 4, \"f\": 1, \"crashes\": 0, \
+                "{{\"backend\": \"socket\", \"batch\": 4, \"pipeline\": 4, \"n\": 4, \
+                 \"f\": 1, \"crashes\": 0, \
                  \"commits_per_sec\": {rate}, \"p50_us\": {p50}}}"
             )
         };

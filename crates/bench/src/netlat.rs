@@ -4,18 +4,27 @@
 //! `BENCH_sim.json` tracks simulator *throughput* per PR; this module
 //! tracks wall-clock *runtime overhead* the same way. For every registered
 //! family it runs the wall-safe conformance spec on each wall backend
-//! ([`crate::conformance::wall_backends`]: the in-memory thread engine and
-//! the socket engine) and records the good-case wall latency next to the
-//! spec's injected ideal — δ' per hop, so a 2-round protocol's floor is
-//! `2δ'`. The gap between the measured column and the floor is scheduler,
-//! channel, and (for the socket rows) codec + syscall overhead; watching
-//! it per PR is how a runtime regression (a lost fast path, an accidental
-//! sleep) shows up before anyone reads a profile.
+//! ([`crate::conformance::wall_backends`]: the in-memory thread engine,
+//! the socket engine, and the readiness-loop engine) and records the
+//! good-case wall latency next to the spec's injected ideal — δ' per hop,
+//! so a 2-round protocol's floor is `2δ'`. The gap between the measured
+//! column and the floor is scheduler, channel, and (for the socket/async
+//! rows) codec + syscall overhead; watching it per PR is how a runtime
+//! regression (a lost fast path, an accidental sleep) shows up before
+//! anyone reads a profile.
+//!
+//! v2 adds the **scale rows**: [`SCALE_FAMILIES`] × [`SCALE_NS`] on the
+//! async backend only — the thread-per-party backends cap out in the low
+//! hundreds of parties, the readiness loop multiplexes n = 1024 over a
+//! handful of workers. Scale rows (and every async row) carry the
+//! backend's [`SchedCounters`]: worker-pool size, readiness wakeups, and
+//! the peak outbound-queue depth, so a backpressure regression is visible
+//! in the trajectory diff. Row identity is now `(family, backend, n)`.
 //!
 //! Wall numbers are machine-dependent, so unlike the throughput gate this
-//! file's CI check ([`check_rows`]) validates *shape*, not speed: same
-//! schema, every registered family present per backend, every row
-//! committed with agreement. Regeneration:
+//! file's CI check ([`check_doc`]) validates *shape*, not speed: same
+//! schema, every registered family present per backend, every scale row
+//! present, every row committed with agreement. Regeneration:
 //!
 //! ```text
 //! cargo run --release -p gcl_bench --bin net_latency -- --out BENCH_net.json
@@ -24,19 +33,34 @@
 use crate::conformance::{wall_backends, wall_spec, WALL_DELTA};
 use crate::json::{parse, JVal, RowsDoc, Value as JsonValue};
 use crate::registry;
+use gcl_net::AsyncBackend;
+use gcl_sim::SchedCounters;
+use gcl_types::Duration as SimDuration;
 use std::time::Duration;
 
-/// The `schema` field of every `BENCH_net.json` document.
-pub const NET_SCHEMA: &str = "gcl-bench/net-latency/v1";
+/// The `schema` field of every `BENCH_net.json` document. v2: row
+/// identity is `(family, backend, n)` (the async backend measures the
+/// same family at several scales), async rows carry scheduler counters.
+pub const NET_SCHEMA: &str = "gcl-bench/net-latency/v2";
 
-/// One family × backend wall-clock measurement.
+/// Families measured at scale on the async backend: the pure event-loop
+/// stress (`flood`, `O(n²)` trivial messages) and the crypto-bearing
+/// 2-round broadcast (`brb2`, `O(n²)` signed votes).
+pub const SCALE_FAMILIES: [&str; 2] = ["flood", "brb2"];
+
+/// Party counts of the scale rows — up to the simulator's own largest
+/// measured shape (`BENCH_sim.json` stops at n = 1024 too).
+pub const SCALE_NS: [usize; 3] = [256, 512, 1024];
+
+/// One family × backend × shape wall-clock measurement.
 #[derive(Debug, Clone)]
 pub struct NetLatencyRow {
     /// Registered family key.
     pub family: &'static str,
-    /// Wall backend that produced the row (`"net"`, `"socket"`).
+    /// Wall backend that produced the row (`"net"`, `"socket"`,
+    /// `"async"`).
     pub backend: &'static str,
-    /// Parties in the wall-safe spec.
+    /// Parties in the measured spec.
     pub n: usize,
     /// Fault budget.
     pub f: usize,
@@ -49,6 +73,9 @@ pub struct NetLatencyRow {
     pub agreement: bool,
     /// Point-to-point messages delivered.
     pub messages: u64,
+    /// Worker-pool scheduler counters — `Some` on the async backend,
+    /// `None` on the thread-per-party backends.
+    pub sched: Option<SchedCounters>,
 }
 
 /// Runs every registered family on every wall backend (each run bounded
@@ -74,9 +101,53 @@ pub fn net_latency_rows(deadline: Duration) -> Vec<NetLatencyRow> {
                         latency_us: o.good_case_latency().map(|d| d.as_micros()),
                         agreement: o.agreement_holds(),
                         messages: o.messages_sent(),
+                        sched: o.sched_counters(),
                     }
                 })
                 .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// The wall-safe spec of one scale row: the family's conformance spec
+/// reshaped to `(n, 1)`, with Δ' raised to seconds — at n = 1024 a single
+/// good-case round is ~10⁶ frames of real socket I/O, so the conformance
+/// Δ' (tens of ms) would let view timers fire spuriously mid-round.
+/// Timers never fire on the good-case path, so the huge Δ' costs no wall
+/// time.
+pub fn scale_spec(key: &str, n: usize) -> gcl_sim::ScenarioSpec {
+    wall_spec(registry(), key)
+        .with_shape(n, 1)
+        .with_bounds(WALL_DELTA, SimDuration::from_millis(5_000))
+}
+
+/// Measures the [`SCALE_FAMILIES`] × [`SCALE_NS`] grid on the async
+/// backend (its worker pool at the default `min(cores, 8)`), each run
+/// bounded by `deadline` — pass a generous one: the n = 1024 rows move
+/// ~2 M real frames.
+pub fn scale_rows(deadline: Duration) -> Vec<NetLatencyRow> {
+    let reg = registry();
+    let backend = AsyncBackend::new().deadline(deadline);
+    SCALE_FAMILIES
+        .iter()
+        .flat_map(|&key| {
+            SCALE_NS.iter().map(move |&n| {
+                let spec = scale_spec(key, n);
+                let o = reg
+                    .run_on(&spec, &backend)
+                    .unwrap_or_else(|e| panic!("{key} n={n}: async run rejected: {e}"));
+                NetLatencyRow {
+                    family: key,
+                    backend: "async",
+                    n: spec.n,
+                    f: spec.f,
+                    delta_us: WALL_DELTA.as_micros(),
+                    latency_us: o.good_case_latency().map(|d| d.as_micros()),
+                    agreement: o.agreement_holds(),
+                    messages: o.messages_sent(),
+                    sched: o.sched_counters(),
+                }
+            })
         })
         .collect()
 }
@@ -96,6 +167,19 @@ pub fn render_json(rows: &[NetLatencyRow]) -> String {
             ("latency_us", r.latency_us.map_or(JVal::Null, JVal::U64)),
             ("agreement", JVal::Bool(r.agreement)),
             ("messages", JVal::U64(r.messages)),
+            (
+                "workers",
+                r.sched.map_or(JVal::Null, |s| JVal::U64(s.workers as u64)),
+            ),
+            (
+                "wakeups",
+                r.sched.map_or(JVal::Null, |s| JVal::U64(s.wakeups)),
+            ),
+            (
+                "peak_out_bytes",
+                r.sched
+                    .map_or(JVal::Null, |s| JVal::U64(s.peak_outbound_bytes as u64)),
+            ),
         ]);
     }
     doc.render()
@@ -103,10 +187,12 @@ pub fn render_json(rows: &[NetLatencyRow]) -> String {
 
 /// Structural CI check of a `BENCH_net.json` document: parseable, right
 /// schema, one committed-with-agreement row per (registered family × wall
-/// backend). Deliberately **no** latency-regression gate — wall latency is
-/// machine noise across CI runners; the trajectory file exists so humans
-/// (and future tooling pinned to one machine) can diff the overhead per
-/// PR.
+/// backend), every [`SCALE_FAMILIES`] × [`SCALE_NS`] async scale row
+/// present and committed, and every async row carrying scheduler
+/// counters. Deliberately **no** latency-regression gate — wall latency
+/// is machine noise across CI runners; the trajectory file exists so
+/// humans (and future tooling pinned to one machine) can diff the
+/// overhead per PR.
 ///
 /// # Errors
 ///
@@ -143,17 +229,50 @@ fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
                     r.field_str("family") == Some(key) && r.field_str("backend") == Some(backend)
                 })
                 .ok_or_else(|| format!("no row for family {key:?} on backend {backend:?}"))?;
-            if row.field_bool("agreement") != Some(true) {
-                return Err(format!("{key}/{backend}: agreement violated"));
-            }
-            if row.field_u64("latency_us").is_none() {
-                return Err(format!(
-                    "{key}/{backend}: no good-case latency (liveness failure)"
-                ));
-            }
+            row_committed(row, key, backend)?;
+        }
+    }
+    // The scale rows: every (family × n) on the async backend.
+    for key in SCALE_FAMILIES {
+        for n in SCALE_NS {
+            let row = rows
+                .iter()
+                .find(|r| {
+                    r.field_str("family") == Some(key)
+                        && r.field_str("backend") == Some("async")
+                        && r.field_u64("n") == Some(n as u64)
+                })
+                .ok_or_else(|| format!("no async scale row for family {key:?} at n = {n}"))?;
+            row_committed(row, key, "async")?;
+        }
+    }
+    // Async rows must carry the worker-pool observability columns.
+    for row in rows {
+        if row.field_str("backend") != Some("async") {
+            continue;
+        }
+        let label = row.field_str("family").unwrap_or("?");
+        match row.field_u64("workers") {
+            Some(w) if w >= 1 => {}
+            _ => return Err(format!("{label}/async: missing worker-pool size")),
+        }
+        if row.field_u64("wakeups").is_none() {
+            return Err(format!("{label}/async: missing readiness-wakeup count"));
         }
     }
     Ok(rows.len())
+}
+
+fn row_committed(row: &JsonValue, key: &str, backend: &str) -> Result<(), String> {
+    if row.field_bool("agreement") != Some(true) {
+        return Err(format!("{key}/{backend}: agreement violated"));
+    }
+    if row.field_u64("latency_us").is_none() {
+        return Err(format!(
+            "{key}/{backend}: no good-case latency (liveness failure)"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -183,6 +302,7 @@ mod tests {
                             latency_us: o.good_case_latency().map(|d| d.as_micros()),
                             agreement: o.agreement_holds(),
                             messages: o.messages_sent(),
+                            sched: o.sched_counters(),
                         }
                     })
                     .collect::<Vec<_>>()
@@ -194,7 +314,8 @@ mod tests {
         // The partial document fails the full-catalog check (families are
         // missing), which is exactly what the check is for.
         assert!(check_doc(&doc).is_err(), "partial catalog must be rejected");
-        // Each measured row carries a latency at or above the 2-hop floor.
+        // Each measured row carries a latency at or above the 2-hop floor,
+        // and only the async rows carry scheduler counters.
         for r in &rows {
             assert!(r.agreement, "{}/{}", r.family, r.backend);
             let lat = r.latency_us.expect("good case commits");
@@ -204,13 +325,91 @@ mod tests {
                 r.family,
                 r.backend
             );
+            assert_eq!(
+                r.sched.is_some(),
+                r.backend == "async",
+                "{}/{}: sched counters are async-only",
+                r.family,
+                r.backend
+            );
         }
+    }
+
+    #[test]
+    fn a_scale_row_measures_flood_beyond_the_conformance_shape() {
+        // A miniature of the real grid (n = 48 instead of 256+ keeps the
+        // unit test cheap): the async backend must commit flood well past
+        // the conformance (4, 1) shape and report its pool counters.
+        let reg = registry();
+        let spec = scale_spec("flood", 48);
+        let o = reg
+            .run_on(
+                &spec,
+                &AsyncBackend::new().deadline(Duration::from_secs(20)),
+            )
+            .unwrap();
+        assert!(o.agreement_holds());
+        assert!(o.all_honest_committed());
+        assert_eq!(o.messages_sent(), 48 * 48);
+        let sched = o.sched_counters().expect("async reports its pool");
+        assert!(sched.workers >= 1);
+        assert!(sched.wakeups > 0);
+    }
+
+    #[test]
+    fn check_requires_scale_rows_and_async_counters() {
+        // Synthesize a full catalog without running anything: every
+        // (family × backend) row present and committed, but no scale rows
+        // — the v2 gate must reject it.
+        let reg = registry();
+        let catalog_row = |key: &str, backend: &str, sched: bool| {
+            vec![
+                ("family", JVal::Str(key.into())),
+                ("backend", JVal::Str(backend.into())),
+                ("n", JVal::U64(4)),
+                ("f", JVal::U64(1)),
+                ("latency_us", JVal::U64(5_000)),
+                ("agreement", JVal::Bool(true)),
+                ("workers", if sched { JVal::U64(1) } else { JVal::Null }),
+                ("wakeups", if sched { JVal::U64(9) } else { JVal::Null }),
+            ]
+        };
+        let mut doc = RowsDoc::new(NET_SCHEMA);
+        for key in reg.keys() {
+            for backend in ["net", "socket", "async"] {
+                doc.row(catalog_row(key, backend, backend == "async"));
+            }
+        }
+        let err = check_doc(&doc.render()).unwrap_err();
+        assert!(err.contains("scale row"), "{err}");
+
+        // With the scale rows present but an async row missing its
+        // counters, the observability gate fires.
+        let mut doc = RowsDoc::new(NET_SCHEMA);
+        for key in reg.keys() {
+            for backend in ["net", "socket", "async"] {
+                doc.row(catalog_row(key, backend, backend == "async"));
+            }
+        }
+        for key in SCALE_FAMILIES {
+            for n in SCALE_NS {
+                let mut row = catalog_row(key, "async", n != 512);
+                row[2] = ("n", JVal::U64(n as u64));
+                doc.row(row);
+            }
+        }
+        let err = check_doc(&doc.render()).unwrap_err();
+        assert!(err.contains("worker-pool size"), "{err}");
     }
 
     #[test]
     fn check_rejects_malformed_documents() {
         assert!(check_doc("not json").is_err());
         assert!(check_doc("{\"schema\": \"other/v9\", \"rows\": []}").is_err());
+        assert!(
+            check_doc("{\"schema\": \"gcl-bench/net-latency/v1\", \"rows\": []}").is_err(),
+            "v1 documents no longer pass the v2 gate"
+        );
         let empty = format!("{{\"schema\": \"{NET_SCHEMA}\", \"rows\": []}}");
         let err = check_doc(&empty).unwrap_err();
         assert!(err.contains("no row for family"), "{err}");

@@ -1,5 +1,5 @@
 //! Open-loop SMR load generation: client request streams through the
-//! socket backend, rendered as the repo-root `BENCH_smr.json`.
+//! serving backends, rendered as the repo-root `BENCH_smr.json`.
 //!
 //! The other trajectories measure the substrate (`BENCH_sim.json`:
 //! simulator throughput) and the runtimes (`BENCH_net.json`: per-family
@@ -29,6 +29,15 @@
 //! audit (no command applied twice, every acked command applied) and the
 //! probed replica's mempool counters.
 //!
+//! v3 adds the **backend** column: the same open-loop client drives either
+//! serving backend that exposes the `execute_with_client` path
+//! ([`ServeBackend`]) — the thread-per-party socket engine, or the
+//! readiness-loop async engine, which multiplexes all replicas over a
+//! fixed worker pool and thereby serves the `(24, 5)` scale rows the
+//! socket engine's thread budget made impractical. The scale rows run
+//! with leader rotation intact, including a failover row that kills the
+//! initial leader mid-stream.
+//!
 //! Wall numbers are machine-dependent, so the CI gate ([`check_doc`])
 //! validates *structure*, not speed: right schema, at least three
 //! distinct `(batch, pipeline)` configurations, a failover row, and
@@ -43,7 +52,7 @@ use crate::conformance::{wall_spec, WALL_DELTA};
 use crate::json::{parse, JVal, RowsDoc, Value as JsonValue};
 use crate::registry;
 use gcl_crypto::Keychain;
-use gcl_net::{ClientHandle, SocketBackend};
+use gcl_net::{AsyncBackend, ClientHandle, SocketBackend};
 use gcl_sim::{AdversaryMix, AdversaryRole, MsgCodec, ScenarioSpec};
 use gcl_smr::{MempoolStats, SlotEngine, SmrMsg, SmrParams, StateMachine};
 use gcl_types::{Decode, Encode, PartyId, SlotId, Value};
@@ -53,10 +62,30 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// The `schema` field of every `BENCH_smr.json` document. v2: ack-based
-/// latency, mempool counters, and leader-failover rows with the
-/// exactly-once audit.
-pub const SMR_SCHEMA: &str = "gcl-bench/smr-load/v2";
+/// The `schema` field of every `BENCH_smr.json` document. v3: every row
+/// names its serving backend, and the async backend's `(24, 5)` scale
+/// rows (with a leader-crash failover variant) join the grid.
+pub const SMR_SCHEMA: &str = "gcl-bench/smr-load/v3";
+
+/// A serving backend the open-loop client can drive: any wall backend
+/// exposing the `execute_with_client` path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// Thread-per-party socket engine ([`SocketBackend`]).
+    Socket,
+    /// Readiness-loop worker-pool engine ([`AsyncBackend`]).
+    Async,
+}
+
+impl ServeBackend {
+    /// The backend's stable name — the row's `backend` column.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ServeBackend::Socket => "socket",
+            ServeBackend::Async => "async",
+        }
+    }
+}
 
 /// A shared `(command, apply-instant)` side log one replica's
 /// [`RecordingMachine`] appends to.
@@ -106,9 +135,11 @@ impl LoadOptions {
     }
 }
 
-/// One `(batch, pipeline)` configuration's measured row.
+/// One `(backend, batch, pipeline)` configuration's measured row.
 #[derive(Debug, Clone)]
 pub struct SmrLoadRow {
+    /// Serving backend that produced the row (`"socket"`, `"async"`).
+    pub backend: &'static str,
     /// Proposal batch cap.
     pub batch: usize,
     /// Pipeline depth.
@@ -206,6 +237,30 @@ pub fn failover_spec() -> ScenarioSpec {
             first_handled: 40,
             stagger: 120,
         })
+}
+
+/// The async scale spec: the load spec reshaped to `(24, 5)` — the
+/// smallest shape saturating `n = 5f − 1` at `f = 5`, and well past the
+/// thread-per-party backends' comfortable range. Δ' is raised so view
+/// timers (leader rotation stays armed throughout) cannot fire spuriously
+/// while one worker drains 24 replicas' traffic.
+pub fn scale_spec() -> ScenarioSpec {
+    let spec = load_spec().with_shape(24, 5);
+    let big = gcl_types::Duration::from_micros(spec.big_delta.as_micros().max(200_000));
+    let delta = spec.delta;
+    spec.with_bounds(delta, big)
+}
+
+/// The async failover scenario: the `(24, 5)` scale shape with a
+/// [`AdversaryMix::LeaderCascade`] killing the initial leader mid-stream,
+/// so the row measures serving *through* a rotation on the readiness
+/// loop.
+pub fn scale_failover_spec() -> ScenarioSpec {
+    scale_spec().with_adversary(AdversaryMix::LeaderCascade {
+        count: 1,
+        first_handled: 40,
+        stagger: 120,
+    })
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> Option<u64> {
@@ -329,7 +384,7 @@ fn drive_open_loop(client: &ClientHandle, n: usize, requests: u64, gap: Duration
     report
 }
 
-/// Runs one open-loop load experiment over the socket backend.
+/// Runs one open-loop load experiment over the chosen serving backend.
 ///
 /// The client thread fans `opts.requests` commands (`Value::new(1)`,
 /// `Value::new(2)`, …) out to every replica on a fixed `opts.gap`
@@ -343,6 +398,7 @@ fn drive_open_loop(client: &ClientHandle, n: usize, requests: u64, gap: Duration
 /// Panics if `spec` is not a valid shape for the engine.
 pub fn run_load(
     spec: &ScenarioSpec,
+    backend: ServeBackend,
     batch: usize,
     pipeline: usize,
     opts: LoadOptions,
@@ -395,11 +451,17 @@ pub fn run_load(
     let requests = opts.requests;
     let gap = opts.gap;
     let n = spec.n;
-    let o = SocketBackend::new()
-        .deadline(opts.deadline)
-        .execute_with_client(spec, slots, MsgCodec::of::<SmrMsg>(), move |client| {
-            *client_report.lock() = drive_open_loop(&client, n, requests, gap);
-        });
+    let driver = move |client: ClientHandle| {
+        *client_report.lock() = drive_open_loop(&client, n, requests, gap);
+    };
+    let o = match backend {
+        ServeBackend::Socket => SocketBackend::new()
+            .deadline(opts.deadline)
+            .execute_with_client(spec, slots, MsgCodec::of::<SmrMsg>(), driver),
+        ServeBackend::Async => AsyncBackend::new()
+            .deadline(opts.deadline)
+            .execute_with_client(spec, slots, MsgCodec::of::<SmrMsg>(), driver),
+    };
 
     let report = report.lock();
     // Ack-based latency: first submit to first acknowledgement.
@@ -437,6 +499,7 @@ pub fn run_load(
     };
     let mempool = *stats[probe_id].lock();
     SmrLoadRow {
+        backend: backend.name(),
         batch,
         pipeline,
         n: spec.n,
@@ -460,14 +523,23 @@ pub fn run_load(
 }
 
 /// Measures every [`LOAD_CONFIGS`] point plus the leader-failover
-/// scenario on the socket backend.
+/// scenario on the socket backend, then the `(24, 5)` scale rows (clean
+/// and leader-crash) on the async backend.
 pub fn smr_load_rows(opts: LoadOptions) -> Vec<SmrLoadRow> {
     let spec = load_spec();
     let mut rows: Vec<SmrLoadRow> = LOAD_CONFIGS
         .iter()
-        .map(|&(batch, pipeline)| run_load(&spec, batch, pipeline, opts))
+        .map(|&(batch, pipeline)| run_load(&spec, ServeBackend::Socket, batch, pipeline, opts))
         .collect();
-    rows.push(run_load(&failover_spec(), 4, 4, opts));
+    rows.push(run_load(&failover_spec(), ServeBackend::Socket, 4, 4, opts));
+    rows.push(run_load(&scale_spec(), ServeBackend::Async, 4, 4, opts));
+    rows.push(run_load(
+        &scale_failover_spec(),
+        ServeBackend::Async,
+        4,
+        4,
+        opts,
+    ));
     rows
 }
 
@@ -477,6 +549,7 @@ pub fn render_json(rows: &[SmrLoadRow]) -> String {
     doc.top("delta_us", JVal::U64(WALL_DELTA.as_micros()));
     for r in rows {
         doc.row(vec![
+            ("backend", JVal::Str(r.backend.into())),
             ("batch", JVal::U64(r.batch as u64)),
             ("pipeline", JVal::U64(r.pipeline as u64)),
             ("n", JVal::U64(r.n as u64)),
@@ -507,7 +580,8 @@ pub fn render_json(rows: &[SmrLoadRow]) -> String {
 
 /// Structural CI check of a `BENCH_smr.json` document: parseable, right
 /// schema, at least three distinct `(batch, pipeline)` configurations, a
-/// leader-failover row, and every row committed traffic with agreement, a
+/// leader-failover row, an async scale row at `n ≥ 16`, and every row
+/// (named by its serving backend) committed traffic with agreement, a
 /// measured ack median, and a passing exactly-once audit. Deliberately
 /// **no** rate or latency gate — wall numbers are machine noise across CI
 /// runners; the trajectory file exists so humans can diff the serving
@@ -534,7 +608,11 @@ fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
         .ok_or("missing rows array")?;
     let mut configs = Vec::new();
     let mut failover_rows = 0usize;
+    let mut async_scale_rows = 0usize;
     for (i, row) in rows.iter().enumerate() {
+        let backend = row
+            .field_str("backend")
+            .ok_or_else(|| format!("row {i}: missing serving backend"))?;
         let batch = row
             .field_u64("batch")
             .ok_or_else(|| format!("row {i}: missing batch"))?;
@@ -588,6 +666,9 @@ fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
         if crashes >= 1 {
             failover_rows += 1;
         }
+        if backend == "async" && row.field_u64("n").is_some_and(|n| n >= 16) {
+            async_scale_rows += 1;
+        }
         if !configs.contains(&(batch, pipeline)) {
             configs.push((batch, pipeline));
         }
@@ -601,6 +682,9 @@ fn check_parsed(doc: &JsonValue) -> Result<usize, String> {
     if failover_rows == 0 {
         return Err("no leader-failover row (crashes >= 1)".to_string());
     }
+    if async_scale_rows == 0 {
+        return Err("no async serving row at scale (backend \"async\", n >= 16)".to_string());
+    }
     Ok(rows.len())
 }
 
@@ -613,7 +697,8 @@ mod tests {
     fn open_loop_socket_load_commits_and_passes_check() {
         // Three tiny configurations plus a follower-crash failover row
         // keep the unit test cheap while still producing a full-shape
-        // document the structural gate accepts.
+        // document the structural gate accepts (which since v3 also
+        // requires an async scale row).
         let spec = load_spec();
         let opts = LoadOptions {
             requests: 24,
@@ -622,16 +707,29 @@ mod tests {
         };
         let mut rows: Vec<SmrLoadRow> = [(1, 4), (4, 4), (8, 8)]
             .iter()
-            .map(|&(b, p)| run_load(&spec, b, p, opts))
+            .map(|&(b, p)| run_load(&spec, ServeBackend::Socket, b, p, opts))
             .collect();
         rows.push(run_load(
             &spec.with_adversary(AdversaryMix::CrashAt {
                 party: PartyId::new(0),
                 handled: 30,
             }),
+            ServeBackend::Socket,
             4,
             4,
             opts,
+        ));
+        let scale_opts = LoadOptions {
+            requests: 16,
+            gap: Duration::from_millis(1),
+            deadline: Duration::from_secs(30),
+        };
+        rows.push(run_load(
+            &scale_spec(),
+            ServeBackend::Async,
+            4,
+            4,
+            scale_opts,
         ));
         for r in &rows {
             assert!(r.agreement, "batch {} pipeline {}", r.batch, r.pipeline);
@@ -658,7 +756,7 @@ mod tests {
         }
         let doc = render_json(&rows);
         let n = check_doc(&doc).expect("fresh rows pass the structural gate");
-        assert_eq!(n, 4);
+        assert_eq!(n, 5);
     }
 
     #[test]
@@ -672,6 +770,7 @@ mod tests {
         });
         let row = run_load(
             &spec,
+            ServeBackend::Socket,
             4,
             4,
             LoadOptions {
@@ -699,7 +798,7 @@ mod tests {
             gap: Duration::from_millis(1),
             deadline: Duration::from_secs(30),
         };
-        let row = run_load(&failover_spec(), 4, 4, opts);
+        let row = run_load(&failover_spec(), ServeBackend::Socket, 4, 4, opts);
         assert_eq!(row.crashes, 2, "two successive leaders die");
         assert!(row.agreement, "survivors agree through failover");
         assert_eq!(
@@ -719,12 +818,34 @@ mod tests {
     }
 
     #[test]
+    fn async_leader_cascade_keeps_serving_exactly_once() {
+        // Satellite fault-injection coverage for the readiness loop: the
+        // initial leader of a (24, 5) replica group — all 24 multiplexed
+        // over a small worker pool — dies mid-stream. Rotation must keep
+        // the service live, every acknowledged command must land exactly
+        // once, and the survivors must agree.
+        let opts = LoadOptions {
+            requests: 16,
+            gap: Duration::from_millis(1),
+            deadline: Duration::from_secs(30),
+        };
+        let row = run_load(&scale_failover_spec(), ServeBackend::Async, 4, 4, opts);
+        assert_eq!(row.backend, "async");
+        assert_eq!((row.n, row.f), (24, 5), "the scale shape");
+        assert_eq!(row.crashes, 1, "the initial leader dies");
+        assert!(row.agreement, "survivors agree through failover");
+        assert!(row.acked > 0, "service stays live across the rotation");
+        assert!(row.exactly_once, "failover double-applied a command");
+        assert!(row.acked_applied, "an acked command was lost in failover");
+    }
+
+    #[test]
     fn check_rejects_malformed_documents() {
         assert!(check_doc("not json").is_err());
         assert!(check_doc("{\"schema\": \"other/v9\", \"rows\": []}").is_err());
         assert!(
-            check_doc("{\"schema\": \"gcl-bench/smr-load/v1\", \"rows\": []}").is_err(),
-            "v1 documents no longer pass the v2 gate"
+            check_doc("{\"schema\": \"gcl-bench/smr-load/v2\", \"rows\": []}").is_err(),
+            "v2 documents no longer pass the v3 gate"
         );
         let empty = format!("{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": []}}");
         let err = check_doc(&empty).unwrap_err();
@@ -732,18 +853,44 @@ mod tests {
         // A row that never committed is a liveness failure, not a shape
         // variation.
         let dead = format!(
-            "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [{{\"batch\": 1, \
-             \"pipeline\": 1, \"crashes\": 0, \"agreement\": true, \"committed\": 0}}]}}"
+            "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [{{\"backend\": \"socket\", \
+             \"batch\": 1, \"pipeline\": 1, \"crashes\": 0, \"agreement\": true, \
+             \"committed\": 0}}]}}"
         );
         let err = check_doc(&dead).unwrap_err();
         assert!(err.contains("no committed requests"), "{err}");
         // A failed exactly-once audit must be fatal even with traffic.
         let dup = format!(
-            "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [{{\"batch\": 1, \
-             \"pipeline\": 1, \"crashes\": 1, \"agreement\": true, \"committed\": 5, \
-             \"acked\": 5, \"exactly_once\": false}}]}}"
+            "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [{{\"backend\": \"socket\", \
+             \"batch\": 1, \"pipeline\": 1, \"crashes\": 1, \"agreement\": true, \
+             \"committed\": 5, \"acked\": 5, \"exactly_once\": false}}]}}"
         );
         let err = check_doc(&dup).unwrap_err();
         assert!(err.contains("exactly-once"), "{err}");
+        // A v2-shaped row (no backend column) is structural drift.
+        let anon = format!(
+            "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [{{\"batch\": 1, \
+             \"pipeline\": 1, \"crashes\": 0, \"agreement\": true, \"committed\": 5}}]}}"
+        );
+        let err = check_doc(&anon).unwrap_err();
+        assert!(err.contains("missing serving backend"), "{err}");
+        // A document with socket rows only lacks the async scale row.
+        let socket_only = format!(
+            "{{\"schema\": \"{SMR_SCHEMA}\", \"rows\": [\
+             {{\"backend\": \"socket\", \"batch\": 1, \"pipeline\": 4, \"n\": 4, \
+              \"crashes\": 0, \"agreement\": true, \"committed\": 5, \"acked\": 5, \
+              \"exactly_once\": true, \"acked_applied\": true, \"p50_us\": 9000, \
+              \"mp_admitted\": 5}}, \
+             {{\"backend\": \"socket\", \"batch\": 4, \"pipeline\": 4, \"n\": 4, \
+              \"crashes\": 1, \"agreement\": true, \"committed\": 5, \"acked\": 5, \
+              \"exactly_once\": true, \"acked_applied\": true, \"p50_us\": 9000, \
+              \"mp_admitted\": 5}}, \
+             {{\"backend\": \"socket\", \"batch\": 8, \"pipeline\": 8, \"n\": 4, \
+              \"crashes\": 0, \"agreement\": true, \"committed\": 5, \"acked\": 5, \
+              \"exactly_once\": true, \"acked_applied\": true, \"p50_us\": 9000, \
+              \"mp_admitted\": 5}}]}}"
+        );
+        let err = check_doc(&socket_only).unwrap_err();
+        assert!(err.contains("async serving row"), "{err}");
     }
 }

@@ -1,18 +1,21 @@
-//! The three-backend conformance gate (CI job `net-smoke`).
+//! The four-backend conformance gate (CI job `net-smoke`).
 //!
 //! Every registered scenario family runs on the deterministic simulator,
-//! on `gcl_net`'s thread-per-party wall-clock runtime AND on its
-//! socket-transport runtime, from the same wall-safe spec, and must commit
-//! the same value everywhere. The socket column is the wire codec's
-//! end-to-end gate: its messages really cross Unix-domain sockets as
-//! bytes, so a family whose message type does not round-trip through
-//! `gcl_types::wire` cannot pass.
+//! on `gcl_net`'s thread-per-party wall-clock runtime, on its
+//! socket-transport runtime AND on its readiness-loop async runtime, from
+//! the same wall-safe spec, and must commit the same value everywhere.
+//! The socket column is the wire codec's end-to-end gate: its messages
+//! really cross Unix-domain sockets as bytes, so a family whose message
+//! type does not round-trip through `gcl_types::wire` cannot pass. The
+//! async column additionally gates the worker-pool scheduler: partial
+//! reads, the timer wheel, and n-parties-over-few-threads multiplexing
+//! must be invisible to the protocols.
 //!
 //! The suite's hard wall ceiling is the regression gate for the wall
-//! runtimes' early-termination protocol: each cell runs two wall backends
-//! against 2 s deadlines, so ~15 families only fit under the ceiling if
-//! honest termination exits every run early (the pre-fix runtime slept
-//! each run's full budget unconditionally).
+//! runtimes' early-termination protocol: each cell runs three wall
+//! backends against 2 s deadlines, so ~15 families only fit under the
+//! ceiling if honest termination exits every run early (the pre-fix
+//! runtime slept each run's full budget unconditionally).
 
 use gcl_bench::conformance::conformance_cells;
 use std::time::{Duration, Instant};
@@ -34,17 +37,17 @@ fn every_family_commits_the_same_value_on_all_backends() {
         );
         assert_eq!(
             cell.runs.len(),
-            2,
-            "{}: expected the net and socket columns",
+            3,
+            "{}: expected the net, socket and async columns",
             cell.family
         );
         assert!(cell.holds(), "backend divergence: {}", cell.describe());
     }
     let wall = started.elapsed();
     assert!(
-        wall < Duration::from_secs(30),
+        wall < Duration::from_secs(45),
         "conformance took {wall:?}; with early termination working, \
-         ~15 good-case runs on two wall backends must finish far below \
-         the 30 s ceiling (sleep-to-deadline would need >60 s on its own)"
+         ~15 good-case runs on three wall backends must finish far below \
+         the 45 s ceiling (sleep-to-deadline would need >90 s on its own)"
     );
 }

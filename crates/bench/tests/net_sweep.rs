@@ -10,7 +10,7 @@
 
 use gcl_bench::conformance::wall_spec;
 use gcl_bench::registry;
-use gcl_net::{NetBackend, SocketBackend};
+use gcl_net::{AsyncBackend, NetBackend, SocketBackend};
 use gcl_sim::{ScenarioSpec, Sweep};
 use std::time::{Duration, Instant};
 
@@ -57,6 +57,30 @@ fn sweep_over_socket_backend_upholds_safety() {
     // point here is Sweep × socket-engine concurrency, not coverage (the
     // conformance suite covers every family).
     let backend = SocketBackend::new().deadline(Duration::from_secs(2));
+    let reg = registry();
+    let cells: Vec<ScenarioSpec> = ["brb2", "flood"]
+        .iter()
+        .flat_map(|key| (0..2u64).map(|s| wall_spec(reg, key).with_seed(s)))
+        .collect();
+    let report = Sweep::new(reg)
+        .backend(&backend)
+        .cells(cells)
+        .threads(2)
+        .run();
+    assert_eq!(report.cells_run(), 4);
+    assert_eq!(report.safety_violations().count(), 0);
+    assert_eq!(report.validity_violations().count(), 0);
+    assert_eq!(report.commit_rate(), 1.0);
+}
+
+#[test]
+fn sweep_over_async_backend_upholds_safety() {
+    // Sweep × readiness loop: several multiplexed runs in flight at once,
+    // each with its own scheduler thread and worker pool. Same loose-time,
+    // strict-safety discipline as the other wall sweeps.
+    let backend = AsyncBackend::new()
+        .deadline(Duration::from_secs(2))
+        .workers(2);
     let reg = registry();
     let cells: Vec<ScenarioSpec> = ["brb2", "flood"]
         .iter()

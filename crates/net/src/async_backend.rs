@@ -1,0 +1,1124 @@
+//! The readiness-loop execution backend: thousands of parties multiplexed
+//! over a fixed worker pool.
+//!
+//! The thread engine ([`NetBackend`](crate::NetBackend)) and the blocking
+//! socket engine ([`SocketBackend`](crate::SocketBackend)) spend 1 and 3
+//! OS threads per party respectively, which caps them at n in the low
+//! hundreds. [`AsyncBackend`] runs the *same* byte transport — every
+//! protocol message encoded, framed, carried across a socket pair and
+//! decoded on the far side — but each party is a **state machine behind a
+//! nonblocking socket**, driven by readiness events:
+//!
+//! ```text
+//!            submissions (frames)            deliveries (frames)
+//! worker 0 ──▶ [nonblocking socket] ──▶ scheduler ──▶ [nonblocking socket] ──▶ worker k
+//!   parties i ≡ 0 (mod W)          heap + timer wheel           parties i ≡ k (mod W)
+//! ```
+//!
+//! * **One scheduler thread** owns the dispatcher side of every party
+//!   socket plus a wake pipe, polled through one `mio`-style readiness
+//!   loop (the in-tree `shims/mio`; swap the workspace dependency back to
+//!   the real `mio` crate off-line and nothing here changes). It parses
+//!   submission frames, stamps them through the shared
+//!   [`DeliveryHeap`] — identical `(due, seq)` tie discipline as the
+//!   blocking dispatcher — parks protocol timers in a hashed
+//!   [`TimerWheel`] (O(1) arming at any pending count), and drains due
+//!   deliveries into per-party outbound queues flushed as sockets accept
+//!   them.
+//! * **W worker threads** (default `min(cores, 8)`) each own the party
+//!   side of an `i mod W` shard: per-party frame-reassembly buffers
+//!   ([`FrameBuffer`], partial-read safe at arbitrary byte boundaries),
+//!   per-party outbound queues ([`OutBuf`], `WouldBlock`-aware), and the
+//!   shared [`PartyCore`] bookkeeping. A party whose skew offset has not
+//!   elapsed buffers inbound bytes without handling them — the readiness
+//!   analogue of the late thread whose channel queues.
+//! * **Backpressure**: outbound bytes queued in the scheduler above a
+//!   high-water mark pause *party* reads (level-triggered interest
+//!   dropped, kernel buffers absorb, writers' queues grow) until the
+//!   backlog drains below half the mark; the wake pipe and the client
+//!   channel stay live so shutdown can always get through.
+//!
+//! Total thread count is **O(workers)**, not O(n) — asserted by a test at
+//! n = 512 — which is what makes the n ∈ {256, 512, 1024} wall-clock
+//! rows in `BENCH_net.json` runnable at all. Shutdown reuses the engine
+//! choreography: honest-done early exit, a `Shutdown` submission plus a
+//! wake byte, `STOP` frames to every party with a bounded grace flush,
+//! and worker EOF as the fallback; every join stays finite.
+//!
+//! Scheduler observability (worker count, readiness wakeups, peak
+//! outbound-queue depth) is reported through
+//! [`Outcome::sched_counters`] and lands in the benchmark rows.
+
+use crate::engine::{
+    await_honest_done, delivery_frame, engine_plan, outcome_from_raw, parse_delivery,
+    parse_submission, stream_pair, ClientHandle, Delivery, DeliveryFrame, DeliveryHeap, EnginePlan,
+    FrameBuffer, OutBuf, PartyCore, RawCommit, RawRun, Step, Stream, Submission, SubmissionKind,
+    IDLE_POLL, KIND_MULTICAST, KIND_STOP, KIND_TIMER, KIND_UNICAST,
+};
+use crate::wheel::TimerWheel;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use gcl_sim::{
+    Backend, ErasedMsg, ErasedSlot, MsgCodec, Outcome, ScenarioError, ScenarioRegistry,
+    ScenarioSpec, SchedCounters, Strategy,
+};
+use gcl_types::{Encode, PartyId};
+use mio::{Events, Interest, Poll, Registry, Token};
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Scheduler-side backpressure: once this many bytes sit unflushed across
+/// the per-party outbound queues, party reads pause until the backlog
+/// drains below half the mark. A valve, not a hard cap — deliveries
+/// already routed still queue.
+const OUT_HWM: usize = 4 << 20;
+
+/// How long the scheduler keeps flushing `STOP` frames after shutdown
+/// before abandoning undeliverable peers (worker EOF is the fallback).
+const STOP_GRACE: Duration = Duration::from_millis(500);
+
+// ---------------------------------------------------------------------
+// Scheduler side: one readiness loop over all n dispatcher socket ends.
+// ---------------------------------------------------------------------
+
+/// The scheduler's view of one party's socket.
+struct Peer {
+    stream: Stream,
+    fb: FrameBuffer,
+    out: OutBuf,
+    /// Still parsing this peer's submissions (false after EOF or a
+    /// garbled frame — the party is crashed from the dispatcher's view).
+    reading: bool,
+    /// Write half still usable (false after a write error).
+    open: bool,
+    /// Interest currently registered with the poll, `None` when
+    /// deregistered.
+    registered: Option<Interest>,
+}
+
+impl Peer {
+    fn new(stream: Stream) -> Self {
+        Peer {
+            stream,
+            fb: FrameBuffer::new(),
+            out: OutBuf::new(),
+            reading: true,
+            open: true,
+            registered: None,
+        }
+    }
+
+    /// Drains as much outbound as the socket accepts; a write error marks
+    /// the peer dead (its worker will see EOF).
+    fn flush(&mut self) {
+        if self.out.flush(&mut self.stream).is_err() {
+            self.open = false;
+            self.reading = false;
+        }
+    }
+}
+
+/// Brings a peer's registered interest in line with what it currently
+/// wants: readable while parsing (and not paused), writable while output
+/// is pending — level-triggered, so stale interest means busy wakeups and
+/// missing interest means a stall.
+fn sync_peer_interest(registry: &Registry, peer: &mut Peer, token: Token, paused: bool) {
+    let mut want: Option<Interest> = None;
+    if peer.reading && !paused {
+        want = Some(Interest::READABLE);
+    }
+    if peer.open && !peer.out.is_empty() {
+        want = Some(match want {
+            Some(i) => i | Interest::WRITABLE,
+            None => Interest::WRITABLE,
+        });
+    }
+    if want == peer.registered {
+        return;
+    }
+    match want {
+        Some(interest) => {
+            let applied = if peer.registered.is_some() {
+                registry.reregister(&mut peer.stream, token, interest)
+            } else {
+                registry.register(&mut peer.stream, token, interest)
+            };
+            if applied.is_ok() {
+                peer.registered = Some(interest);
+            }
+        }
+        None => {
+            if peer.registered.take().is_some() {
+                let _ = registry.deregister(&mut peer.stream);
+            }
+        }
+    }
+}
+
+/// The scheduler thread: routes submissions through the shared delivery
+/// heap and the timer wheel, flushes due deliveries, and runs the STOP
+/// choreography on shutdown. Returns `(messages, peak_heap, wakeups,
+/// peak_outbound_bytes)`.
+fn scheduler_loop(
+    mut peers: Vec<Peer>,
+    mut wake: Stream,
+    sub_rx: Receiver<Submission>,
+    client_tx: Sender<Vec<u8>>,
+    links: Vec<Duration>,
+    epoch: Instant,
+    chunk: Option<usize>,
+) -> (u64, usize, u64, usize) {
+    let n = peers.len();
+    let mut poll = Poll::new().expect("readiness poll");
+    poll.registry()
+        .register(&mut wake, Token(n), Interest::READABLE)
+        .expect("register wake pipe");
+    let mut events = Events::with_capacity((n + 1).clamp(8, 1024));
+    let mut dh = DeliveryHeap::new(n);
+    let mut wheel: TimerWheel<(PartyId, u64)> = TimerWheel::new();
+    let mut fired: Vec<(PartyId, u64)> = Vec::new();
+    let mut wakeups: u64 = 0;
+    let mut paused = false;
+    let mut stopping = false;
+    let mut grace: Option<Instant> = None;
+
+    loop {
+        // 1. Expired timers rejoin the delivery heap at `now`, stamped in
+        //    firing order — the same global tie discipline as messages.
+        wheel.advance_to(epoch.elapsed(), &mut fired);
+        let now = Instant::now();
+        for (party, tag) in fired.drain(..) {
+            let _ = dh.route(
+                Submission {
+                    from: party,
+                    kind: SubmissionKind::Timer {
+                        delay: Duration::ZERO,
+                        tag,
+                    },
+                },
+                &links,
+                now,
+            );
+        }
+
+        // 2. Client submissions and the engine's shutdown marker.
+        loop {
+            match sub_rx.try_recv() {
+                Ok(sub) => match sub.kind {
+                    SubmissionKind::Shutdown => stopping = true,
+                    SubmissionKind::Timer { delay, tag } => wheel.insert(delay, (sub.from, tag)),
+                    kind => {
+                        let _ = dh.route(
+                            Submission {
+                                from: sub.from,
+                                kind,
+                            },
+                            &links,
+                            Instant::now(),
+                        );
+                    }
+                },
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    stopping = true;
+                    break;
+                }
+            }
+        }
+
+        // 3. Shutdown entry: queue one STOP per live peer, stop reading
+        //    and delivering, start the grace clock.
+        if stopping && grace.is_none() {
+            for peer in &mut peers {
+                peer.reading = false;
+                if peer.open {
+                    peer.out.push_frame(&[KIND_STOP]);
+                }
+            }
+            grace = Some(Instant::now() + STOP_GRACE);
+        }
+
+        // 4. Due deliveries into per-party queues (dropped once stopping,
+        //    as the blocking dispatcher drops its heap on shutdown).
+        if !stopping {
+            while let Some(s) = dh.pop_due() {
+                if s.to.as_usize() >= n {
+                    if let Delivery::Msg { bytes, .. } = &s.what {
+                        let _ = client_tx.send(bytes.as_ref().clone());
+                    }
+                    continue;
+                }
+                let peer = &mut peers[s.to.as_usize()];
+                if peer.open {
+                    peer.out.push_frame(&delivery_frame(&s.what));
+                }
+            }
+        }
+
+        // 5. Flush, recompute the backpressure valve, sync interests.
+        let mut total_out = 0;
+        for peer in &mut peers {
+            if peer.open && !peer.out.is_empty() {
+                peer.flush();
+            }
+            if peer.open {
+                total_out += peer.out.len();
+            }
+        }
+        paused = if paused {
+            total_out > OUT_HWM / 2
+        } else {
+            total_out >= OUT_HWM
+        };
+        let registry = poll.registry();
+        for (i, peer) in peers.iter_mut().enumerate() {
+            sync_peer_interest(registry, peer, Token(i), paused);
+        }
+
+        // 6. Shutdown exit: everything flushed, or the grace expired.
+        if let Some(g) = grace {
+            let all_flushed = peers.iter().all(|p| !p.open || p.out.is_empty());
+            if all_flushed || Instant::now() >= g {
+                break;
+            }
+        }
+
+        // 7. Sleep until the next deadline: heap due, wheel due, grace,
+        //    or the idle-poll granularity — a readiness event or a wake
+        //    byte interrupts any of them.
+        let mut timeout = dh.next_timeout().min(IDLE_POLL);
+        if let Some(t) = wheel.next_timeout(epoch.elapsed()) {
+            timeout = timeout.min(t);
+        }
+        if let Some(g) = grace {
+            timeout = timeout.min(g.saturating_duration_since(Instant::now()));
+        }
+        match poll.poll(&mut events, Some(timeout)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        wakeups += 1;
+
+        // 8. Readiness: drain the wake pipe, parse submissions, flush
+        //    writable peers.
+        for ev in &events {
+            let t = ev.token().0;
+            if t == n {
+                let mut buf = [0u8; 64];
+                loop {
+                    match wake.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                }
+                continue;
+            }
+            let peer = &mut peers[t];
+            if ev.is_writable() && peer.open && !peer.out.is_empty() {
+                peer.flush();
+            }
+            if ev.is_readable() && peer.reading {
+                match peer.fb.fill(&mut peer.stream, chunk) {
+                    Ok(eof) => {
+                        while let Some(body) = peer.fb.next_frame() {
+                            match parse_submission(PartyId::new(t as u32), body) {
+                                Some(sub) => match sub.kind {
+                                    SubmissionKind::Timer { delay, tag } => {
+                                        wheel.insert(delay, (sub.from, tag));
+                                    }
+                                    // No wire kind maps to Shutdown; a
+                                    // party cannot stop the run.
+                                    SubmissionKind::Shutdown => {}
+                                    kind => {
+                                        let _ = dh.route(
+                                            Submission {
+                                                from: sub.from,
+                                                kind,
+                                            },
+                                            &links,
+                                            Instant::now(),
+                                        );
+                                    }
+                                },
+                                // Garbled frame: the party is crashed from
+                                // the dispatcher's view; keep the run live.
+                                None => {
+                                    peer.reading = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if eof {
+                            peer.reading = false;
+                        }
+                    }
+                    Err(_) => peer.reading = false,
+                }
+            }
+        }
+    }
+    let peak_out = peers.iter().map(|p| p.out.peak).max().unwrap_or(0);
+    (dh.messages, dh.peak, wakeups, peak_out)
+}
+
+// ---------------------------------------------------------------------
+// Worker side: one readiness loop per worker over its party shard.
+// ---------------------------------------------------------------------
+
+/// One party as a state machine owned by a worker.
+struct WorkerParty {
+    /// Index into the run's party vector (`PartyCore` holds the id).
+    global: usize,
+    core: PartyCore,
+    strategy: Box<dyn Strategy<ErasedMsg>>,
+    honest: bool,
+    stream: Stream,
+    fb: FrameBuffer,
+    out: OutBuf,
+    /// When the skew offset elapses and `start` fires. Frames arriving
+    /// earlier buffer in `fb` unhandled — the pre-start inbox.
+    start_at: Instant,
+    started: bool,
+    /// The protocol called `terminate`: stop handling, keep draining and
+    /// flushing until STOP/EOF so the scheduler never wedges on us.
+    terminated: bool,
+    /// Saw STOP, EOF or a dead stream — out of the readiness set.
+    finished: bool,
+    /// Write half still usable.
+    open: bool,
+    registered: Option<Interest>,
+}
+
+impl WorkerParty {
+    fn flush(&mut self) {
+        if self.open && self.out.flush(&mut self.stream).is_err() {
+            self.open = false;
+        }
+    }
+
+    /// Runs one event through the shared core and encodes the effects as
+    /// submission frames — the byte-transport drain, identical to the
+    /// blocking socket party's.
+    fn step(&mut self, step: Step<ErasedMsg>, commits: &Mutex<Vec<RawCommit>>, done: &Sender<()>) {
+        if self.terminated {
+            return;
+        }
+        let ctx = self.core.handle(self.strategy.as_mut(), step, commits);
+        let out_round = self.core.out_round();
+        for (to, msg) in ctx.sends {
+            let mut body = Vec::new();
+            body.push(KIND_UNICAST);
+            to.encode(&mut body);
+            out_round.encode(&mut body);
+            msg.encode(&mut body);
+            self.out.push_frame(&body);
+        }
+        for (skip, msg) in ctx.mcasts {
+            let mut body = Vec::new();
+            body.push(KIND_MULTICAST);
+            skip.encode(&mut body);
+            out_round.encode(&mut body);
+            msg.encode(&mut body);
+            self.out.push_frame(&body);
+        }
+        for (delay, tag) in ctx.timers {
+            let mut body = Vec::new();
+            body.push(KIND_TIMER);
+            delay.as_micros().encode(&mut body);
+            tag.encode(&mut body);
+            self.out.push_frame(&body);
+        }
+        if ctx.terminate {
+            self.terminated = true;
+            if self.honest {
+                let _ = done.send(());
+            }
+        }
+        self.flush();
+    }
+
+    /// Pops and handles every complete frame in the reassembly buffer.
+    /// Only called once started; a terminated party discards instead of
+    /// handling (the draining state).
+    fn drain(&mut self, codec: &MsgCodec, commits: &Mutex<Vec<RawCommit>>, done: &Sender<()>) {
+        while let Some(body) = self.fb.next_frame() {
+            match parse_delivery(&body) {
+                Some(DeliveryFrame::Msg {
+                    from,
+                    round,
+                    payload,
+                }) => {
+                    if self.terminated {
+                        continue;
+                    }
+                    // The decode half of the wire round trip; a payload
+                    // that does not decode came from a garbled peer — drop
+                    // the frame, keep this party live.
+                    match codec.decode(payload) {
+                        Ok(msg) => self.step(Step::Msg { from, round, msg }, commits, done),
+                        Err(_) => continue,
+                    }
+                }
+                Some(DeliveryFrame::Timer(tag)) => {
+                    if !self.terminated {
+                        self.step(Step::Timer(tag), commits, done);
+                    }
+                }
+                Some(DeliveryFrame::Stop) | None => {
+                    self.finished = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Registered interest a live party wants: always readable (pre-start
+/// bytes buffer, post-terminate bytes drain), writable while output is
+/// pending.
+fn sync_party_interest(registry: &Registry, party: &mut WorkerParty, token: Token) {
+    let want: Option<Interest> = if party.finished {
+        None
+    } else if party.open && !party.out.is_empty() {
+        Some(Interest::READABLE | Interest::WRITABLE)
+    } else {
+        Some(Interest::READABLE)
+    };
+    if want == party.registered {
+        return;
+    }
+    match want {
+        Some(interest) => {
+            let applied = if party.registered.is_some() {
+                registry.reregister(&mut party.stream, token, interest)
+            } else {
+                registry.register(&mut party.stream, token, interest)
+            };
+            if applied.is_ok() {
+                party.registered = Some(interest);
+            }
+        }
+        None => {
+            if party.registered.take().is_some() {
+                let _ = registry.deregister(&mut party.stream);
+            }
+        }
+    }
+}
+
+/// One worker thread: drives its shard of party state machines off a
+/// single readiness loop. Returns per-party `(global index, terminated,
+/// handled)` plus `(wakeups, peak_outbound_bytes)`.
+fn worker_loop(
+    mut parties: Vec<WorkerParty>,
+    codec: MsgCodec,
+    commits: Arc<Mutex<Vec<RawCommit>>>,
+    done: Sender<()>,
+    chunk: Option<usize>,
+) -> (Vec<(usize, bool, u64)>, u64, usize) {
+    let mut poll = Poll::new().expect("readiness poll");
+    let mut events = Events::with_capacity(parties.len().clamp(8, 1024));
+    let mut wakeups: u64 = 0;
+    let mut live = parties.len();
+
+    while live > 0 {
+        let now = Instant::now();
+        // Skew offsets falling due: fire `start`, then the pre-start
+        // inbox in arrival order.
+        for party in &mut parties {
+            if !party.started && !party.finished && party.start_at <= now {
+                party.started = true;
+                party.step(Step::Start, &commits, &done);
+                party.drain(&codec, &commits, &done);
+            }
+        }
+        let registry = poll.registry();
+        for (local, party) in parties.iter_mut().enumerate() {
+            sync_party_interest(registry, party, Token(local));
+        }
+        live = parties.iter().filter(|p| !p.finished).count();
+        if live == 0 {
+            break;
+        }
+
+        let mut timeout = IDLE_POLL;
+        for party in &parties {
+            if !party.started && !party.finished {
+                timeout = timeout.min(party.start_at.saturating_duration_since(now));
+            }
+        }
+        match poll.poll(&mut events, Some(timeout)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        wakeups += 1;
+
+        for ev in &events {
+            let party = &mut parties[ev.token().0];
+            if party.finished {
+                continue;
+            }
+            if ev.is_writable() {
+                party.flush();
+            }
+            if ev.is_readable() {
+                match party.fb.fill(&mut party.stream, chunk) {
+                    Ok(eof) => {
+                        if party.started {
+                            party.drain(&codec, &commits, &done);
+                        }
+                        if eof && !party.finished {
+                            party.finished = true;
+                        }
+                    }
+                    Err(_) => party.finished = true,
+                }
+            }
+        }
+    }
+
+    let peak_out = parties.iter().map(|p| p.out.peak).max().unwrap_or(0);
+    let results = parties
+        .into_iter()
+        .map(|p| (p.global, p.terminated, p.core.handled))
+        .collect();
+    (results, wakeups, peak_out)
+}
+
+// ---------------------------------------------------------------------
+// The run: scheduler + W workers + the engine thread's shutdown.
+// ---------------------------------------------------------------------
+
+/// Runs one spec's slots on the readiness-loop engine: `workers` party
+/// shards behind one scheduler. Thread count is `workers + 1` (plus the
+/// optional driver), independent of n.
+pub(crate) fn run_async_slots(
+    plan: EnginePlan,
+    slots: Vec<(Box<dyn Strategy<ErasedMsg>>, bool)>,
+    codec: MsgCodec,
+    workers: usize,
+    driver: Option<Box<dyn FnOnce(ClientHandle) + Send>>,
+) -> RawRun {
+    let n = plan.config.n();
+    assert_eq!(slots.len(), n, "one slot per party");
+    assert_eq!(plan.links.len(), n * n, "full link matrix");
+    assert_eq!(plan.starts.len(), n, "one start offset per party");
+    let honest: Vec<bool> = slots.iter().map(|(_, h)| *h).collect();
+    let epoch = Instant::now();
+    let commits: Arc<Mutex<Vec<RawCommit>>> = Arc::new(Mutex::new(Vec::new()));
+    let w = workers.clamp(1, n.max(1));
+    let chunk = plan.read_chunk;
+
+    // One nonblocking socket pair per party, plus the wake pipe that
+    // interrupts the scheduler's poll for channel-borne events (client
+    // submissions, shutdown).
+    let mut sched_ends = Vec::with_capacity(n);
+    let mut party_ends = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, p) = stream_pair().expect("socket pair");
+        s.set_nonblocking(true).expect("nonblocking");
+        p.set_nonblocking(true).expect("nonblocking");
+        sched_ends.push(s);
+        party_ends.push(p);
+    }
+    let (wake_r, wake_w) = stream_pair().expect("wake pipe");
+    wake_r.set_nonblocking(true).expect("nonblocking");
+    wake_w.set_nonblocking(true).expect("nonblocking");
+    let wake_w = Arc::new(wake_w);
+
+    let (sub_tx, sub_rx) = unbounded::<Submission>();
+    let (done_tx, done_rx) = unbounded::<()>();
+    let (client_tx, client_rx) = unbounded::<Vec<u8>>();
+    let shutdown_tx = sub_tx.clone();
+    let driver_handle = driver.map(|driver| {
+        let handle = ClientHandle::new(sub_tx.clone(), client_rx, Some(Arc::clone(&wake_w)));
+        thread::spawn(move || driver(handle))
+    });
+    drop(sub_tx);
+
+    let links = plan.links.clone();
+    let scheduler = thread::spawn(move || {
+        let peers = sched_ends.into_iter().map(Peer::new).collect();
+        scheduler_loop(peers, wake_r, sub_rx, client_tx, links, epoch, chunk)
+    });
+
+    // Static round-robin shards: party i lives on worker i mod W.
+    let mut shards: Vec<Vec<WorkerParty>> = (0..w).map(|_| Vec::new()).collect();
+    for (i, ((strategy, is_honest), stream)) in slots.into_iter().zip(party_ends).enumerate() {
+        let me = PartyId::new(i as u32);
+        let start_at = epoch + plan.starts[i];
+        shards[i % w].push(WorkerParty {
+            global: i,
+            core: PartyCore::new(me, plan.config, epoch, start_at),
+            strategy,
+            honest: is_honest,
+            stream,
+            fb: FrameBuffer::new(),
+            out: OutBuf::new(),
+            start_at,
+            started: false,
+            terminated: false,
+            finished: false,
+            open: true,
+            registered: None,
+        });
+    }
+    let worker_handles: Vec<_> = shards
+        .into_iter()
+        .map(|shard| {
+            let commits = Arc::clone(&commits);
+            let done = done_tx.clone();
+            thread::spawn(move || worker_loop(shard, codec, commits, done, chunk))
+        })
+        .collect();
+    drop(done_tx);
+
+    // Early-exit protocol, exactly as the other wall engines.
+    await_honest_done(&done_rx, &honest, epoch + plan.deadline);
+
+    // Shutdown: a Shutdown submission plus one wake byte; the scheduler
+    // flushes STOP frames under its grace clock, workers finish on STOP
+    // or — once the scheduler drops its socket ends — on EOF.
+    let _ = shutdown_tx.send(Submission {
+        from: PartyId::new(0),
+        kind: SubmissionKind::Shutdown,
+    });
+    let _ = (&*wake_w).write(&[1]);
+    drop(shutdown_tx);
+
+    let mut terminated = vec![false; n];
+    let mut events_handled: u64 = 0;
+    let mut wakeups: u64 = 0;
+    let mut peak_out: usize = 0;
+    for h in worker_handles {
+        match h.join() {
+            Ok((results, worker_wakeups, worker_peak)) => {
+                wakeups += worker_wakeups;
+                peak_out = peak_out.max(worker_peak);
+                for (idx, t, handled) in results {
+                    terminated[idx] = t;
+                    events_handled += handled;
+                }
+            }
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+    let (messages_sent, peak_queue, sched_wakeups, sched_peak) = match scheduler.join() {
+        Ok(r) => r,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
+    wakeups += sched_wakeups;
+    peak_out = peak_out.max(sched_peak);
+    // The driver sees its submits fail once the scheduler is gone, so
+    // this join is finite for any driver that stops on a failed submit.
+    if let Some(h) = driver_handle {
+        if let Err(panic) = h.join() {
+            std::panic::resume_unwind(panic);
+        }
+    }
+
+    let mut collected = std::mem::take(&mut *commits.lock());
+    collected.sort_by_key(|c| c.elapsed);
+    RawRun {
+        commits: collected,
+        terminated,
+        honest,
+        events_handled,
+        messages_sent,
+        peak_queue,
+        elapsed: epoch.elapsed(),
+        sched: Some(SchedCounters {
+            workers: w,
+            wakeups,
+            peak_outbound_bytes: peak_out,
+        }),
+    }
+}
+
+/// Runs registry scenarios on the readiness-loop engine: every party a
+/// state machine behind a nonblocking socket, all n multiplexed over a
+/// fixed worker pool. See the [module docs](self) for the architecture;
+/// the transport contract (real bytes, no pointer fast path) is the
+/// blocking [`SocketBackend`](crate::SocketBackend)'s, the spec mapping
+/// (δ/jitter, skew, adversary mix, audits) is shared by all wall
+/// backends — so this backend differs *only* in scheduling, which is what
+/// lets it reach n = 1024 parties on a pool of `min(cores, 8)` threads.
+///
+/// # Examples
+///
+/// ```
+/// use gcl_net::AsyncBackend;
+/// use gcl_types::Duration;
+///
+/// let reg = gcl_core::registry();
+/// let spec = reg
+///     .spec("brb2")
+///     .unwrap()
+///     .with_bounds(Duration::from_millis(2), Duration::from_millis(20));
+/// let outcome = AsyncBackend::new().run(&reg, &spec).unwrap();
+/// assert!(outcome.agreement_holds());
+/// assert_eq!(outcome.committed_value(), Some(spec.input));
+/// assert!(outcome.sched_counters().is_some(), "worker-pool observability");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncBackend {
+    deadline: Duration,
+    workers: Option<usize>,
+}
+
+impl AsyncBackend {
+    /// A backend with the default 2-second per-run deadline and a worker
+    /// pool of `min(cores, 8)`.
+    pub const fn new() -> Self {
+        AsyncBackend {
+            deadline: Duration::from_secs(2),
+            workers: None,
+        }
+    }
+
+    /// Replaces the per-run wall-clock deadline. Honest termination exits
+    /// earlier; the deadline only caps runs where some honest party never
+    /// terminates.
+    #[must_use]
+    pub const fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Pins the worker-pool size (clamped to ≥ 1 and ≤ n at run time).
+    /// Default: `min(cores, 8)`.
+    #[must_use]
+    pub const fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(if workers == 0 { 1 } else { workers });
+        self
+    }
+
+    fn pool_size(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+    }
+
+    /// Convenience: validate and run one spec through a registry on this
+    /// backend (`registry.run_on(spec, self)`).
+    ///
+    /// # Errors
+    ///
+    /// Everything `ScenarioRegistry::validate` rejects.
+    pub fn run(
+        &self,
+        registry: &ScenarioRegistry,
+        spec: &ScenarioSpec,
+    ) -> Result<Outcome, ScenarioError> {
+        registry.run_on(spec, self)
+    }
+
+    /// Like [`Backend::execute`], but with an external client: `driver`
+    /// runs on its own thread for the duration of the run, injecting
+    /// encoded messages through its [`ClientHandle`] — the open-loop
+    /// serving path. The driver must stop once [`ClientHandle::submit`]
+    /// returns `false`.
+    pub fn execute_with_client(
+        &self,
+        spec: &ScenarioSpec,
+        slots: Vec<ErasedSlot>,
+        codec: MsgCodec,
+        driver: impl FnOnce(ClientHandle) + Send + 'static,
+    ) -> Outcome {
+        let raw = run_async_slots(
+            engine_plan(spec, self.deadline),
+            slots.into_iter().map(|s| (s.strategy, s.honest)).collect(),
+            codec,
+            self.pool_size(),
+            Some(Box::new(driver)),
+        );
+        outcome_from_raw(spec, raw)
+    }
+}
+
+impl Default for AsyncBackend {
+    fn default() -> Self {
+        AsyncBackend::new()
+    }
+}
+
+impl Backend for AsyncBackend {
+    fn name(&self) -> &'static str {
+        "async"
+    }
+
+    fn execute(&self, spec: &ScenarioSpec, slots: Vec<ErasedSlot>, codec: MsgCodec) -> Outcome {
+        let raw = run_async_slots(
+            engine_plan(spec, self.deadline),
+            slots.into_iter().map(|s| (s.strategy, s.honest)).collect(),
+            codec,
+            self.pool_size(),
+            None,
+        );
+        outcome_from_raw(spec, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcl_sim::{AdversaryMix, Context, DelayChoice, SkewChoice};
+    use gcl_types::{Duration as SimDuration, Value};
+
+    /// Wall-safe bounds, as in the other wall backends' suites: δ' = 2 ms
+    /// links, Δ' = 20 ms timers.
+    fn brb_spec() -> ScenarioSpec {
+        gcl_core::registry()
+            .spec("brb2")
+            .unwrap()
+            .with_bounds(SimDuration::from_millis(2), SimDuration::from_millis(20))
+    }
+
+    #[test]
+    fn brb_family_runs_on_async_backend() {
+        let reg = gcl_core::registry();
+        let spec = brb_spec();
+        let o = AsyncBackend::new().run(&reg, &spec).unwrap();
+        assert!(o.agreement_holds());
+        assert!(o.all_honest_committed());
+        assert!(o.all_honest_terminated());
+        assert_eq!(o.committed_value(), Some(spec.input));
+        assert!(o.messages_sent() > 0);
+        let lat = o.good_case_latency().expect("all committed");
+        assert!(lat >= SimDuration::from_millis(4), "latency {lat}");
+        assert_eq!(o.good_case_rounds(), Some(2), "causal tags survive bytes");
+        let sched = o.sched_counters().expect("readiness engine reports");
+        assert!(sched.workers >= 1);
+        assert!(sched.wakeups > 0, "the loop polled at least once");
+        assert!(sched.peak_outbound_bytes > 0, "frames queued somewhere");
+    }
+
+    #[test]
+    fn async_backend_honors_adversary_skew_and_jitter() {
+        let reg = gcl_core::registry();
+        let spec = brb_spec()
+            .with_adversary(AdversaryMix::TrailingSilent { count: 1 })
+            .with_skew(SkewChoice::OddHalfDelta)
+            .with_delays(DelayChoice::Uniform {
+                lo: SimDuration::from_millis(1),
+                hi: SimDuration::from_millis(2),
+            })
+            .with_seed(5);
+        let o = AsyncBackend::new().run(&reg, &spec).unwrap();
+        assert!(!o.is_honest(PartyId::new(3)), "trailing slot is Byzantine");
+        assert!(
+            o.commit_of(PartyId::new(3)).is_none(),
+            "silent never commits"
+        );
+        assert!(o.agreement_holds());
+        assert!(o.all_honest_committed(), "f = 1 silence is tolerated");
+        assert_eq!(o.committed_value(), Some(spec.input));
+    }
+
+    #[test]
+    fn async_run_exits_early() {
+        let reg = gcl_core::registry();
+        let started = Instant::now();
+        let o = AsyncBackend::new()
+            .deadline(Duration::from_secs(10))
+            .run(&reg, &brb_spec())
+            .unwrap();
+        assert!(o.all_honest_committed());
+        let wall = started.elapsed();
+        assert!(
+            wall < Duration::from_millis(500),
+            "early exit regressed: run took {wall:?} against a 10 s deadline"
+        );
+    }
+
+    #[test]
+    fn deadline_caps_a_run_that_cannot_terminate() {
+        let reg = gcl_core::registry();
+        let spec = brb_spec().with_adversary(AdversaryMix::CrashAt {
+            party: PartyId::new(0),
+            handled: 0,
+        });
+        let started = Instant::now();
+        let o = AsyncBackend::new()
+            .deadline(Duration::from_millis(200))
+            .run(&reg, &spec)
+            .unwrap();
+        assert!(o.commits().is_empty());
+        assert!(!o.all_honest_terminated());
+        let wall = started.elapsed();
+        assert!(
+            wall >= Duration::from_millis(200),
+            "waited out the deadline"
+        );
+        assert!(wall < Duration::from_secs(5), "but not much longer");
+    }
+
+    #[test]
+    fn one_byte_reads_commit_identically() {
+        // The short-read fuzz gate on the readiness path: every fill capped
+        // at ONE byte, so each frame reassembles across dozens of readiness
+        // events. Commits, termination and causal rounds must match the
+        // unthrottled run.
+        use gcl_core::asynchrony::{Brb2Msg, TwoRoundBrb};
+        use gcl_crypto::Keychain;
+        let spec = brb_spec();
+        let cfg = spec.config().expect("valid shape");
+        let run_with = |chunk: Option<usize>| {
+            let chain = Keychain::generate(spec.n, spec.seed);
+            let slots = spec.erased_slots(|p| {
+                TwoRoundBrb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    spec.broadcaster,
+                    spec.input_for(p),
+                )
+            });
+            let mut plan = engine_plan(&spec, Duration::from_secs(10));
+            plan.read_chunk = chunk;
+            let raw = run_async_slots(
+                plan,
+                slots.into_iter().map(|s| (s.strategy, s.honest)).collect(),
+                MsgCodec::of::<Brb2Msg>(),
+                2,
+                None,
+            );
+            outcome_from_raw(&spec, raw)
+        };
+        let chunked = run_with(Some(1));
+        let normal = run_with(None);
+        assert!(chunked.agreement_holds());
+        assert!(
+            chunked.all_honest_committed(),
+            "1-byte reads must not stall"
+        );
+        assert!(chunked.all_honest_terminated());
+        assert_eq!(chunked.committed_value(), normal.committed_value());
+        assert_eq!(chunked.committed_value(), Some(spec.input));
+        assert_eq!(
+            chunked.good_case_rounds(),
+            normal.good_case_rounds(),
+            "causal structure survives byte-at-a-time delivery"
+        );
+    }
+
+    #[test]
+    fn garbled_client_frames_leave_the_run_live() {
+        // The client path end to end — wake pipe, channel drain, heap
+        // routing — under a client that floods undecodable frames.
+        use gcl_core::asynchrony::{Brb2Msg, TwoRoundBrb};
+        use gcl_crypto::Keychain;
+        let spec = brb_spec();
+        let cfg = spec.config().expect("valid shape");
+        let chain = Keychain::generate(spec.n, spec.seed);
+        let slots = spec.erased_slots(|p| {
+            TwoRoundBrb::new(
+                cfg,
+                chain.signer(p),
+                chain.pki(),
+                spec.broadcaster,
+                spec.input_for(p),
+            )
+        });
+        let n = spec.n;
+        let o = AsyncBackend::new().execute_with_client(
+            &spec,
+            slots,
+            MsgCodec::of::<Brb2Msg>(),
+            move |client: ClientHandle| {
+                for round in 0..20u64 {
+                    for p in 0..n as u32 {
+                        let garbage = vec![255, round as u8, 0xde, 0xad, 0xbe, 0xef];
+                        if !client.submit(PartyId::new(p), garbage) {
+                            return;
+                        }
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+            },
+        );
+        assert!(o.agreement_holds());
+        assert!(
+            o.all_honest_committed(),
+            "garbage frames must not stop the protocol"
+        );
+        assert_eq!(o.committed_value(), Some(spec.input));
+    }
+
+    /// A party that arms one timer at start and commits when it fires —
+    /// the cheapest possible protocol, for scale tests where the subject
+    /// is the engine, not a protocol.
+    struct TimerThenCommit;
+
+    impl Strategy<ErasedMsg> for TimerThenCommit {
+        fn start(&mut self, ctx: &mut dyn Context<ErasedMsg>) {
+            ctx.set_timer(SimDuration::from_millis(150), 0);
+        }
+        fn on_message(&mut self, _: PartyId, _: ErasedMsg, _: &mut dyn Context<ErasedMsg>) {}
+        fn on_timer(&mut self, _: u64, ctx: &mut dyn Context<ErasedMsg>) {
+            ctx.commit(Value::new(7));
+            ctx.terminate();
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn live_threads() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("procfs")
+            .count()
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn thread_count_stays_o_workers_at_n_512() {
+        // The scaling claim, asserted: 512 parties on a 4-worker pool must
+        // cost ~6 threads (scheduler + workers + the run's own thread) —
+        // not 512, let alone the blocking engines' 3 × 512.
+        use gcl_types::Config;
+        let n = 512;
+        let plan = EnginePlan {
+            config: Config::new(n, 1).expect("valid shape"),
+            links: vec![Duration::ZERO; n * n],
+            starts: vec![Duration::ZERO; n],
+            deadline: Duration::from_secs(30),
+            read_chunk: None,
+        };
+        let slots: Vec<(Box<dyn Strategy<ErasedMsg>>, bool)> = (0..n)
+            .map(|_| {
+                (
+                    Box::new(TimerThenCommit) as Box<dyn Strategy<ErasedMsg>>,
+                    true,
+                )
+            })
+            .collect();
+        let before = live_threads();
+        let run =
+            thread::spawn(move || run_async_slots(plan, slots, MsgCodec::of::<u64>(), 4, None));
+        // Sample mid-run: parties are armed and waiting on their timers.
+        thread::sleep(Duration::from_millis(60));
+        let during = live_threads();
+        let raw = run.join().expect("run completes");
+        let delta = during.saturating_sub(before);
+        assert!(
+            delta < 64,
+            "expected O(workers) threads at n = 512, saw {delta} extra"
+        );
+        assert!(raw.terminated.iter().all(|t| *t), "every party terminated");
+        assert_eq!(
+            raw.commits.iter().filter(|c| c.first).count(),
+            n,
+            "every party committed"
+        );
+        let sched = raw.sched.expect("counters");
+        assert_eq!(sched.workers, 4);
+    }
+}

@@ -29,78 +29,13 @@
 //! for evidence the protocols survive real concurrency and real clocks,
 //! trust this backend.
 
-use crate::runtime::{run_slots, EnginePlan, RawRun};
+use crate::engine::{engine_plan, outcome_from_raw};
+use crate::runtime::run_slots;
 use gcl_sim::{
-    Backend, CommitRecord, ErasedMsg, ErasedSlot, MsgCodec, Outcome, OutcomeParts, ScenarioError,
-    ScenarioRegistry, ScenarioSpec,
+    Backend, ErasedMsg, ErasedSlot, MsgCodec, Outcome, ScenarioError, ScenarioRegistry,
+    ScenarioSpec,
 };
-use gcl_types::{GlobalTime, LocalTime, PartyId};
 use std::time::Duration;
-
-/// Converts a simulated duration (integer µs) to a wall-clock one.
-pub(crate) fn wall(d: gcl_types::Duration) -> Duration {
-    Duration::from_micros(d.as_micros())
-}
-
-/// Truncates a wall-clock duration back to integer microseconds.
-fn micros(d: Duration) -> u64 {
-    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
-}
-
-/// The spec-to-environment mapping shared by every wall-clock backend in
-/// this crate: δ/jitter → the injected link matrix, skew → thread start
-/// offsets, plus the caller's deadline.
-pub(crate) fn engine_plan(spec: &ScenarioSpec, deadline: Duration) -> EnginePlan {
-    let config = spec.config().expect("validated by the registry");
-    let n = config.n();
-    let skew = spec.skew_schedule();
-    EnginePlan {
-        config,
-        links: spec.link_delays().into_iter().map(wall).collect(),
-        starts: (0..n)
-            .map(|i| {
-                wall(
-                    skew.start_of(PartyId::new(i as u32))
-                        .since(GlobalTime::ZERO),
-                )
-            })
-            .collect(),
-        deadline,
-    }
-}
-
-/// Folds a raw engine run into the simulator-comparable [`Outcome`]: each
-/// party's first commit (the simulator's contract), plus the engine-level
-/// counters. The raw multi-commit stream stays an engine observation.
-pub(crate) fn outcome_from_raw(spec: &ScenarioSpec, raw: RawRun) -> Outcome {
-    let config = spec.config().expect("validated by the registry");
-    let skew = spec.skew_schedule();
-    let commits = raw
-        .commits
-        .iter()
-        .filter(|c| c.first)
-        .map(|c| CommitRecord {
-            party: c.party,
-            value: c.value,
-            global: GlobalTime::from_micros(micros(c.elapsed)),
-            local: LocalTime::from_micros(micros(c.local)),
-            round: c.round,
-            step: c.step,
-        })
-        .collect();
-    Outcome::from(OutcomeParts {
-        config,
-        honest: raw.honest,
-        commits,
-        terminated: raw.terminated,
-        broadcaster: spec.broadcaster,
-        broadcaster_start: skew.start_of(spec.broadcaster),
-        end_time: GlobalTime::from_micros(micros(raw.elapsed)),
-        events_processed: raw.events_handled,
-        messages_sent: raw.messages_sent,
-        peak_queue_depth: raw.peak_queue,
-    })
-}
 
 /// Runs registry scenarios over threads and wall clocks. See the
 /// [module docs](self) for the spec-to-environment mapping.
@@ -185,7 +120,7 @@ impl Backend for NetBackend {
 mod tests {
     use super::*;
     use gcl_sim::{AdversaryMix, SkewChoice};
-    use gcl_types::Duration as SimDuration;
+    use gcl_types::{Duration as SimDuration, PartyId};
 
     /// Wall-safe bounds: δ' = 2 ms links, Δ' = 20 ms timers — protocol
     /// timeouts (≥ 4Δ) then dwarf thread-scheduling noise.

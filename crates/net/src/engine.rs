@@ -1,0 +1,1275 @@
+//! The engine pieces every wall-clock backend shares.
+//!
+//! Three backends execute scenario specs on real clocks — the
+//! thread-per-party runtime (`runtime.rs`), the blocking socket runtime
+//! (`socket.rs`) and the readiness-loop runtime (`async_backend.rs`) —
+//! and they agree on everything except how parties are scheduled:
+//!
+//! * the **spec mapping** ([`engine_plan`]): δ/jitter → the injected
+//!   per-link latency matrix, skew → per-party start offsets, plus the
+//!   caller's deadline;
+//! * the **party state machine** ([`PartyCore`] + [`NetCtx`]): one
+//!   handler invocation per event, effects buffered and drained by the
+//!   transport, commits recorded with wall/local clocks, round tags and
+//!   step counts exactly as the simulator defines them;
+//! * the **dispatcher discipline** ([`Scheduled`], [`DeliveryHeap`]): a
+//!   min-heap ordered by `(due, seq)` with a dispatcher-global sequence
+//!   stamp, so delivery ties pop in arrival order on every backend;
+//! * the **frame protocol** (`KIND_*`, [`write_frame`], [`read_frame`],
+//!   [`FrameBuffer`], [`parse_submission`], [`parse_delivery`],
+//!   [`delivery_frame`]): `u32`-length-prefixed frames carrying encoded
+//!   submissions (party → dispatcher) and deliveries (dispatcher →
+//!   party), with a `STOP` frame closing the run — the shutdown
+//!   choreography that keeps every join finite;
+//! * the **audit fold** ([`outcome_from_raw`]): first-commit-per-party
+//!   into the simulator-comparable [`Outcome`].
+//!
+//! Frame reads are robust to short reads at *arbitrary* byte boundaries
+//! and to `EINTR`/`WouldBlock`: [`read_frame`] fills both the length
+//! prefix and the body incrementally (the pre-refactor socket reader
+//! handled partial reads only on the prefix), and [`FrameBuffer`] is the
+//! nonblocking analogue — it accumulates whatever bytes the socket has
+//! and yields only complete frames. Both are fuzzed one byte at a time in
+//! the tests below.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use gcl_sim::{
+    CommitRecord, Context, Outcome, OutcomeParts, ScenarioSpec, SchedCounters, Strategy,
+};
+use gcl_types::{
+    Config, Decode, Duration as SimDuration, Encode, GlobalTime, LocalTime, PartyId, Value,
+};
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(not(unix))]
+pub(crate) use std::net::TcpStream as Stream;
+#[cfg(unix)]
+pub(crate) use std::os::unix::net::UnixStream as Stream;
+
+/// A connected bidirectional stream pair: Unix-domain socketpair where
+/// available, TCP loopback elsewhere.
+#[cfg(unix)]
+pub(crate) fn stream_pair() -> io::Result<(Stream, Stream)> {
+    Stream::pair()
+}
+
+/// TCP-localhost fallback for platforms without Unix sockets.
+#[cfg(not(unix))]
+pub(crate) fn stream_pair() -> io::Result<(Stream, Stream)> {
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let a = Stream::connect(addr)?;
+    let (b, _) = listener.accept()?;
+    a.set_nodelay(true)?;
+    b.set_nodelay(true)?;
+    Ok((a, b))
+}
+
+/// How long an engine thread sleeps when it has nothing scheduled — pure
+/// wake-up granularity; a submission, a readiness event or a stop
+/// interrupts it immediately.
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Everything the engines need to know about the environment of one run.
+pub(crate) struct EnginePlan {
+    pub config: Config,
+    /// Injected wall latency per `(from, to)` link, `from * n + to`
+    /// indexing, zero on the diagonal.
+    pub links: Vec<Duration>,
+    /// Per-party protocol start offsets (wall-clock skew schedule).
+    pub starts: Vec<Duration>,
+    /// Hard wall-clock budget; honest termination exits earlier.
+    pub deadline: Duration,
+    /// Test knob: cap every socket read at this many bytes, forcing frame
+    /// reassembly through arbitrary short-read boundaries. `None` (the
+    /// default everywhere outside tests) reads full buffers.
+    pub read_chunk: Option<usize>,
+}
+
+/// One commit as recorded by an engine (all commits, not just firsts).
+pub(crate) struct RawCommit {
+    pub party: PartyId,
+    pub value: Value,
+    /// Since engine start.
+    pub elapsed: Duration,
+    /// Since the party's own start.
+    pub local: Duration,
+    /// Causal round tag at the commit (1 + max delivered round).
+    pub round: u32,
+    /// The party's handled-event count at the commit.
+    pub step: u64,
+    /// Whether this is the party's first commit.
+    pub first: bool,
+}
+
+/// Raw observations of one engine run.
+pub(crate) struct RawRun {
+    pub commits: Vec<RawCommit>,
+    pub terminated: Vec<bool>,
+    pub honest: Vec<bool>,
+    /// Handler invocations summed over all parties.
+    pub events_handled: u64,
+    /// Point-to-point messages scheduled (multicast counts `n`).
+    pub messages_sent: u64,
+    /// High-water mark of the dispatcher heap.
+    pub peak_queue: usize,
+    /// Wall time from engine start to shutdown.
+    pub elapsed: Duration,
+    /// Worker-pool counters (readiness-loop backend only).
+    pub sched: Option<SchedCounters>,
+}
+
+/// Converts a simulated duration (integer µs) to a wall-clock one.
+pub(crate) fn wall(d: SimDuration) -> Duration {
+    Duration::from_micros(d.as_micros())
+}
+
+/// Truncates a wall-clock duration back to integer microseconds.
+pub(crate) fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The spec-to-environment mapping shared by every wall-clock backend in
+/// this crate: δ/jitter → the injected link matrix, skew → party start
+/// offsets, plus the caller's deadline.
+pub(crate) fn engine_plan(spec: &ScenarioSpec, deadline: Duration) -> EnginePlan {
+    let config = spec.config().expect("validated by the registry");
+    let n = config.n();
+    let skew = spec.skew_schedule();
+    EnginePlan {
+        config,
+        links: spec.link_delays().into_iter().map(wall).collect(),
+        starts: (0..n)
+            .map(|i| {
+                wall(
+                    skew.start_of(PartyId::new(i as u32))
+                        .since(GlobalTime::ZERO),
+                )
+            })
+            .collect(),
+        deadline,
+        read_chunk: None,
+    }
+}
+
+/// Folds a raw engine run into the simulator-comparable [`Outcome`]: each
+/// party's first commit (the simulator's contract), plus the engine-level
+/// counters. The raw multi-commit stream stays an engine observation.
+pub(crate) fn outcome_from_raw(spec: &ScenarioSpec, raw: RawRun) -> Outcome {
+    let config = spec.config().expect("validated by the registry");
+    let skew = spec.skew_schedule();
+    let commits = raw
+        .commits
+        .iter()
+        .filter(|c| c.first)
+        .map(|c| CommitRecord {
+            party: c.party,
+            value: c.value,
+            global: GlobalTime::from_micros(micros(c.elapsed)),
+            local: LocalTime::from_micros(micros(c.local)),
+            round: c.round,
+            step: c.step,
+        })
+        .collect();
+    Outcome::from(OutcomeParts {
+        config,
+        honest: raw.honest,
+        commits,
+        terminated: raw.terminated,
+        broadcaster: spec.broadcaster,
+        broadcaster_start: skew.start_of(spec.broadcaster),
+        end_time: GlobalTime::from_micros(micros(raw.elapsed)),
+        events_processed: raw.events_handled,
+        messages_sent: raw.messages_sent,
+        peak_queue_depth: raw.peak_queue,
+        sched: raw.sched,
+    })
+}
+
+/// The party-side [`Context`] of the wall-clock runtimes. Effects buffer
+/// here and the transport drains them after the handler returns;
+/// `multicast` stays one entry (not `n` sends) so the drain can share the
+/// payload — as an `Arc` on the in-memory transport, as one encoded byte
+/// buffer on the socket transports.
+pub(crate) struct NetCtx<M> {
+    pub(crate) me: PartyId,
+    pub(crate) config: Config,
+    pub(crate) now: LocalTime,
+    pub(crate) sends: Vec<(PartyId, M)>,
+    pub(crate) mcasts: Vec<(Option<PartyId>, M)>,
+    pub(crate) timers: Vec<(SimDuration, u64)>,
+    pub(crate) commit_values: Vec<Value>,
+    pub(crate) terminate: bool,
+}
+
+impl<M> NetCtx<M> {
+    /// An empty effect buffer for one handler invocation at local `now`.
+    pub(crate) fn new(me: PartyId, config: Config, now: LocalTime) -> Self {
+        NetCtx {
+            me,
+            config,
+            now,
+            sends: Vec::new(),
+            mcasts: Vec::new(),
+            timers: Vec::new(),
+            commit_values: Vec::new(),
+            terminate: false,
+        }
+    }
+}
+
+impl<M> Context<M> for NetCtx<M> {
+    fn me(&self) -> PartyId {
+        self.me
+    }
+    fn config(&self) -> Config {
+        self.config
+    }
+    fn now(&self) -> LocalTime {
+        self.now
+    }
+    fn send(&mut self, to: PartyId, msg: M) {
+        self.sends.push((to, msg));
+    }
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+    fn commit(&mut self, value: Value) {
+        self.commit_values.push(value);
+    }
+    fn terminate(&mut self) {
+        self.terminate = true;
+    }
+    fn multicast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        self.mcasts.push((None, msg));
+    }
+    fn multicast_except(&mut self, msg: M, skip: PartyId)
+    where
+        M: Clone,
+    {
+        self.mcasts.push((Some(skip), msg));
+    }
+}
+
+/// One event a party handles.
+pub(crate) enum Step<M> {
+    /// The protocol's `start` hook (fires once, after the skew offset).
+    Start,
+    /// A delivered message.
+    Msg { from: PartyId, round: u32, msg: M },
+    /// An expired timer.
+    Timer(u64),
+}
+
+/// The per-party bookkeeping every engine repeats around a handler call:
+/// the handled-event count, the causal round tag, and first-commit
+/// detection. [`PartyCore::handle`] runs one event through the strategy
+/// and records any commits; the caller drains the returned [`NetCtx`]'s
+/// sends/multicasts/timers in its transport-specific way and reads
+/// `terminate` off it.
+pub(crate) struct PartyCore {
+    pub me: PartyId,
+    pub config: Config,
+    /// Engine start (shared by all parties; commit `elapsed` is measured
+    /// from here).
+    epoch: Instant,
+    /// This party's own clock zero (set when its skew offset elapses).
+    pub local_start: Instant,
+    max_round: Option<u32>,
+    pub handled: u64,
+    committed: bool,
+}
+
+impl PartyCore {
+    pub(crate) fn new(me: PartyId, config: Config, epoch: Instant, local_start: Instant) -> Self {
+        PartyCore {
+            me,
+            config,
+            epoch,
+            local_start,
+            max_round: None,
+            handled: 0,
+            committed: false,
+        }
+    }
+
+    /// The causal round tag outgoing messages carry (1 + max delivered
+    /// round).
+    pub(crate) fn out_round(&self) -> u32 {
+        self.max_round.map_or(0, |r| r + 1)
+    }
+
+    /// Runs one event through `strategy`, records commits into the shared
+    /// log, and returns the effect buffer for the caller to drain.
+    pub(crate) fn handle<M: 'static>(
+        &mut self,
+        strategy: &mut dyn Strategy<M>,
+        step: Step<M>,
+        commits: &Mutex<Vec<RawCommit>>,
+    ) -> NetCtx<M> {
+        self.handled += 1;
+        let mut ctx = NetCtx::new(
+            self.me,
+            self.config,
+            LocalTime::from_micros(self.local_start.elapsed().as_micros() as u64),
+        );
+        match step {
+            Step::Start => strategy.start(&mut ctx),
+            Step::Msg { from, round, msg } => {
+                self.max_round = Some(self.max_round.map_or(round, |r| r.max(round)));
+                strategy.on_message(from, msg, &mut ctx);
+            }
+            Step::Timer(tag) => strategy.on_timer(tag, &mut ctx),
+        }
+        if !ctx.commit_values.is_empty() {
+            let out_round = self.out_round();
+            let elapsed = self.epoch.elapsed();
+            let local = self.local_start.elapsed();
+            let mut log = commits.lock();
+            for value in ctx.commit_values.drain(..) {
+                log.push(RawCommit {
+                    party: self.me,
+                    value,
+                    elapsed,
+                    local,
+                    round: out_round,
+                    step: self.handled,
+                    first: !self.committed,
+                });
+                self.committed = true;
+            }
+        }
+        ctx
+    }
+}
+
+/// A heap entry: min-order on `(due, seq)` with `seq` dispatcher-global,
+/// so ties at one instant pop in arrival order (stable replay under zero
+/// injected latency). `D` is the backend's delivery payload.
+pub(crate) struct Scheduled<D> {
+    pub due: Instant,
+    pub seq: u64,
+    pub to: PartyId,
+    pub what: D,
+}
+
+impl<D> PartialEq for Scheduled<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<D> Eq for Scheduled<D> {}
+impl<D> Ord for Scheduled<D> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+impl<D> PartialOrd for Scheduled<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Blocks until every honest party has reported termination on `done_rx`
+/// or `deadline_at` passes — the early-exit protocol shared by all wall
+/// engines (the deadline is only the fallback horizon for runs where some
+/// honest party never terminates).
+pub(crate) fn await_honest_done(done_rx: &Receiver<()>, honest: &[bool], deadline_at: Instant) {
+    let mut remaining = honest.iter().filter(|h| **h).count();
+    while remaining > 0 {
+        let left = deadline_at.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        match done_rx.recv_timeout(left) {
+            Ok(()) => remaining -= 1,
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The frame protocol (shared by the socket and readiness-loop backends).
+// ---------------------------------------------------------------------
+
+// Frame kind tags. Submissions travel party → dispatcher, deliveries
+// dispatcher → party; `STOP` only ever travels dispatcher → party.
+pub(crate) const KIND_UNICAST: u8 = 1;
+pub(crate) const KIND_MULTICAST: u8 = 2;
+pub(crate) const KIND_TIMER: u8 = 3;
+pub(crate) const KIND_STOP: u8 = 4;
+
+/// Writes one `u32`-length-prefixed frame.
+pub(crate) fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len()).expect("frames stay far below 4 GiB");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Retryable read interruptions: a signal mid-syscall, or a spurious
+/// wakeup / read timeout on a blocking socket. (On *non*blocking sockets
+/// use [`FrameBuffer`], which treats `WouldBlock` as "no more bytes yet"
+/// instead of retrying.)
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Reads one length-prefixed frame (blocking). `Ok(None)` on clean EOF at
+/// a frame boundary. Both the 4-byte prefix and the body are filled
+/// incrementally, so short reads and `EINTR`/`WouldBlock` at *any* byte
+/// boundary — mid-prefix or mid-body — never corrupt the stream.
+pub(crate) fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if retryable(&e) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let want = u32::from_le_bytes(len) as usize;
+    let mut body = vec![0u8; want];
+    let mut filled = 0;
+    while filled < want {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if retryable(&e) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(body))
+}
+
+/// A reader adapter that caps every `read` at `chunk` bytes — the
+/// [`EnginePlan::read_chunk`] test knob, forcing frame reassembly through
+/// arbitrary short-read boundaries. `chunk = usize::MAX` is a no-op wrap.
+pub(crate) struct Throttle<R> {
+    pub inner: R,
+    pub chunk: usize,
+}
+
+impl<R: Read> Read for Throttle<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let cap = buf.len().min(self.chunk.max(1));
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
+/// Incremental frame reassembly for nonblocking sockets: [`fill`] drains
+/// whatever bytes the socket has right now, [`next_frame`] yields only
+/// complete frames — a partial length prefix or body simply waits for the
+/// next readiness event.
+///
+/// [`fill`]: FrameBuffer::fill
+/// [`next_frame`]: FrameBuffer::next_frame
+pub(crate) struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuffer {
+    pub(crate) fn new() -> Self {
+        FrameBuffer {
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Reads from the (nonblocking) stream until it would block or hits
+    /// EOF, appending to the reassembly buffer. `Ok(true)` means EOF.
+    /// `chunk` caps the per-syscall read size (test knob; `None` = full
+    /// buffers).
+    pub(crate) fn fill(&mut self, r: &mut impl Read, chunk: Option<usize>) -> io::Result<bool> {
+        let mut tmp = [0u8; 16 * 1024];
+        let cap = chunk.unwrap_or(tmp.len()).clamp(1, tmp.len());
+        loop {
+            match r.read(&mut tmp[..cap]) {
+                Ok(0) => return Ok(true),
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Appends raw bytes (tests drive reassembly without a socket).
+    #[cfg(test)]
+    pub(crate) fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if the buffer holds one.
+    pub(crate) fn next_frame(&mut self) -> Option<Vec<u8>> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return None;
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if avail < 4 + len {
+            self.compact();
+            return None;
+        }
+        let frame = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Some(frame)
+    }
+
+    /// Drops the consumed prefix so the buffer doesn't grow with the
+    /// stream's lifetime.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// A nonblocking outbound frame queue: frames append fully, the socket
+/// drains as much as it accepts per [`flush`], and the high-water mark is
+/// the backpressure observability metric.
+///
+/// [`flush`]: OutBuf::flush
+pub(crate) struct OutBuf {
+    buf: VecDeque<u8>,
+    /// High-water mark of pending bytes over the queue's lifetime.
+    pub peak: usize,
+}
+
+impl OutBuf {
+    pub(crate) fn new() -> Self {
+        OutBuf {
+            buf: VecDeque::new(),
+            peak: 0,
+        }
+    }
+
+    /// Appends one length-prefixed frame (never blocks; backpressure is
+    /// the *caller's* job, watching [`OutBuf::len`]).
+    pub(crate) fn push_frame(&mut self, body: &[u8]) {
+        let len = u32::try_from(body.len()).expect("frames stay far below 4 GiB");
+        self.buf.extend(len.to_le_bytes());
+        self.buf.extend(body.iter().copied());
+        self.peak = self.peak.max(self.buf.len());
+    }
+
+    /// Writes as much as the socket accepts right now. `Ok(true)` means
+    /// the queue drained empty; `Ok(false)` means the socket would block
+    /// and write-readiness should be watched.
+    pub(crate) fn flush(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        while !self.buf.is_empty() {
+            let (front, _) = self.buf.as_slices();
+            match w.write(front) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.buf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pending (unflushed) bytes.
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// A submission as parsed off a party's socket by the dispatcher.
+pub(crate) struct Submission {
+    pub from: PartyId,
+    pub kind: SubmissionKind,
+}
+
+pub(crate) enum SubmissionKind {
+    Unicast {
+        to: PartyId,
+        round: u32,
+        bytes: Vec<u8>,
+    },
+    Multicast {
+        skip: Option<PartyId>,
+        round: u32,
+        bytes: Arc<Vec<u8>>,
+    },
+    Timer {
+        delay: Duration,
+        tag: u64,
+    },
+    /// Engine-internal: the run is over, flush stop frames and exit.
+    Shutdown,
+}
+
+/// What the dispatcher delivers to a party.
+pub(crate) enum Delivery {
+    Msg {
+        from: PartyId,
+        round: u32,
+        bytes: Arc<Vec<u8>>,
+    },
+    Timer(u64),
+}
+
+/// Renders a delivery as a frame body.
+pub(crate) fn delivery_frame(delivery: &Delivery) -> Vec<u8> {
+    let mut body = Vec::new();
+    match delivery {
+        Delivery::Msg { from, round, bytes } => {
+            body.push(KIND_UNICAST);
+            from.encode(&mut body);
+            round.encode(&mut body);
+            body.extend_from_slice(bytes);
+        }
+        Delivery::Timer(tag) => {
+            body.push(KIND_TIMER);
+            tag.encode(&mut body);
+        }
+    }
+    body
+}
+
+/// Parses a submission frame body. Total: a malformed frame (unknown kind,
+/// truncated header) yields `None`, and the dispatcher treats the sending
+/// party as crashed — one garbled peer must never abort the whole run.
+pub(crate) fn parse_submission(from: PartyId, body: Vec<u8>) -> Option<Submission> {
+    let mut r = &body[..];
+    let kind = match u8::decode(&mut r).ok()? {
+        KIND_UNICAST => {
+            let to = PartyId::decode(&mut r).ok()?;
+            let round = u32::decode(&mut r).ok()?;
+            SubmissionKind::Unicast {
+                to,
+                round,
+                bytes: r.to_vec(),
+            }
+        }
+        KIND_MULTICAST => {
+            let skip = Option::<PartyId>::decode(&mut r).ok()?;
+            let round = u32::decode(&mut r).ok()?;
+            SubmissionKind::Multicast {
+                skip,
+                round,
+                bytes: Arc::new(r.to_vec()),
+            }
+        }
+        KIND_TIMER => {
+            let delay = u64::decode(&mut r).ok()?;
+            let tag = u64::decode(&mut r).ok()?;
+            SubmissionKind::Timer {
+                delay: Duration::from_micros(delay),
+                tag,
+            }
+        }
+        _ => return None,
+    };
+    Some(Submission { from, kind })
+}
+
+/// A delivery frame as seen by the party side, payload still encoded.
+pub(crate) enum DeliveryFrame<'a> {
+    Msg {
+        from: PartyId,
+        round: u32,
+        payload: &'a [u8],
+    },
+    Timer(u64),
+    Stop,
+}
+
+/// Parses a delivery frame body. `None` means the frame header itself is
+/// corrupt — the stream is garbled beyond one frame and the reader should
+/// stop consuming it. (An undecodable *payload* is the codec's verdict,
+/// taken per frame by the caller.)
+pub(crate) fn parse_delivery(body: &[u8]) -> Option<DeliveryFrame<'_>> {
+    let mut r = body;
+    match u8::decode(&mut r).ok()? {
+        KIND_UNICAST => {
+            let from = PartyId::decode(&mut r).ok()?;
+            let round = u32::decode(&mut r).ok()?;
+            Some(DeliveryFrame::Msg {
+                from,
+                round,
+                payload: r,
+            })
+        }
+        KIND_TIMER => u64::decode(&mut r).ok().map(DeliveryFrame::Timer),
+        KIND_STOP => Some(DeliveryFrame::Stop),
+        _ => None,
+    }
+}
+
+/// What [`DeliveryHeap::route`] decided about one submission.
+pub(crate) enum Routed {
+    /// Scheduled (or fanned out) into the heap.
+    Queued,
+    /// The engine's shutdown marker: flush stop frames and exit.
+    Shutdown,
+}
+
+/// The dispatcher's clock-ordered delivery heap plus the routing rules
+/// every socket-transport backend shares: unicasts cross their link,
+/// multicasts fan out sharing one encoded payload, timers return to their
+/// owner, and client-addressed frames (the reserved out-of-band id) cross
+/// the sender's worst link — the external client is at least as far away
+/// as the farthest party.
+pub(crate) struct DeliveryHeap {
+    heap: BinaryHeap<Scheduled<Delivery>>,
+    next_seq: u64,
+    n: usize,
+    /// Point-to-point messages scheduled (multicast counts `n`).
+    pub messages: u64,
+    /// High-water mark of the heap.
+    pub peak: usize,
+}
+
+impl DeliveryHeap {
+    pub(crate) fn new(n: usize) -> Self {
+        DeliveryHeap {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            n,
+            messages: 0,
+            peak: 0,
+        }
+    }
+
+    fn push(&mut self, due: Instant, to: PartyId, what: Delivery) {
+        self.heap.push(Scheduled {
+            due,
+            seq: self.next_seq,
+            to,
+            what,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Stamps and schedules one submission. `links` is the full n×n link
+    /// matrix of the plan.
+    pub(crate) fn route(&mut self, sub: Submission, links: &[Duration], now: Instant) -> Routed {
+        let n = self.n;
+        let row = sub.from.as_usize() * n;
+        match sub.kind {
+            SubmissionKind::Shutdown => return Routed::Shutdown,
+            SubmissionKind::Unicast { to, round, bytes } => {
+                self.messages += 1;
+                let delay = if to.as_usize() >= n {
+                    links[row..row + n]
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or_default()
+                } else {
+                    links[row + to.as_usize()]
+                };
+                self.push(
+                    now + delay,
+                    to,
+                    Delivery::Msg {
+                        from: sub.from,
+                        round,
+                        bytes: Arc::new(bytes),
+                    },
+                );
+            }
+            SubmissionKind::Multicast { skip, round, bytes } => {
+                // One encoded payload, n scheduled frames — the byte-
+                // transport analogue of the `Arc` fan-out. Every recipient
+                // still decodes its own copy.
+                for t in 0..n as u32 {
+                    let to = PartyId::new(t);
+                    if Some(to) == skip {
+                        continue;
+                    }
+                    self.messages += 1;
+                    self.push(
+                        now + links[row + to.as_usize()],
+                        to,
+                        Delivery::Msg {
+                            from: sub.from,
+                            round,
+                            bytes: Arc::clone(&bytes),
+                        },
+                    );
+                }
+            }
+            SubmissionKind::Timer { delay, tag } => {
+                self.push(now + delay, sub.from, Delivery::Timer(tag));
+            }
+        }
+        self.peak = self.peak.max(self.heap.len());
+        Routed::Queued
+    }
+
+    /// How long the dispatcher may sleep before the next entry falls due
+    /// (the idle-poll granularity when the heap is empty).
+    pub(crate) fn next_timeout(&self) -> Duration {
+        self.heap
+            .peek()
+            .map(|s| s.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(IDLE_POLL)
+    }
+
+    /// Pops the next entry if it has fallen due.
+    pub(crate) fn pop_due(&mut self) -> Option<Scheduled<Delivery>> {
+        if self.heap.peek().is_some_and(|s| s.due <= Instant::now()) {
+            return Some(self.heap.pop().expect("peeked"));
+        }
+        None
+    }
+}
+
+/// A client's way into a socket-transport run: injects encoded messages
+/// that are scheduled and delivered exactly like party traffic (self-link
+/// delay, real bytes across the recipient's socket) — and receives the
+/// frames replicas address to the reserved [`PartyId::CLIENT`] (serving
+/// acknowledgements and back-pressure).
+///
+/// Handed to the driver closure of
+/// [`SocketBackend::execute_with_client`](crate::SocketBackend::execute_with_client)
+/// or
+/// [`AsyncBackend::execute_with_client`](crate::AsyncBackend::execute_with_client);
+/// cloneable so a driver may fan out over threads (receives are
+/// serialized behind a mutex — one clone draining the delivery channel is
+/// the intended shape).
+#[derive(Clone)]
+pub struct ClientHandle {
+    sub_tx: Sender<Submission>,
+    delivery_rx: Arc<Mutex<Receiver<Vec<u8>>>>,
+    /// Readiness-loop runs wake their scheduler through this pipe; the
+    /// blocking socket runtime wakes through the channel itself.
+    waker: Option<Arc<Stream>>,
+}
+
+impl ClientHandle {
+    pub(crate) fn new(
+        sub_tx: Sender<Submission>,
+        delivery_rx: Receiver<Vec<u8>>,
+        waker: Option<Arc<Stream>>,
+    ) -> Self {
+        ClientHandle {
+            sub_tx,
+            delivery_rx: Arc::new(Mutex::new(delivery_rx)),
+            waker,
+        }
+    }
+
+    /// Injects one encoded message for `to` (delivered as if `to` had sent
+    /// it to itself, i.e. after the zero self-link delay). Returns `false`
+    /// once the run has shut down — drivers should stop submitting then.
+    pub fn submit(&self, to: PartyId, bytes: Vec<u8>) -> bool {
+        let ok = self
+            .sub_tx
+            .send(Submission {
+                from: to,
+                kind: SubmissionKind::Unicast {
+                    to,
+                    round: 0,
+                    bytes,
+                },
+            })
+            .is_ok();
+        if ok {
+            if let Some(w) = &self.waker {
+                // One byte on the wake pipe; a full pipe means the
+                // scheduler is already awake, so WouldBlock is success.
+                let _ = (&**w).write(&[1]);
+            }
+        }
+        ok
+    }
+
+    /// Receives the next client-addressed delivery (the encoded bytes of a
+    /// message a replica sent to [`PartyId::CLIENT`]), waiting up to
+    /// `timeout`. `None` on timeout or once the run has shut down.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Vec<u8>> {
+        self.delivery_rx.lock().recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive of the next client-addressed delivery.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.delivery_rx.lock().try_recv().ok()
+    }
+}
+
+impl std::fmt::Debug for ClientHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ClientHandle")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_length_prefix() {
+        let (mut a, mut b) = stream_pair().expect("pair");
+        write_frame(&mut a, &[9, 8, 7]).unwrap();
+        write_frame(&mut a, &[]).unwrap();
+        assert_eq!(read_frame(&mut b).unwrap(), Some(vec![9, 8, 7]));
+        assert_eq!(read_frame(&mut b).unwrap(), Some(vec![]));
+        drop(a);
+        assert_eq!(read_frame(&mut b).unwrap(), None, "clean EOF");
+    }
+
+    /// A reader that yields one byte per call and injects a retryable
+    /// error before every byte — the worst legal stream.
+    struct OneByteInterrupted {
+        data: Vec<u8>,
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl Read for OneByteInterrupted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                // Alternate the two retryable kinds.
+                let kind = if self.pos.is_multiple_of(2) {
+                    io::ErrorKind::Interrupted
+                } else {
+                    io::ErrorKind::WouldBlock
+                };
+                return Err(kind.into());
+            }
+            self.interrupt_next = true;
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn read_frame_survives_one_byte_reads_and_interruptions() {
+        // Three frames back to back, delivered one byte at a time with an
+        // EINTR/WouldBlock before every single byte — mid-prefix and
+        // mid-body alike. The pre-fix reader `read_exact`ed the body, so a
+        // WouldBlock mid-body was a hard error.
+        let mut wire = Vec::new();
+        for body in [&b"hello"[..], &b""[..], &[1u8, 2, 3, 4, 5, 6, 7][..]] {
+            write_frame(&mut wire, body).unwrap();
+        }
+        let mut r = OneByteInterrupted {
+            data: wire,
+            pos: 0,
+            interrupt_next: true,
+        };
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(vec![1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at boundary");
+    }
+
+    #[test]
+    fn read_frame_rejects_eof_mid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"truncated").unwrap();
+        for cut in 1..wire.len() {
+            let mut r = io::Cursor::new(wire[..cut].to_vec());
+            let err = read_frame(&mut r).expect_err("EOF mid-frame at {cut}");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        }
+    }
+
+    #[test]
+    fn throttle_caps_read_size() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[42; 100]).unwrap();
+        let mut t = Throttle {
+            inner: io::Cursor::new(wire),
+            chunk: 1,
+        };
+        assert_eq!(read_frame(&mut t).unwrap(), Some(vec![42; 100]));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_one_byte_at_a_time() {
+        // The fuzz-style 1-byte delivery test: feed a multi-frame stream
+        // byte by byte; complete frames must pop out exactly at their
+        // boundaries, identical to a bulk parse.
+        let frames: Vec<Vec<u8>> = vec![b"abc".to_vec(), Vec::new(), vec![0xFF; 300]];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for (i, byte) in wire.iter().enumerate() {
+            fb.push_bytes(&[*byte]);
+            while let Some(frame) = fb.next_frame() {
+                got.push((i, frame));
+            }
+        }
+        let bodies: Vec<Vec<u8>> = got.iter().map(|(_, f)| f.clone()).collect();
+        assert_eq!(bodies, frames);
+        // Each frame completes exactly when its last byte lands.
+        let mut boundary = 0;
+        for ((at, _), f) in got.iter().zip(&frames) {
+            boundary += 4 + f.len();
+            assert_eq!(*at, boundary - 1, "frame complete at its final byte");
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_under_lcg_chunking() {
+        // Same stream, sliced at LCG-random boundaries (including zero-
+        // length slices): reassembly must be byte-exact regardless of how
+        // the kernel fragments reads.
+        let frames: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; i as usize * 7]).collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < wire.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let take = ((state >> 33) as usize % 23).min(wire.len() - pos);
+            fb.push_bytes(&wire[pos..pos + take]);
+            pos += take;
+            while let Some(frame) = fb.next_frame() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn frame_buffer_fills_from_nonblocking_socket() {
+        let (mut a, mut b) = stream_pair().expect("pair");
+        b.set_nonblocking(true).expect("nonblocking");
+        write_frame(&mut a, b"over the wire").unwrap();
+        let mut fb = FrameBuffer::new();
+        // Data may take an instant to appear in the receive buffer.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let eof = fb.fill(&mut b, Some(1)).unwrap();
+            assert!(!eof, "peer still open");
+            if let Some(frame) = fb.next_frame() {
+                assert_eq!(frame, b"over the wire");
+                break;
+            }
+            assert!(Instant::now() < deadline, "frame never arrived");
+        }
+        drop(a);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            if fb.fill(&mut b, None).unwrap() {
+                break; // EOF observed
+            }
+            assert!(Instant::now() < deadline, "EOF never arrived");
+        }
+    }
+
+    #[test]
+    fn out_buf_flushes_across_would_block() {
+        /// A writer that accepts at most 3 bytes per call and every other
+        /// call would block.
+        struct Dribble {
+            sink: Vec<u8>,
+            block_next: bool,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.block_next {
+                    self.block_next = false;
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                self.block_next = true;
+                let take = buf.len().min(3);
+                self.sink.extend_from_slice(&buf[..take]);
+                Ok(take)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut out = OutBuf::new();
+        out.push_frame(b"first frame");
+        out.push_frame(&[7; 40]);
+        let expect_len = (4 + 11) + (4 + 40);
+        assert_eq!(out.len(), expect_len);
+        assert_eq!(out.peak, expect_len);
+
+        let mut w = Dribble {
+            sink: Vec::new(),
+            block_next: false,
+        };
+        let mut rounds = 0;
+        while !out.flush(&mut w).unwrap() {
+            rounds += 1;
+            assert!(rounds < 1000, "flush must make progress");
+        }
+        assert!(out.is_empty());
+        // The dribbled bytes reassemble into the original frames.
+        let mut fb = FrameBuffer::new();
+        fb.push_bytes(&w.sink);
+        assert_eq!(fb.next_frame().unwrap(), b"first frame");
+        assert_eq!(fb.next_frame().unwrap(), vec![7; 40]);
+        assert!(fb.next_frame().is_none());
+    }
+
+    #[test]
+    fn delivery_frames_round_trip_through_parse() {
+        let msg = Delivery::Msg {
+            from: PartyId::new(3),
+            round: 9,
+            bytes: Arc::new(vec![1, 2, 3]),
+        };
+        match parse_delivery(&delivery_frame(&msg)) {
+            Some(DeliveryFrame::Msg {
+                from,
+                round,
+                payload,
+            }) => {
+                assert_eq!(from, PartyId::new(3));
+                assert_eq!(round, 9);
+                assert_eq!(payload, &[1, 2, 3]);
+            }
+            _ => panic!("unicast frame must parse as Msg"),
+        }
+        match parse_delivery(&delivery_frame(&Delivery::Timer(77))) {
+            Some(DeliveryFrame::Timer(77)) => {}
+            _ => panic!("timer frame must parse as Timer(77)"),
+        }
+        assert!(matches!(
+            parse_delivery(&[KIND_STOP]),
+            Some(DeliveryFrame::Stop)
+        ));
+        assert!(parse_delivery(&[]).is_none(), "empty frame is corrupt");
+        assert!(parse_delivery(&[99]).is_none(), "unknown kind is corrupt");
+        assert!(
+            parse_delivery(&[KIND_TIMER, 1]).is_none(),
+            "truncated timer tag is corrupt"
+        );
+    }
+
+    #[test]
+    fn dispatcher_seq_breaks_ties_in_arrival_order() {
+        // Equal `due` instants must pop in stamp order — the
+        // dispatcher-global sequence, not per-party counters.
+        let due = Instant::now();
+        let mut heap: BinaryHeap<Scheduled<u64>> = BinaryHeap::new();
+        for seq in [3u64, 0, 2, 1] {
+            heap.push(Scheduled {
+                due,
+                seq,
+                to: PartyId::new(0),
+                what: seq,
+            });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|s| s.seq)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "FIFO at equal due");
+
+        // An earlier due instant still wins regardless of stamp order.
+        let mut heap: BinaryHeap<Scheduled<u64>> = BinaryHeap::new();
+        heap.push(Scheduled {
+            due: due + Duration::from_millis(5),
+            seq: 0,
+            to: PartyId::new(0),
+            what: 0,
+        });
+        heap.push(Scheduled {
+            due,
+            seq: 1,
+            to: PartyId::new(0),
+            what: 1,
+        });
+        assert_eq!(heap.pop().unwrap().seq, 1, "time beats stamp order");
+    }
+
+    #[test]
+    fn delivery_heap_routes_client_frames_across_worst_link() {
+        // 2-party plan with asymmetric links: party 0's worst link is 9 ms.
+        let links = vec![
+            Duration::ZERO,
+            Duration::from_millis(9),
+            Duration::from_millis(4),
+            Duration::ZERO,
+        ];
+        let mut dh = DeliveryHeap::new(2);
+        let now = Instant::now();
+        let sub = Submission {
+            from: PartyId::new(0),
+            kind: SubmissionKind::Unicast {
+                to: PartyId::CLIENT,
+                round: 0,
+                bytes: vec![1],
+            },
+        };
+        assert!(matches!(dh.route(sub, &links, now), Routed::Queued));
+        let entry = dh.heap.pop().expect("scheduled");
+        assert_eq!(entry.to, PartyId::CLIENT);
+        assert_eq!(entry.due, now + Duration::from_millis(9), "worst link");
+        assert_eq!(dh.messages, 1);
+    }
+
+    #[test]
+    fn delivery_heap_multicast_shares_one_payload() {
+        let links = vec![Duration::ZERO; 9];
+        let mut dh = DeliveryHeap::new(3);
+        let sub = Submission {
+            from: PartyId::new(1),
+            kind: SubmissionKind::Multicast {
+                skip: Some(PartyId::new(1)),
+                round: 2,
+                bytes: Arc::new(vec![5, 6]),
+            },
+        };
+        assert!(matches!(
+            dh.route(sub, &links, Instant::now()),
+            Routed::Queued
+        ));
+        assert_eq!(dh.messages, 2, "skip excluded");
+        assert_eq!(dh.peak, 2);
+        let mut recipients = Vec::new();
+        while let Some(s) = dh.heap.pop() {
+            match s.what {
+                Delivery::Msg { bytes, .. } => {
+                    assert_eq!(*bytes, vec![5, 6]);
+                    recipients.push(s.to);
+                }
+                Delivery::Timer(_) => panic!("not a timer"),
+            }
+        }
+        recipients.sort();
+        assert_eq!(recipients, vec![PartyId::new(0), PartyId::new(2)]);
+    }
+}

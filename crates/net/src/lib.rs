@@ -2,9 +2,9 @@
 //! socket-backed event loop, links carry injected latency, clocks are
 //! wall clocks.
 //!
-//! # The three-backend architecture
+//! # The four-backend architecture
 //!
-//! The workspace has three execution targets behind one scenario layer:
+//! The workspace has four execution targets behind one scenario layer:
 //!
 //! * **`gcl_sim`** — the deterministic discrete-event simulator. δ and Δ
 //!   are exact, executions replay bit-for-bit, and a million-event run
@@ -21,25 +21,36 @@
 //!   socket (TCP-localhost fallback), and decoded on the far side* via
 //!   the `gcl_types::wire` codec. There is no pointer fast path across
 //!   the party boundary, so a committing run is end-to-end proof the
-//!   family's message types survive serialization.
+//!   family's message types survive serialization. One dispatcher plus
+//!   one reader thread per party: faithful, but thread count is O(n).
+//! * **[`AsyncBackend`]** (this crate) — the socket transport contract
+//!   (same framed wire bytes, same socket pairs) with an inverted
+//!   execution model: every party is a *state machine* behind a
+//!   nonblocking socket, and all n of them are multiplexed over one
+//!   readiness loop feeding a fixed worker pool (default
+//!   `min(cores, 8)`). Partial reads reassemble per-party, writes are
+//!   backpressure-aware, timers live on a timer wheel. Thread count is
+//!   O(workers), not O(n) — this is the backend that runs n = 1024
+//!   parties on a laptop.
 //!
-//! Both wall backends implement [`gcl_sim::Backend`], so any
+//! All three wall backends implement [`gcl_sim::Backend`], so any
 //! [`gcl_sim::ScenarioSpec`] admitted by a
-//! [`gcl_sim::ScenarioRegistry`] runs on all three targets:
+//! [`gcl_sim::ScenarioRegistry`] runs on all four targets:
 //!
 //! ```text
 //! registry.run(&spec)                           // simulator (exact, fast)
 //! registry.run_on(&spec, &NetBackend::new())    // threads + wall clocks
 //! registry.run_on(&spec, &SocketBackend::new()) // + real bytes on real sockets
+//! registry.run_on(&spec, &AsyncBackend::new())  // + n parties, O(workers) threads
 //! ```
 //!
 //! The spec's δ/jitter become injected per-link latencies, its skew
-//! schedule becomes per-thread start offsets, and its adversary mix
-//! becomes muted or mid-run-crashing party threads. Outcomes convert to
-//! the same [`gcl_sim::Outcome`] audits (agreement, validity, commits) the
-//! simulator reports, which is what the workspace's `net_conformance`
-//! suite checks: every registered family commits the same value on all
-//! three backends.
+//! schedule becomes per-thread (or per-timer) start offsets, and its
+//! adversary mix becomes muted or mid-run-crashing parties. Outcomes
+//! convert to the same [`gcl_sim::Outcome`] audits (agreement, validity,
+//! commits) the simulator reports, which is what the workspace's
+//! `net_conformance` suite checks: every registered family commits the
+//! same value on all four backends.
 //!
 //! **When to trust which numbers:** wall-clock latencies from this crate
 //! include thread spawn, scheduler jitter and channel overhead — treat
@@ -48,7 +59,14 @@
 //! (milliseconds, not the simulator's canonical 100 µs) so protocol
 //! timeouts (≥ 4Δ) stay far from spurious firing. For exact good-case
 //! latency claims — `2δ` vs `3δ` vs `Δ + 1.5δ` — use the simulator, where
-//! those quantities are the model, not an estimate.
+//! those quantities are the model, not an estimate. Per backend: `net`
+//! numbers isolate concurrency from serialization (no codec on the
+//! path); `socket` numbers add the codec and syscalls but pay O(n)
+//! threads, so beyond a few dozen parties they measure the OS scheduler;
+//! `async` numbers are the ones to read at scale — the readiness loop
+//! keeps the thread count fixed, and [`gcl_sim::SchedCounters`] on the
+//! outcome (workers, wakeups, peak outbound buffer) say how hard the
+//! loop actually worked.
 //!
 //! Runs exit as soon as every honest party terminates; the wall-clock
 //! budget passed to [`NetRuntime::run_for`] (or
@@ -88,10 +106,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod async_backend;
 mod backend;
+mod engine;
 mod runtime;
 mod socket;
+mod wheel;
 
+pub use async_backend::AsyncBackend;
 pub use backend::NetBackend;
+pub use engine::ClientHandle;
 pub use runtime::{NetCommit, NetOutcome, NetRuntime};
-pub use socket::{ClientHandle, SocketBackend};
+pub use socket::SocketBackend;

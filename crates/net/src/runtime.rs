@@ -4,8 +4,12 @@
 //! [`NetRuntime`] demo API and the registry-facing
 //! [`NetBackend`](crate::NetBackend). Every party is an OS thread; a
 //! dispatcher thread owns a min-heap of future deliveries (per-link
-//! injected latency) and timer expiries. Three properties are load-bearing
-//! and covered by unit tests here:
+//! injected latency) and timer expiries. The engine discipline — party
+//! bookkeeping, heap ordering, early exit — lives in [`crate::engine`]
+//! and is shared with the socket and readiness-loop runtimes; what is
+//! local here is the transport: in-memory channels and `Arc`-shared
+//! multicast payloads. Three properties are load-bearing and covered by
+//! unit tests here or in `engine.rs`:
 //!
 //! * **Early termination.** Party threads signal a completion channel when
 //!   their strategy terminates; the engine stops as soon as every *honest*
@@ -22,15 +26,23 @@
 //!   instant pop in arrival order instead of racing two parties' private
 //!   counters against each other.
 
+use crate::engine::{
+    await_honest_done, EnginePlan, PartyCore, RawCommit, RawRun, Scheduled, Step, IDLE_POLL,
+};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
-use gcl_sim::{Context, Protocol, Strategy};
-use gcl_types::{Config, Duration as SimDuration, LocalTime, PartyId, Value};
+use gcl_sim::{Protocol, Strategy};
+use gcl_types::{Config, PartyId, Value};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+#[cfg(doc)]
+use crate::engine::NetCtx;
+#[cfg(doc)]
+use gcl_sim::Context;
 
 /// One commit observed by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,82 +172,6 @@ struct Submit<M> {
     event: Event<M>,
 }
 
-/// A heap entry: min-order on `(due, seq)` with `seq` dispatcher-global,
-/// so ties at one instant pop in arrival order (stable replay under zero
-/// injected latency).
-struct Scheduled<M> {
-    due: Instant,
-    seq: u64,
-    to: PartyId,
-    event: Event<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
-    }
-}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Everything the engine needs to know about the environment of one run.
-pub(crate) struct EnginePlan {
-    pub config: Config,
-    /// Injected wall latency per `(from, to)` link, `from * n + to`
-    /// indexing, zero on the diagonal.
-    pub links: Vec<Duration>,
-    /// Per-party protocol start offsets (wall-clock skew schedule).
-    pub starts: Vec<Duration>,
-    /// Hard wall-clock budget; honest termination exits earlier.
-    pub deadline: Duration,
-}
-
-/// One commit as recorded by the engine (all commits, not just firsts).
-pub(crate) struct RawCommit {
-    pub party: PartyId,
-    pub value: Value,
-    /// Since engine start.
-    pub elapsed: Duration,
-    /// Since the party's own start.
-    pub local: Duration,
-    /// Causal round tag at the commit (1 + max delivered round).
-    pub round: u32,
-    /// The party's handled-event count at the commit.
-    pub step: u64,
-    /// Whether this is the party's first commit.
-    pub first: bool,
-}
-
-/// Raw observations of one engine run.
-pub(crate) struct RawRun {
-    pub commits: Vec<RawCommit>,
-    pub terminated: Vec<bool>,
-    pub honest: Vec<bool>,
-    /// Handler invocations summed over all parties.
-    pub events_handled: u64,
-    /// Point-to-point messages scheduled (multicast counts `n`).
-    pub messages_sent: u64,
-    /// High-water mark of the dispatcher heap.
-    pub peak_queue: usize,
-    /// Wall time from engine start to shutdown.
-    pub elapsed: Duration,
-}
-
-/// How long the dispatcher sleeps when it has nothing scheduled, and how
-/// long party threads wait per `recv` poll. Pure wake-up granularity — a
-/// submission or a stop interrupts either immediately via the channel.
-pub(crate) const IDLE_POLL: Duration = Duration::from_millis(50);
-
 /// Spawns one thread per slot plus a dispatcher, runs until every honest
 /// slot terminates or the deadline passes, and collects the observations.
 pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
@@ -264,7 +200,7 @@ pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
 
     let dispatcher_txs = party_txs.clone();
     let dispatcher = thread::spawn(move || {
-        let mut heap: BinaryHeap<Scheduled<M>> = BinaryHeap::new();
+        let mut heap: BinaryHeap<Scheduled<Event<M>>> = BinaryHeap::new();
         let mut next_seq: u64 = 0;
         let mut messages: u64 = 0;
         let mut peak: usize = 0;
@@ -290,7 +226,7 @@ pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
                         due: sub.due,
                         seq: next_seq,
                         to: sub.to,
-                        event: sub.event,
+                        what: sub.event,
                     });
                     next_seq += 1;
                     peak = peak.max(heap.len());
@@ -300,7 +236,7 @@ pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
             }
             while heap.peek().is_some_and(|s| s.due <= Instant::now()) {
                 let s = heap.pop().expect("peeked");
-                let _ = dispatcher_txs[s.to.as_usize()].send(s.event);
+                let _ = dispatcher_txs[s.to.as_usize()].send(s.what);
             }
         }
     });
@@ -320,61 +256,16 @@ pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
             if !start_offset.is_zero() {
                 thread::sleep(start_offset);
             }
-            let local_start = Instant::now();
-            let mut max_round: Option<u32> = None;
-            let mut handled: u64 = 0;
-            let mut committed = false;
+            let mut core = PartyCore::new(me, config, epoch, Instant::now());
+            // One handler invocation: bookkeeping and commit recording in
+            // the shared core, effect drain over this transport (channels,
+            // `Arc`-shared multicast payloads).
             let run = |strategy: &mut Box<dyn Strategy<M>>,
-                       ev: Option<Event<M>>,
-                       max_round: &mut Option<u32>,
-                       handled: &mut u64,
-                       committed: &mut bool|
+                       core: &mut PartyCore,
+                       step: Step<M>|
              -> bool {
-                *handled += 1;
-                let mut ctx = NetCtx {
-                    me,
-                    config,
-                    now: LocalTime::from_micros(local_start.elapsed().as_micros() as u64),
-                    sends: Vec::new(),
-                    mcasts: Vec::new(),
-                    timers: Vec::new(),
-                    commit_values: Vec::new(),
-                    terminate: false,
-                };
-                match ev {
-                    None => strategy.start(&mut ctx),
-                    Some(Event::Msg {
-                        from,
-                        round,
-                        payload,
-                    }) => {
-                        *max_round = Some(max_round.map_or(round, |r| r.max(round)));
-                        strategy.on_message(from, payload.into_msg(), &mut ctx);
-                    }
-                    Some(Event::Timer(tag)) => strategy.on_timer(tag, &mut ctx),
-                    // Stop never reaches a handler: both call sites
-                    // intercept it, and treating it as termination here
-                    // would corrupt the honest-done count.
-                    Some(Event::Stop) => unreachable!("Stop is intercepted before dispatch"),
-                }
-                let out_round = max_round.map_or(0, |r| r + 1);
-                if !ctx.commit_values.is_empty() {
-                    let elapsed = epoch.elapsed();
-                    let local = local_start.elapsed();
-                    let mut log = commits.lock();
-                    for value in ctx.commit_values {
-                        log.push(RawCommit {
-                            party: me,
-                            value,
-                            elapsed,
-                            local,
-                            round: out_round,
-                            step: *handled,
-                            first: !*committed,
-                        });
-                        *committed = true;
-                    }
-                }
+                let ctx = core.handle(strategy.as_mut(), step, &commits);
+                let out_round = core.out_round();
                 for (to, msg) in ctx.sends {
                     if to.as_usize() >= n {
                         // Out-of-band addresses (the reserved client id):
@@ -429,31 +320,33 @@ pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
                 }
                 (true, handled)
             };
-            if run(
-                &mut strategy,
-                None,
-                &mut max_round,
-                &mut handled,
-                &mut committed,
-            ) {
-                return finish(handled);
+            if run(&mut strategy, &mut core, Step::Start) {
+                return finish(core.handled);
             }
             loop {
                 match rx.recv_timeout(IDLE_POLL) {
-                    Ok(Event::Stop) => return (false, handled),
-                    Ok(ev) => {
-                        if run(
-                            &mut strategy,
-                            Some(ev),
-                            &mut max_round,
-                            &mut handled,
-                            &mut committed,
-                        ) {
-                            return finish(handled);
+                    Ok(Event::Stop) => return (false, core.handled),
+                    Ok(Event::Msg {
+                        from,
+                        round,
+                        payload,
+                    }) => {
+                        let step = Step::Msg {
+                            from,
+                            round,
+                            msg: payload.into_msg(),
+                        };
+                        if run(&mut strategy, &mut core, step) {
+                            return finish(core.handled);
+                        }
+                    }
+                    Ok(Event::Timer(tag)) => {
+                        if run(&mut strategy, &mut core, Step::Timer(tag)) {
+                            return finish(core.handled);
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => return (false, handled),
+                    Err(RecvTimeoutError::Disconnected) => return (false, core.handled),
                 }
             }
         }));
@@ -463,18 +356,7 @@ pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
     // Early-exit protocol: every honest party reports termination on the
     // completion channel; `deadline` is only the fallback horizon for runs
     // where some honest party never terminates (adversarial schedules).
-    let deadline_at = epoch + plan.deadline;
-    let mut remaining = honest.iter().filter(|h| **h).count();
-    while remaining > 0 {
-        let left = deadline_at.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            break;
-        }
-        match done_rx.recv_timeout(left) {
-            Ok(()) => remaining -= 1,
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
+    await_honest_done(&done_rx, &honest, epoch + plan.deadline);
 
     let _ = sched_tx.send(Submit {
         due: Instant::now(),
@@ -508,6 +390,7 @@ pub(crate) fn run_slots<M: Clone + fmt::Debug + Send + Sync + 'static>(
         messages_sent,
         peak_queue,
         elapsed: epoch.elapsed(),
+        sched: None,
     }
 }
 
@@ -561,6 +444,7 @@ impl NetRuntime {
                 links,
                 starts: vec![Duration::ZERO; n],
                 deadline: duration,
+                read_chunk: None,
             },
             (0..n)
                 .map(|i| {
@@ -583,82 +467,15 @@ impl NetRuntime {
     }
 }
 
-/// The party-side [`Context`] of the wall-clock runtimes (thread engine
-/// and socket engine alike). Effects buffer here and the party thread
-/// drains them after the handler returns; `multicast` stays one entry
-/// (not `n` sends) so the drain can share the payload — as an `Arc` on
-/// the in-memory transport, as one encoded byte buffer on the socket
-/// transport.
-pub(crate) struct NetCtx<M> {
-    pub(crate) me: PartyId,
-    pub(crate) config: Config,
-    pub(crate) now: LocalTime,
-    pub(crate) sends: Vec<(PartyId, M)>,
-    pub(crate) mcasts: Vec<(Option<PartyId>, M)>,
-    pub(crate) timers: Vec<(SimDuration, u64)>,
-    pub(crate) commit_values: Vec<Value>,
-    pub(crate) terminate: bool,
-}
-
-impl<M> NetCtx<M> {
-    /// An empty effect buffer for one handler invocation at local `now`.
-    pub(crate) fn new(me: PartyId, config: Config, now: LocalTime) -> Self {
-        NetCtx {
-            me,
-            config,
-            now,
-            sends: Vec::new(),
-            mcasts: Vec::new(),
-            timers: Vec::new(),
-            commit_values: Vec::new(),
-            terminate: false,
-        }
-    }
-}
-
-impl<M> Context<M> for NetCtx<M> {
-    fn me(&self) -> PartyId {
-        self.me
-    }
-    fn config(&self) -> Config {
-        self.config
-    }
-    fn now(&self) -> LocalTime {
-        self.now
-    }
-    fn send(&mut self, to: PartyId, msg: M) {
-        self.sends.push((to, msg));
-    }
-    fn set_timer(&mut self, delay: SimDuration, tag: u64) {
-        self.timers.push((delay, tag));
-    }
-    fn commit(&mut self, value: Value) {
-        self.commit_values.push(value);
-    }
-    fn terminate(&mut self) {
-        self.terminate = true;
-    }
-    fn multicast(&mut self, msg: M)
-    where
-        M: Clone,
-    {
-        self.mcasts.push((None, msg));
-    }
-    fn multicast_except(&mut self, msg: M, skip: PartyId)
-    where
-        M: Clone,
-    {
-        self.mcasts.push((Some(skip), msg));
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::NetCtx;
     use gcl_core::asynchrony::TwoRoundBrb;
     use gcl_core::psync::VbbFiveFMinusOne;
     use gcl_crypto::Keychain;
-    use gcl_types::accept_all;
+    use gcl_sim::Context;
+    use gcl_types::{accept_all, LocalTime};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -757,16 +574,8 @@ mod tests {
     #[test]
     fn multicast_buffers_one_shared_payload() {
         let clones = Arc::new(AtomicUsize::new(0));
-        let mut ctx = NetCtx {
-            me: PartyId::new(0),
-            config: Config::new(4, 1).unwrap(),
-            now: LocalTime::ZERO,
-            sends: Vec::new(),
-            mcasts: Vec::new(),
-            timers: Vec::new(),
-            commit_values: Vec::new(),
-            terminate: false,
-        };
+        let mut ctx: NetCtx<Counted> =
+            NetCtx::new(PartyId::new(0), Config::new(4, 1).unwrap(), LocalTime::ZERO);
         ctx.multicast(Counted {
             tag: 7,
             clones: Arc::clone(&clones),
@@ -796,40 +605,6 @@ mod tests {
             3,
             "n - 1 lazy clones at delivery, one original moved out"
         );
-    }
-
-    #[test]
-    fn dispatcher_seq_breaks_ties_in_arrival_order() {
-        // Equal `due` instants must pop in stamp order — the
-        // dispatcher-global sequence, not per-party counters.
-        let due = Instant::now();
-        let mut heap: BinaryHeap<Scheduled<u64>> = BinaryHeap::new();
-        for seq in [3u64, 0, 2, 1] {
-            heap.push(Scheduled {
-                due,
-                seq,
-                to: PartyId::new(0),
-                event: Event::Timer(seq),
-            });
-        }
-        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|s| s.seq)).collect();
-        assert_eq!(order, vec![0, 1, 2, 3], "FIFO at equal due");
-
-        // An earlier due instant still wins regardless of stamp order.
-        let mut heap: BinaryHeap<Scheduled<u64>> = BinaryHeap::new();
-        heap.push(Scheduled {
-            due: due + Duration::from_millis(5),
-            seq: 0,
-            to: PartyId::new(0),
-            event: Event::Timer(0),
-        });
-        heap.push(Scheduled {
-            due,
-            seq: 1,
-            to: PartyId::new(0),
-            event: Event::Timer(1),
-        });
-        assert_eq!(heap.pop().unwrap().seq, 1, "time beats stamp order");
     }
 
     #[test]

@@ -18,94 +18,30 @@
 //! serialization (`gcl_types::wire`). The in-memory `NetBackend` keeps the
 //! `Arc` fast path; this backend keeps the bytes honest.
 //!
-//! Everything else reuses the PR-4 engine discipline:
-//!
-//! * the dispatcher owns a min-heap ordered by `(due, seq)` with a
-//!   dispatcher-global sequence stamp, so delivery ties pop in arrival
-//!   order exactly as in the thread engine;
-//! * honest parties signal an in-process completion channel when they
-//!   terminate, so the wall-clock budget is a deadline, not a sentence;
-//! * the spec maps identically: δ/jitter → the injected per-link latency
-//!   matrix, skew → event-loop start offsets, adversary mix → pre-wrapped
-//!   silent/crashing slots — all 15 registered families run here with
-//!   zero registration edits.
-//!
-//! Frames are framed `u32`-length-prefixed and parsed with the same
-//! `gcl_types::wire` primitives the payloads use. Timers also route
-//! through the dispatcher (as control frames) so timer/message ties keep
-//! one global order.
+//! Everything else — the frame protocol, the `(due, seq)` delivery heap
+//! and its routing rules, the party bookkeeping, the honest-done early
+//! exit — is the shared engine discipline in [`crate::engine`], reused
+//! verbatim by the readiness-loop backend
+//! ([`AsyncBackend`](crate::AsyncBackend)). What is local here is the
+//! threading shape: blocking sockets, one reader + one strategy thread
+//! per party, one reader per party on the dispatcher side.
 
-use crate::backend::{engine_plan, outcome_from_raw};
-use crate::runtime::{EnginePlan, NetCtx, RawCommit, RawRun, IDLE_POLL};
+use crate::engine::{
+    await_honest_done, delivery_frame, engine_plan, outcome_from_raw, parse_delivery, read_frame,
+    stream_pair, write_frame, ClientHandle, Delivery, DeliveryFrame, DeliveryHeap, EnginePlan,
+    PartyCore, RawCommit, RawRun, Routed, Step, Stream, Submission, SubmissionKind, Throttle,
+    IDLE_POLL, KIND_MULTICAST, KIND_STOP, KIND_TIMER, KIND_UNICAST,
+};
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 use gcl_sim::{
     Backend, ErasedMsg, ErasedSlot, MsgCodec, Outcome, ScenarioError, ScenarioRegistry,
     ScenarioSpec, Strategy,
 };
-use gcl_types::{Decode, Encode, LocalTime, PartyId};
+use gcl_types::{Encode, PartyId};
 use parking_lot::Mutex;
-use std::collections::BinaryHeap;
-use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
-
-#[cfg(not(unix))]
-use std::net::TcpStream as Stream;
-#[cfg(unix)]
-use std::os::unix::net::UnixStream as Stream;
-
-/// A connected bidirectional stream pair: Unix-domain socketpair where
-/// available, TCP loopback elsewhere.
-#[cfg(unix)]
-fn stream_pair() -> io::Result<(Stream, Stream)> {
-    Stream::pair()
-}
-
-/// TCP-localhost fallback for platforms without Unix sockets.
-#[cfg(not(unix))]
-fn stream_pair() -> io::Result<(Stream, Stream)> {
-    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
-    let addr = listener.local_addr()?;
-    let a = Stream::connect(addr)?;
-    let (b, _) = listener.accept()?;
-    a.set_nodelay(true)?;
-    b.set_nodelay(true)?;
-    Ok((a, b))
-}
-
-// Frame kind tags. Submissions travel party → dispatcher, deliveries
-// dispatcher → party; `STOP` only ever travels dispatcher → party.
-const KIND_UNICAST: u8 = 1;
-const KIND_MULTICAST: u8 = 2;
-const KIND_TIMER: u8 = 3;
-const KIND_STOP: u8 = 4;
-
-/// Writes one `u32`-length-prefixed frame.
-fn write_frame(stream: &mut Stream, body: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(body.len()).expect("frames stay far below 4 GiB");
-    stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(body)
-}
-
-/// Reads one length-prefixed frame (blocking). `Ok(None)` on clean EOF at
-/// a frame boundary.
-fn read_frame(stream: &mut Stream) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    let mut filled = 0;
-    while filled < 4 {
-        match stream.read(&mut len[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
-    stream.read_exact(&mut body)?;
-    Ok(Some(body))
-}
 
 /// What a party's socket reader hands its event loop.
 enum PartyEvent {
@@ -116,175 +52,6 @@ enum PartyEvent {
     },
     Timer(u64),
     Stop,
-}
-
-/// A submission as parsed off a party's socket by its dispatcher reader.
-struct Submission {
-    from: PartyId,
-    kind: SubmissionKind,
-}
-
-enum SubmissionKind {
-    Unicast {
-        to: PartyId,
-        round: u32,
-        bytes: Vec<u8>,
-    },
-    Multicast {
-        skip: Option<PartyId>,
-        round: u32,
-        bytes: Arc<Vec<u8>>,
-    },
-    Timer {
-        delay: Duration,
-        tag: u64,
-    },
-    /// Engine-internal: the run is over, flush stop frames and exit.
-    Shutdown,
-}
-
-/// One scheduled delivery in the dispatcher heap. Min-order on
-/// `(due, seq)` with `seq` dispatcher-global — the same stable-tie rule
-/// the thread engine uses.
-struct Scheduled {
-    due: Instant,
-    seq: u64,
-    to: PartyId,
-    delivery: Delivery,
-}
-
-enum Delivery {
-    Msg {
-        from: PartyId,
-        round: u32,
-        bytes: Arc<Vec<u8>>,
-    },
-    Timer(u64),
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Renders a delivery as a frame body.
-fn delivery_frame(delivery: &Delivery) -> Vec<u8> {
-    let mut body = Vec::new();
-    match delivery {
-        Delivery::Msg { from, round, bytes } => {
-            body.push(KIND_UNICAST);
-            from.encode(&mut body);
-            round.encode(&mut body);
-            body.extend_from_slice(bytes);
-        }
-        Delivery::Timer(tag) => {
-            body.push(KIND_TIMER);
-            tag.encode(&mut body);
-        }
-    }
-    body
-}
-
-/// Parses a submission frame body. Total: a malformed frame (unknown kind,
-/// truncated header) yields `None`, and the dispatcher treats the sending
-/// party as crashed — one garbled peer must never abort the whole run.
-fn parse_submission(from: PartyId, body: Vec<u8>) -> Option<Submission> {
-    let mut r = &body[..];
-    let kind = match u8::decode(&mut r).ok()? {
-        KIND_UNICAST => {
-            let to = PartyId::decode(&mut r).ok()?;
-            let round = u32::decode(&mut r).ok()?;
-            SubmissionKind::Unicast {
-                to,
-                round,
-                bytes: r.to_vec(),
-            }
-        }
-        KIND_MULTICAST => {
-            let skip = Option::<PartyId>::decode(&mut r).ok()?;
-            let round = u32::decode(&mut r).ok()?;
-            SubmissionKind::Multicast {
-                skip,
-                round,
-                bytes: Arc::new(r.to_vec()),
-            }
-        }
-        KIND_TIMER => {
-            let delay = u64::decode(&mut r).ok()?;
-            let tag = u64::decode(&mut r).ok()?;
-            SubmissionKind::Timer {
-                delay: Duration::from_micros(delay),
-                tag,
-            }
-        }
-        _ => return None,
-    };
-    Some(Submission { from, kind })
-}
-
-/// A client's way into a socket run: injects encoded messages that are
-/// scheduled and delivered exactly like party traffic (self-link delay,
-/// real bytes across the recipient's socket) — and receives the frames
-/// replicas address to the reserved [`PartyId::CLIENT`] (serving
-/// acknowledgements and back-pressure).
-///
-/// Handed to the driver closure of
-/// [`SocketBackend::execute_with_client`]; cloneable so a driver may fan
-/// out over threads (receives are serialized behind a mutex — one clone
-/// draining the delivery channel is the intended shape).
-#[derive(Clone)]
-pub struct ClientHandle {
-    sub_tx: crossbeam::channel::Sender<Submission>,
-    delivery_rx: Arc<Mutex<crossbeam::channel::Receiver<Vec<u8>>>>,
-}
-
-impl ClientHandle {
-    /// Injects one encoded message for `to` (delivered as if `to` had sent
-    /// it to itself, i.e. after the zero self-link delay). Returns `false`
-    /// once the run has shut down — drivers should stop submitting then.
-    pub fn submit(&self, to: PartyId, bytes: Vec<u8>) -> bool {
-        self.sub_tx
-            .send(Submission {
-                from: to,
-                kind: SubmissionKind::Unicast {
-                    to,
-                    round: 0,
-                    bytes,
-                },
-            })
-            .is_ok()
-    }
-
-    /// Receives the next client-addressed delivery (the encoded bytes of a
-    /// message a replica sent to [`PartyId::CLIENT`]), waiting up to
-    /// `timeout`. `None` on timeout or once the run has shut down.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<Vec<u8>> {
-        self.delivery_rx.lock().recv_timeout(timeout).ok()
-    }
-
-    /// Non-blocking receive of the next client-addressed delivery.
-    pub fn try_recv(&self) -> Option<Vec<u8>> {
-        self.delivery_rx.lock().try_recv().ok()
-    }
-}
-
-impl std::fmt::Debug for ClientHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("ClientHandle")
-    }
 }
 
 /// Spawns one socket-backed event loop per slot plus a dispatcher, runs
@@ -308,6 +75,9 @@ pub(crate) fn run_socket_slots(
     let honest: Vec<bool> = slots.iter().map(|(_, h)| *h).collect();
     let epoch = Instant::now();
     let commits: Arc<Mutex<Vec<RawCommit>>> = Arc::new(Mutex::new(Vec::new()));
+    // Test knob: cap every socket read at this many bytes (frame
+    // reassembly through arbitrary short-read boundaries).
+    let chunk = plan.read_chunk.unwrap_or(usize::MAX);
 
     // One socket pair per party: the party end lives with the party's
     // threads, the dispatcher end with the dispatcher's.
@@ -331,10 +101,7 @@ pub(crate) fn run_socket_slots(
     // dropped here and the scheduler's client deliveries fail harmlessly.
     let (client_tx, client_rx) = unbounded::<Vec<u8>>();
     let driver_handle = driver.map(|driver| {
-        let handle = ClientHandle {
-            sub_tx: sub_tx.clone(),
-            delivery_rx: Arc::new(Mutex::new(client_rx)),
-        };
+        let handle = ClientHandle::new(sub_tx.clone(), client_rx, None);
         thread::spawn(move || driver(handle))
     });
 
@@ -343,16 +110,20 @@ pub(crate) fn run_socket_slots(
     let mut dispatcher_writers = Vec::with_capacity(n);
     let mut reader_handles = Vec::with_capacity(n);
     for (i, end) in dispatcher_ends.into_iter().enumerate() {
-        let mut read_end = end.try_clone().expect("clone dispatcher end");
+        let read_end = end.try_clone().expect("clone dispatcher end");
         dispatcher_writers.push(end);
         let sub_tx = sub_tx.clone();
         let from = PartyId::new(i as u32);
         reader_handles.push(thread::spawn(move || {
+            let mut read_end = Throttle {
+                inner: read_end,
+                chunk,
+            };
             while let Ok(Some(body)) = read_frame(&mut read_end) {
                 // A malformed frame means the party behind this socket is
                 // garbled: stop reading it (crashed, from the dispatcher's
                 // point of view) and keep the rest of the run live.
-                let Some(sub) = parse_submission(from, body) else {
+                let Some(sub) = crate::engine::parse_submission(from, body) else {
                     break;
                 };
                 if sub_tx.send(sub).is_err() {
@@ -368,104 +139,32 @@ pub(crate) fn run_socket_slots(
     // submission flushes stop frames to every party and exits.
     let links = plan.links.clone();
     let scheduler = thread::spawn(move || {
-        let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
-        let mut next_seq: u64 = 0;
-        let mut messages: u64 = 0;
-        let mut peak: usize = 0;
-        let mut push = |heap: &mut BinaryHeap<Scheduled>, due, to, delivery| {
-            heap.push(Scheduled {
-                due,
-                seq: next_seq,
-                to,
-                delivery,
-            });
-            next_seq += 1;
-        };
+        let mut dh = DeliveryHeap::new(n);
         loop {
-            let timeout = heap
-                .peek()
-                .map(|s| s.due.saturating_duration_since(Instant::now()))
-                .unwrap_or(IDLE_POLL);
-            match sub_rx.recv_timeout(timeout) {
-                Ok(sub) => {
-                    let now = Instant::now();
-                    let row = sub.from.as_usize() * n;
-                    match sub.kind {
-                        SubmissionKind::Shutdown => {
-                            for w in &mut dispatcher_writers {
-                                let _ = write_frame(w, &[KIND_STOP]);
-                            }
-                            return (messages, peak);
+            match sub_rx.recv_timeout(dh.next_timeout()) {
+                Ok(sub) => match dh.route(sub, &links, Instant::now()) {
+                    Routed::Shutdown => {
+                        for w in &mut dispatcher_writers {
+                            let _ = write_frame(w, &[KIND_STOP]);
                         }
-                        SubmissionKind::Unicast { to, round, bytes } => {
-                            messages += 1;
-                            // Client-addressed frames (the reserved
-                            // out-of-band id) cross the sender's worst
-                            // link — the external client is at least as
-                            // far away as the farthest party.
-                            let delay = if to.as_usize() >= n {
-                                links[row..row + n]
-                                    .iter()
-                                    .copied()
-                                    .max()
-                                    .unwrap_or_default()
-                            } else {
-                                links[row + to.as_usize()]
-                            };
-                            push(
-                                &mut heap,
-                                now + delay,
-                                to,
-                                Delivery::Msg {
-                                    from: sub.from,
-                                    round,
-                                    bytes: Arc::new(bytes),
-                                },
-                            );
-                        }
-                        SubmissionKind::Multicast { skip, round, bytes } => {
-                            // One encoded payload, n scheduled frames — the
-                            // byte-transport analogue of the `Arc` fan-out.
-                            // Every recipient still decodes its own copy.
-                            for t in 0..n as u32 {
-                                let to = PartyId::new(t);
-                                if Some(to) == skip {
-                                    continue;
-                                }
-                                messages += 1;
-                                push(
-                                    &mut heap,
-                                    now + links[row + to.as_usize()],
-                                    to,
-                                    Delivery::Msg {
-                                        from: sub.from,
-                                        round,
-                                        bytes: Arc::clone(&bytes),
-                                    },
-                                );
-                            }
-                        }
-                        SubmissionKind::Timer { delay, tag } => {
-                            push(&mut heap, now + delay, sub.from, Delivery::Timer(tag));
-                        }
+                        return (dh.messages, dh.peak);
                     }
-                    peak = peak.max(heap.len());
-                }
+                    Routed::Queued => {}
+                },
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return (messages, peak),
+                Err(RecvTimeoutError::Disconnected) => return (dh.messages, dh.peak),
             }
-            while heap.peek().is_some_and(|s| s.due <= Instant::now()) {
-                let s = heap.pop().expect("peeked");
+            while let Some(s) = dh.pop_due() {
                 if s.to.as_usize() >= n {
                     // Client delivery: hand the payload bytes to the
                     // external client channel (dropped when no driver is
                     // attached — a send failure is harmless).
-                    if let Delivery::Msg { bytes, .. } = &s.delivery {
+                    if let Delivery::Msg { bytes, .. } = &s.what {
                         let _ = client_tx.send(bytes.as_ref().clone());
                     }
                     continue;
                 }
-                let frame = delivery_frame(&s.delivery);
+                let frame = delivery_frame(&s.what);
                 // A write failure means the recipient is gone (terminated
                 // and closed its end) — past the run's horizon, drop it.
                 let _ = write_frame(&mut dispatcher_writers[s.to.as_usize()], &frame);
@@ -486,39 +185,37 @@ pub(crate) fn run_socket_slots(
         let commits = Arc::clone(&commits);
 
         let (ev_tx, ev_rx) = unbounded::<PartyEvent>();
-        let mut read_end = end.try_clone().expect("clone party end");
+        let read_end = end.try_clone().expect("clone party end");
         party_reader_handles.push(thread::spawn(move || {
+            let mut read_end = Throttle {
+                inner: read_end,
+                chunk,
+            };
             while let Ok(Some(body)) = read_frame(&mut read_end) {
-                let mut r = &body[..];
-                let event = match u8::decode(&mut r) {
-                    Ok(KIND_UNICAST) => {
-                        let header = PartyId::decode(&mut r)
-                            .and_then(|from| u32::decode(&mut r).map(|round| (from, round)));
-                        let Ok((from, round)) = header else {
-                            // Truncated delivery header: this stream is
-                            // corrupt beyond one frame; stop reading it.
-                            return;
-                        };
+                let event = match parse_delivery(&body) {
+                    Some(DeliveryFrame::Msg {
+                        from,
+                        round,
+                        payload,
+                    }) => {
                         // The decode half of the wire round trip: the frame
                         // payload is exactly one encoded message. A payload
                         // that does not decode came from a garbled peer —
                         // drop the frame (sender treated as crashed) and
                         // keep this party's run live.
-                        match codec.decode(r) {
+                        match codec.decode(payload) {
                             Ok(msg) => PartyEvent::Msg { from, round, msg },
                             Err(_) => continue,
                         }
                     }
-                    Ok(KIND_TIMER) => match u64::decode(&mut r) {
-                        Ok(tag) => PartyEvent::Timer(tag),
-                        Err(_) => return,
-                    },
-                    Ok(KIND_STOP) => {
+                    Some(DeliveryFrame::Timer(tag)) => PartyEvent::Timer(tag),
+                    Some(DeliveryFrame::Stop) => {
                         let _ = ev_tx.send(PartyEvent::Stop);
                         return;
                     }
-                    // Unknown kind or empty frame: corrupt stream.
-                    _ => return,
+                    // Corrupt delivery header: this stream is garbled
+                    // beyond one frame; stop reading it.
+                    None => return,
                 };
                 if ev_tx.send(event).is_err() {
                     // Event loop exited (terminated); keep draining so the
@@ -535,53 +232,19 @@ pub(crate) fn run_socket_slots(
             if !start_offset.is_zero() {
                 thread::sleep(start_offset);
             }
-            let local_start = Instant::now();
-            let mut max_round: Option<u32> = None;
-            let mut handled: u64 = 0;
-            let mut committed = false;
+            let mut core = PartyCore::new(me, config, epoch, Instant::now());
+            // One handler invocation: bookkeeping and commit recording in
+            // the shared core, effect drain over this transport. The encode
+            // half of the wire round trip: every outbound payload leaves
+            // this thread as bytes, never as a pointer.
             let run = |strategy: &mut Box<dyn Strategy<ErasedMsg>>,
-                       ev: Option<PartyEvent>,
-                       max_round: &mut Option<u32>,
-                       handled: &mut u64,
-                       committed: &mut bool,
+                       core: &mut PartyCore,
+                       step: Step<ErasedMsg>,
                        write_end: &mut Stream|
              -> bool {
-                *handled += 1;
-                let mut ctx = NetCtx::new(
-                    me,
-                    config,
-                    LocalTime::from_micros(local_start.elapsed().as_micros() as u64),
-                );
-                match ev {
-                    None => strategy.start(&mut ctx),
-                    Some(PartyEvent::Msg { from, round, msg }) => {
-                        *max_round = Some(max_round.map_or(round, |r| r.max(round)));
-                        strategy.on_message(from, msg, &mut ctx);
-                    }
-                    Some(PartyEvent::Timer(tag)) => strategy.on_timer(tag, &mut ctx),
-                    Some(PartyEvent::Stop) => unreachable!("Stop is intercepted before dispatch"),
-                }
-                let out_round = max_round.map_or(0, |r| r + 1);
-                if !ctx.commit_values.is_empty() {
-                    let elapsed = epoch.elapsed();
-                    let local = local_start.elapsed();
-                    let mut log = commits.lock();
-                    for value in ctx.commit_values.drain(..) {
-                        log.push(RawCommit {
-                            party: me,
-                            value,
-                            elapsed,
-                            local,
-                            round: out_round,
-                            step: *handled,
-                            first: !*committed,
-                        });
-                        *committed = true;
-                    }
-                }
-                // The encode half of the wire round trip: every outbound
-                // payload leaves this thread as bytes, never as a pointer.
-                for (to, msg) in ctx.sends.drain(..) {
+                let ctx = core.handle(strategy.as_mut(), step, &commits);
+                let out_round = core.out_round();
+                for (to, msg) in ctx.sends {
                     let mut body = Vec::new();
                     body.push(KIND_UNICAST);
                     to.encode(&mut body);
@@ -589,7 +252,7 @@ pub(crate) fn run_socket_slots(
                     msg.encode(&mut body);
                     let _ = write_frame(write_end, &body);
                 }
-                for (skip, msg) in ctx.mcasts.drain(..) {
+                for (skip, msg) in ctx.mcasts {
                     let mut body = Vec::new();
                     body.push(KIND_MULTICAST);
                     skip.encode(&mut body);
@@ -597,7 +260,7 @@ pub(crate) fn run_socket_slots(
                     msg.encode(&mut body);
                     let _ = write_frame(write_end, &body);
                 }
-                for (delay, tag) in ctx.timers.drain(..) {
+                for (delay, tag) in ctx.timers {
                     let mut body = Vec::new();
                     body.push(KIND_TIMER);
                     delay.as_micros().encode(&mut body);
@@ -613,33 +276,25 @@ pub(crate) fn run_socket_slots(
                 }
                 (true, handled)
             };
-            if run(
-                &mut strategy,
-                None,
-                &mut max_round,
-                &mut handled,
-                &mut committed,
-                &mut write_end,
-            ) {
-                return finish(handled);
+            if run(&mut strategy, &mut core, Step::Start, &mut write_end) {
+                return finish(core.handled);
             }
             loop {
                 match ev_rx.recv_timeout(IDLE_POLL) {
-                    Ok(PartyEvent::Stop) => return (false, handled),
-                    Ok(ev) => {
-                        if run(
-                            &mut strategy,
-                            Some(ev),
-                            &mut max_round,
-                            &mut handled,
-                            &mut committed,
-                            &mut write_end,
-                        ) {
-                            return finish(handled);
+                    Ok(PartyEvent::Stop) => return (false, core.handled),
+                    Ok(PartyEvent::Msg { from, round, msg }) => {
+                        let step = Step::Msg { from, round, msg };
+                        if run(&mut strategy, &mut core, step, &mut write_end) {
+                            return finish(core.handled);
+                        }
+                    }
+                    Ok(PartyEvent::Timer(tag)) => {
+                        if run(&mut strategy, &mut core, Step::Timer(tag), &mut write_end) {
+                            return finish(core.handled);
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => return (false, handled),
+                    Err(RecvTimeoutError::Disconnected) => return (false, core.handled),
                 }
             }
         }));
@@ -649,18 +304,7 @@ pub(crate) fn run_socket_slots(
     // Early-exit protocol, exactly as the thread engine: every honest
     // party reports termination; the deadline only caps runs where some
     // honest party never terminates.
-    let deadline_at = epoch + plan.deadline;
-    let mut remaining = honest.iter().filter(|h| **h).count();
-    while remaining > 0 {
-        let left = deadline_at.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            break;
-        }
-        match done_rx.recv_timeout(left) {
-            Ok(()) => remaining -= 1,
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
+    await_honest_done(&done_rx, &honest, epoch + plan.deadline);
 
     // Shutdown: the scheduler flushes stop frames; party readers forward
     // Stop and close their ends; party loops exit; dispatcher readers then
@@ -715,6 +359,7 @@ pub(crate) fn run_socket_slots(
         messages_sent,
         peak_queue,
         elapsed: epoch.elapsed(),
+        sched: None,
     }
 }
 
@@ -826,6 +471,7 @@ impl SocketBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::parse_submission;
     use gcl_sim::{AdversaryMix, DelayChoice, SkewChoice};
     use gcl_types::Duration as SimDuration;
 
@@ -920,14 +566,53 @@ mod tests {
     }
 
     #[test]
-    fn frames_round_trip_length_prefix() {
-        let (mut a, mut b) = stream_pair().expect("pair");
-        write_frame(&mut a, &[9, 8, 7]).unwrap();
-        write_frame(&mut a, &[]).unwrap();
-        assert_eq!(read_frame(&mut b).unwrap(), Some(vec![9, 8, 7]));
-        assert_eq!(read_frame(&mut b).unwrap(), Some(vec![]));
-        drop(a);
-        assert_eq!(read_frame(&mut b).unwrap(), None, "clean EOF");
+    fn one_byte_socket_reads_commit_identically() {
+        // The short-read fuzz gate, end to end: run the same broadcast
+        // twice, once with every socket read capped at ONE byte (so every
+        // frame — prefix and body alike — reassembles across dozens of
+        // partial reads) and once normally. Commits, termination and causal
+        // rounds must be identical. The pre-fix reader `read_exact`ed frame
+        // bodies, which cannot survive arbitrary-boundary partial reads.
+        use gcl_core::asynchrony::{Brb2Msg, TwoRoundBrb};
+        use gcl_crypto::Keychain;
+        let spec = brb_spec();
+        let cfg = spec.config().expect("valid shape");
+        let run_with = |chunk: Option<usize>| {
+            let chain = Keychain::generate(spec.n, spec.seed);
+            let slots = spec.erased_slots(|p| {
+                TwoRoundBrb::new(
+                    cfg,
+                    chain.signer(p),
+                    chain.pki(),
+                    spec.broadcaster,
+                    spec.input_for(p),
+                )
+            });
+            let mut plan = engine_plan(&spec, Duration::from_secs(10));
+            plan.read_chunk = chunk;
+            let raw = run_socket_slots(
+                plan,
+                slots.into_iter().map(|s| (s.strategy, s.honest)).collect(),
+                MsgCodec::of::<Brb2Msg>(),
+                None,
+            );
+            outcome_from_raw(&spec, raw)
+        };
+        let chunked = run_with(Some(1));
+        let normal = run_with(None);
+        assert!(chunked.agreement_holds());
+        assert!(
+            chunked.all_honest_committed(),
+            "1-byte reads must not stall"
+        );
+        assert!(chunked.all_honest_terminated());
+        assert_eq!(chunked.committed_value(), normal.committed_value());
+        assert_eq!(chunked.committed_value(), Some(spec.input));
+        assert_eq!(
+            chunked.good_case_rounds(),
+            normal.good_case_rounds(),
+            "causal structure survives byte-at-a-time delivery"
+        );
     }
 
     #[test]

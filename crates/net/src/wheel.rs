@@ -1,0 +1,254 @@
+//! A hashed timing wheel for the readiness-loop scheduler.
+//!
+//! The async backend multiplexes every party's view/Δ timers onto one
+//! scheduler thread, so timer arming must be O(1) regardless of how many
+//! are pending — a `BinaryHeap` would pay O(log pending) per protocol
+//! timeout, and at n = 1024 parties each arming several Δ-scale timers
+//! per view that is the scheduler's hot path. The classic fix (Varghese &
+//! Lauck) is a hashed wheel: a ring of [`WHEEL_SLOTS`] buckets at 1 ms
+//! tick granularity, with timers beyond the ring's horizon parked in a
+//! sorted overflow map and cascaded in as the wheel turns.
+//!
+//! Semantics the engine relies on:
+//!
+//! * **Never early.** A delay is rounded *up* to the next tick (and a
+//!   zero delay to one full tick), so a timer armed for `after` fires at
+//!   wall time ≥ `after`. Protocol timeouts are ≥ Δ' = tens of
+//!   milliseconds on this backend, so 1 ms granularity disappears into
+//!   scheduler noise.
+//! * **FIFO within a tick.** Timers expiring on the same tick drain in
+//!   arming order (a per-wheel sequence stamp) — the same tie discipline
+//!   as the dispatcher heap's `(due, seq)` order.
+//! * **Due order across ticks.** [`advance_to`] walks ticks in order, so
+//!   an earlier-due timer is always yielded before a later one even when
+//!   one `advance_to` call covers many elapsed ticks.
+//!
+//! [`advance_to`]: TimerWheel::advance_to
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+/// Ring size: one second of 1 ms ticks. Timers further out than this park
+/// in the overflow map until the wheel turns within range.
+pub(crate) const WHEEL_SLOTS: usize = 1024;
+
+/// Tick granularity in microseconds (1 ms).
+const TICK_US: u64 = 1_000;
+
+/// A hashed timing wheel over items of type `T`. See the [module
+/// docs](self) for the expiry semantics.
+pub(crate) struct TimerWheel<T> {
+    /// `slots[due % WHEEL_SLOTS]` holds `(due_tick, seq, item)`. A bucket
+    /// may hold entries from different ring revolutions; only entries
+    /// whose `due_tick` equals the current tick fire, the rest rotate
+    /// back.
+    slots: Vec<VecDeque<(u64, u64, T)>>,
+    /// The current tick (elapsed milliseconds the wheel has advanced to).
+    tick: u64,
+    /// Arming-order stamp, for FIFO ties within a tick.
+    seq: u64,
+    /// Timers due beyond the ring's horizon, keyed `(due_tick, seq)`.
+    overflow: BTreeMap<(u64, u64), T>,
+    /// Pending timers (ring + overflow).
+    pending: usize,
+}
+
+impl<T> TimerWheel<T> {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            tick: 0,
+            seq: 0,
+            overflow: BTreeMap::new(),
+            pending: 0,
+        }
+    }
+
+    /// Arms `item` to fire `after` from now (i.e. from the wheel's current
+    /// tick). Rounds up to the next tick — never early — and a zero delay
+    /// still waits one full tick.
+    pub(crate) fn insert(&mut self, after: Duration, item: T) {
+        let after_us = u64::try_from(after.as_micros()).unwrap_or(u64::MAX);
+        let ticks = after_us.div_ceil(TICK_US).max(1);
+        let due = self.tick.saturating_add(ticks);
+        let seq = self.seq;
+        self.seq += 1;
+        if ticks < WHEEL_SLOTS as u64 {
+            self.slots[(due % WHEEL_SLOTS as u64) as usize].push_back((due, seq, item));
+        } else {
+            self.overflow.insert((due, seq), item);
+        }
+        self.pending += 1;
+    }
+
+    /// Advances the wheel to wall-clock `elapsed` (measured from the same
+    /// epoch as every `insert`), appending expired items to `out` in
+    /// `(due, seq)` order.
+    pub(crate) fn advance_to(&mut self, elapsed: Duration, out: &mut Vec<T>) {
+        let target = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX) / TICK_US;
+        while self.tick < target {
+            if self.pending == 0 {
+                // Nothing armed: jump instead of walking empty ticks.
+                self.tick = target;
+                break;
+            }
+            self.tick += 1;
+            // Cascade overflow entries that are now within the ring's
+            // horizon into their bucket.
+            let horizon = self.tick + WHEEL_SLOTS as u64 - 1;
+            while let Some((&(due, _), _)) = self.overflow.first_key_value() {
+                if due > horizon {
+                    break;
+                }
+                let ((due, seq), item) = self.overflow.pop_first().expect("peeked");
+                self.slots[(due % WHEEL_SLOTS as u64) as usize].push_back((due, seq, item));
+            }
+            // Fire this tick's entries; entries from other revolutions
+            // sharing the bucket rotate back.
+            let slot = &mut self.slots[(self.tick % WHEEL_SLOTS as u64) as usize];
+            let mut fired: Vec<(u64, u64, T)> = Vec::new();
+            for _ in 0..slot.len() {
+                let entry = slot.pop_front().expect("counted");
+                if entry.0 == self.tick {
+                    fired.push(entry);
+                } else {
+                    slot.push_back(entry);
+                }
+            }
+            fired.sort_by_key(|&(_, seq, _)| seq);
+            self.pending -= fired.len();
+            out.extend(fired.into_iter().map(|(_, _, item)| item));
+        }
+    }
+
+    /// How long until the earliest pending timer falls due, measured
+    /// against the caller's `elapsed` clock. `None` when nothing is
+    /// armed; `Some(ZERO)` when a timer is already overdue (the caller
+    /// should [`advance_to`](Self::advance_to) and poll with a zero
+    /// timeout).
+    pub(crate) fn next_timeout(&self, elapsed: Duration) -> Option<Duration> {
+        let due = self.earliest_due_tick()?;
+        Some(Duration::from_millis(due).saturating_sub(elapsed))
+    }
+
+    /// Earliest pending `due_tick`, scanning the ring and the overflow
+    /// head. O(pending + WHEEL_SLOTS) — called once per scheduler poll,
+    /// not per timer.
+    fn earliest_due_tick(&self) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        let mut best = self.overflow.keys().next().map(|&(due, _)| due);
+        for slot in &self.slots {
+            for &(due, _, _) in slot {
+                best = Some(best.map_or(due, |b| b.min(due)));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn drain(wheel: &mut TimerWheel<u32>, elapsed: Duration) -> Vec<u32> {
+        let mut out = Vec::new();
+        wheel.advance_to(elapsed, &mut out);
+        out
+    }
+
+    #[test]
+    fn timers_round_up_and_never_fire_early() {
+        let mut wheel = TimerWheel::new();
+        wheel.insert(Duration::from_micros(1_500), 1); // 1.5 ms → tick 2
+        wheel.insert(Duration::ZERO, 2); // zero → one full tick
+        assert_eq!(drain(&mut wheel, Duration::from_micros(999)), vec![]);
+        assert_eq!(drain(&mut wheel, ms(1)), vec![2], "zero delay at tick 1");
+        assert_eq!(drain(&mut wheel, Duration::from_micros(1_999)), vec![]);
+        assert_eq!(drain(&mut wheel, ms(2)), vec![1], "1.5 ms rounds up to 2");
+    }
+
+    #[test]
+    fn same_tick_fires_in_arming_order() {
+        let mut wheel = TimerWheel::new();
+        for id in 0..10u32 {
+            wheel.insert(ms(5), id);
+        }
+        assert_eq!(drain(&mut wheel, ms(5)), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_big_advance_yields_due_order_across_ticks() {
+        let mut wheel = TimerWheel::new();
+        // Armed out of due order, spread across buckets.
+        wheel.insert(ms(30), 30);
+        wheel.insert(ms(10), 10);
+        wheel.insert(ms(20), 20);
+        wheel.insert(ms(10), 11); // same tick as 10, armed later
+        assert_eq!(drain(&mut wheel, ms(100)), vec![10, 11, 20, 30]);
+    }
+
+    #[test]
+    fn far_future_timers_cascade_from_overflow() {
+        let mut wheel = TimerWheel::new();
+        // Beyond the 1024-tick ring: parks in overflow.
+        wheel.insert(ms(2_500), 99);
+        wheel.insert(ms(3), 3);
+        assert_eq!(drain(&mut wheel, ms(1_000)), vec![3]);
+        assert_eq!(drain(&mut wheel, ms(2_499)), vec![]);
+        assert_eq!(drain(&mut wheel, ms(2_500)), vec![99]);
+        assert_eq!(wheel.next_timeout(ms(2_500)), None, "wheel drained");
+    }
+
+    #[test]
+    fn ring_revolutions_do_not_alias() {
+        // Two timers whose due ticks collide modulo the ring size: the
+        // near one must fire without dragging the far one along, and the
+        // far one must still fire on its own tick.
+        let mut wheel = TimerWheel::new();
+        wheel.insert(ms(2), 2);
+        wheel.insert(ms(2 + WHEEL_SLOTS as u64), 1026);
+        assert_eq!(drain(&mut wheel, ms(2)), vec![2]);
+        assert_eq!(drain(&mut wheel, ms(1 + WHEEL_SLOTS as u64)), vec![]);
+        assert_eq!(drain(&mut wheel, ms(2 + WHEEL_SLOTS as u64)), vec![1026]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_earliest_timer() {
+        let mut wheel = TimerWheel::new();
+        assert_eq!(wheel.next_timeout(Duration::ZERO), None);
+        wheel.insert(ms(50), 1);
+        wheel.insert(ms(5_000), 2); // overflow
+        assert_eq!(wheel.next_timeout(Duration::ZERO), Some(ms(50)));
+        assert_eq!(wheel.next_timeout(ms(48)), Some(ms(2)));
+        assert_eq!(wheel.next_timeout(ms(60)), Some(ms(0)), "overdue is zero");
+        assert_eq!(drain(&mut wheel, ms(60)), vec![1]);
+        assert_eq!(wheel.next_timeout(ms(60)), Some(ms(4_940)));
+        assert_eq!(drain(&mut wheel, ms(5_000)), vec![2]);
+    }
+
+    #[test]
+    fn idle_gaps_jump_instead_of_walking() {
+        // An empty wheel advanced by an hour must not walk 3.6 M ticks —
+        // regression guard by arming after the jump and checking due math.
+        let mut wheel = TimerWheel::new();
+        let mut out = Vec::new();
+        wheel.advance_to(Duration::from_secs(3_600), &mut out);
+        assert!(out.is_empty());
+        wheel.insert(ms(2), 7);
+        assert_eq!(
+            wheel.next_timeout(Duration::from_secs(3_600)),
+            Some(ms(2)),
+            "due is measured from the advanced tick"
+        );
+        assert_eq!(
+            drain(&mut wheel, Duration::from_secs(3_600) + ms(2)),
+            vec![7]
+        );
+    }
+}

@@ -22,6 +22,22 @@ pub struct CommitRecord {
     pub step: u64,
 }
 
+/// Execution-scheduler counters reported by backends that multiplex many
+/// parties over a fixed pool of OS threads (the readiness-loop backend).
+/// Backends with one thread per party — and the simulator, which has no
+/// scheduler at all — report `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedCounters {
+    /// Size of the worker pool the run's parties were multiplexed over.
+    pub workers: usize,
+    /// Readiness-poll wakeups summed over the scheduler and all workers.
+    pub wakeups: u64,
+    /// High-water mark, in bytes, of any single outbound frame queue —
+    /// the backpressure metric (a queue that keeps growing means a peer
+    /// reads slower than the run writes).
+    pub peak_outbound_bytes: usize,
+}
+
 /// Everything observable after a simulation run.
 #[derive(Debug)]
 pub struct Outcome {
@@ -35,6 +51,7 @@ pub struct Outcome {
     pub(crate) events_processed: u64,
     pub(crate) messages_sent: u64,
     pub(crate) peak_queue_depth: usize,
+    pub(crate) sched: Option<SchedCounters>,
     /// `last_delivery_of_round[k]` = the latest instant at which a message
     /// tagged round `k` is (scheduled to be) delivered — Definition 10's
     /// `l_{k+1}` boundary.
@@ -69,6 +86,9 @@ pub struct OutcomeParts {
     pub messages_sent: u64,
     /// High-water mark of in-flight scheduled events.
     pub peak_queue_depth: usize,
+    /// Worker-pool scheduler counters, for backends that have one
+    /// (`None` everywhere else).
+    pub sched: Option<SchedCounters>,
 }
 
 impl From<OutcomeParts> for Outcome {
@@ -84,6 +104,7 @@ impl From<OutcomeParts> for Outcome {
             events_processed: parts.events_processed,
             messages_sent: parts.messages_sent,
             peak_queue_depth: parts.peak_queue_depth,
+            sched: parts.sched,
             last_delivery_of_round: Vec::new(),
             trace: Vec::new(),
         }
@@ -251,6 +272,12 @@ impl Outcome {
         self.peak_queue_depth
     }
 
+    /// Worker-pool scheduler counters — `Some` only for backends that
+    /// multiplex parties over a fixed worker pool (see [`SchedCounters`]).
+    pub fn sched_counters(&self) -> Option<SchedCounters> {
+        self.sched
+    }
+
     /// The recorded trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
@@ -289,6 +316,7 @@ mod tests {
             events_processed: 1,
             messages_sent: 0,
             peak_queue_depth: 0,
+            sched: None,
             last_delivery_of_round: vec![GlobalTime::from_micros(10), GlobalTime::from_micros(100)],
             trace: Vec::new(),
         }

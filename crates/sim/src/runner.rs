@@ -404,6 +404,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
             events_processed,
             messages_sent: net.messages_sent,
             peak_queue_depth: net.queue.peak(),
+            sched: None,
             last_delivery_of_round: net.last_delivery_of_round,
             trace,
         }

@@ -1,0 +1,663 @@
+//! Offline shim for the `mio` 0.8 readiness-polling subset `gcl_net`'s async
+//! backend uses: `Poll` / `Registry` / `Events` / `Event` / `Token` /
+//! `Interest`, always level-triggered.
+//!
+//! Backend selection:
+//! - **Linux:** `epoll(7)` via direct `extern "C"` declarations (the std
+//!   runtime already links libc, so no new link-time dependency).
+//! - **Other unix:** `poll(2)` over the registered fd set.
+//!
+//! Divergences from real mio, all conservative:
+//! - registration is level-triggered only (no `Interest::PRIORITY`, no
+//!   edge-triggered mode) — exactly what the readiness loop assumes;
+//! - `poll` retries internally on `EINTR` with a recomputed remaining
+//!   timeout instead of surfacing `ErrorKind::Interrupted` (callers that
+//!   handle `Interrupted` for real-mio compatibility simply never see it);
+//! - any type implementing `AsRawFd` is registerable (real mio wants its
+//!   own wrapper types or `SourceFd`); call sites that register
+//!   `UnixStream`s directly keep compiling against real mio's `net`
+//!   feature.
+//!
+//! Swap-back: once a crate registry is reachable, replace the `path` entry
+//! in `[workspace.dependencies]` with `mio = { version = "0.8", features =
+//! ["os-poll", "net"] }` and keep call sites unchanged.
+
+#![cfg(unix)]
+
+use std::io;
+use std::ops::BitOr;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::{Duration, Instant};
+
+/// Caller-chosen identifier attached to a registration and echoed back on
+/// every readiness event for that fd.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interests: readable, writable, or both (`READABLE | WRITABLE`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(0b01);
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (mio's const-friendly `|`).
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// Anything with a raw fd can be registered. Blanket-implemented so call
+/// sites pass `&mut UnixStream` exactly as they would with real mio's `net`
+/// types.
+pub trait Source {
+    fn raw_fd(&self) -> RawFd;
+}
+
+impl<T: AsRawFd> Source for T {
+    fn raw_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// A single readiness event: which token, and which directions are ready.
+/// Error/hang-up conditions surface as *both* readable and writable so a
+/// loop that only watches one direction still wakes up and observes the
+/// failure from the subsequent `read`/`write` return value.
+#[derive(Copy, Clone, Debug)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+}
+
+/// Reusable buffer of events filled by [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Converts an optional timeout into whole milliseconds for the syscall,
+/// rounding *up* so a 100µs request does not busy-spin as 0ms, with -1 as
+/// "block forever".
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let rounded = if d.subsec_nanos() % 1_000_000 != 0 {
+                ms + 1
+            } else {
+                ms
+            };
+            rounded.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+/// Remaining budget after `started`, for retrying an `EINTR`ed wait.
+fn remaining(timeout: Option<Duration>, started: Instant) -> Option<Duration> {
+    timeout.map(|d| d.saturating_sub(started.elapsed()))
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll backend. `epoll_event` is packed on x86-64 only, matching the
+    //! kernel ABI (`__EPOLL_PACKED`).
+
+    use super::{remaining, timeout_ms, Event, Events, Interest, Token};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::{Duration, Instant};
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Copy, Clone)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interests: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interests.is_readable() {
+            m |= EPOLLIN;
+        }
+        if interests.is_writable() {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            // SAFETY: epoll_create1 takes no pointers; a negative return is
+            // mapped to the errno-derived io::Error.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, ev: Option<&mut EpollEvent>) -> io::Result<()> {
+            let ptr = ev.map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: `ptr` is either null (only for EPOLL_CTL_DEL, where the
+            // kernel ignores it) or a live &mut EpollEvent for the duration of
+            // the call.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) }).map(|_| ())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interests),
+                data: token.0 as u64,
+            };
+            self.ctl(EPOLL_CTL_ADD, fd, Some(&mut ev))
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interests),
+                data: token.0 as u64,
+            };
+            self.ctl(EPOLL_CTL_MOD, fd, Some(&mut ev))
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub fn select(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let started = Instant::now();
+            let mut budget = timeout;
+            loop {
+                let cap = events.capacity;
+                let mut buf = vec![EpollEvent { events: 0, data: 0 }; cap];
+                // SAFETY: `buf` holds `cap` writable EpollEvents and outlives
+                // the call; the kernel writes at most `cap` entries.
+                let n = unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), cap as i32, timeout_ms(budget))
+                };
+                match cvt(n) {
+                    Ok(n) => {
+                        for raw in buf.iter().take(n as usize) {
+                            let bits = raw.events;
+                            let hup = bits & (EPOLLERR | EPOLLHUP) != 0;
+                            events.inner.push(Event {
+                                token: Token(raw.data as usize),
+                                readable: bits & (EPOLLIN | EPOLLRDHUP) != 0 || hup,
+                                writable: bits & EPOLLOUT != 0 || hup,
+                            });
+                        }
+                        return Ok(());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        budget = remaining(timeout, started);
+                        if budget == Some(Duration::ZERO) {
+                            return Ok(());
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            // SAFETY: closing the epoll fd we created; errors at drop are
+            // unreportable and ignored, as in real mio.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! poll(2) fallback for non-Linux unix: the selector keeps the
+    //! registered fd set in a mutex and rebuilds the pollfd array per wait.
+
+    use super::{remaining, timeout_ms, Event, Events, Interest, Token};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Copy, Clone)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    pub struct Selector {
+        registered: Mutex<Vec<(RawFd, Token, Interest)>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            if reg.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            reg.push((fd, token, interests));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            match reg.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interests);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            let before = reg.len();
+            reg.retain(|(f, _, _)| *f != fd);
+            if reg.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn select(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let started = Instant::now();
+            let mut budget = timeout;
+            loop {
+                let snapshot: Vec<(RawFd, Token, Interest)> =
+                    self.registered.lock().unwrap().clone();
+                let mut fds: Vec<PollFd> = snapshot
+                    .iter()
+                    .map(|(fd, _, interest)| {
+                        let mut ev = 0i16;
+                        if interest.is_readable() {
+                            ev |= POLLIN;
+                        }
+                        if interest.is_writable() {
+                            ev |= POLLOUT;
+                        }
+                        PollFd {
+                            fd: *fd,
+                            events: ev,
+                            revents: 0,
+                        }
+                    })
+                    .collect();
+                // SAFETY: `fds` holds `len` writable PollFds and outlives the
+                // call; the kernel only writes the `revents` fields.
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(budget)) };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        budget = remaining(timeout, started);
+                        if budget == Some(Duration::ZERO) {
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    return Err(e);
+                }
+                for (pfd, (_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    let hup = pfd.revents & (POLLERR | POLLHUP) != 0;
+                    events.inner.push(Event {
+                        token: *token,
+                        readable: pfd.revents & POLLIN != 0 || hup,
+                        writable: pfd.revents & POLLOUT != 0 || hup,
+                    });
+                    if events.inner.len() == events.capacity {
+                        break;
+                    }
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Handle for registering event sources; borrowed from a [`Poll`].
+pub struct Registry {
+    selector: sys::Selector,
+}
+
+impl Registry {
+    /// Starts watching `source` for `interests` under `token`
+    /// (level-triggered).
+    pub fn register<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector.register(source.raw_fd(), token, interests)
+    }
+
+    /// Replaces the token/interests of an already-registered source.
+    pub fn reregister<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector.reregister(source.raw_fd(), token, interests)
+    }
+
+    /// Stops watching `source`.
+    pub fn deregister<S: Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        self.selector.deregister(source.raw_fd())
+    }
+}
+
+/// The readiness selector: one per event-loop thread.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                selector: sys::Selector::new()?,
+            },
+        })
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` blocks indefinitely), filling `events`.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        self.registry.selector.select(events, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    fn nonblocking_pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn interest_combines() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+        assert_eq!(Interest::READABLE.add(Interest::WRITABLE), both);
+    }
+
+    #[test]
+    fn timeout_rounds_up_not_down() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(7))), 7);
+    }
+
+    #[test]
+    fn readable_after_peer_writes() {
+        let (mut a, mut b) = nonblocking_pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&mut a, Token(7), Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet, must time out empty");
+
+        b.write_all(b"x").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        let ev = events.iter().next().expect("readable event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+
+        let mut buf = [0u8; 4];
+        assert_eq!(a.read(&mut buf).unwrap(), 1);
+    }
+
+    #[test]
+    fn writable_reported_for_fresh_socket() {
+        let (mut a, _b) = nonblocking_pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&mut a, Token(3), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        let ev = events.iter().next().expect("writable event");
+        assert_eq!(ev.token(), Token(3));
+        assert!(ev.is_writable());
+    }
+
+    #[test]
+    fn reregister_switches_token_and_interest() {
+        let (mut a, mut b) = nonblocking_pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&mut a, Token(1), Interest::WRITABLE)
+            .unwrap();
+        poll.registry()
+            .reregister(&mut a, Token(2), Interest::READABLE)
+            .unwrap();
+
+        b.write_all(b"y").unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        let ev = events.iter().next().expect("event after reregister");
+        assert_eq!(ev.token(), Token(2));
+        assert!(ev.is_readable());
+    }
+
+    #[test]
+    fn deregistered_fd_stays_silent() {
+        let (mut a, mut b) = nonblocking_pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&mut a, Token(1), Interest::READABLE)
+            .unwrap();
+        poll.registry().deregister(&mut a).unwrap();
+        b.write_all(b"z").unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_wakes_a_read_watcher() {
+        let (mut a, b) = nonblocking_pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&mut a, Token(9), Interest::READABLE)
+            .unwrap();
+        drop(b);
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
+        let ev = events.iter().next().expect("hangup event");
+        assert!(ev.is_readable(), "peer close must surface as readable");
+        let mut buf = [0u8; 4];
+        assert_eq!(a.read(&mut buf).unwrap(), 0, "EOF after hangup");
+    }
+
+    #[test]
+    fn timeout_is_honored() {
+        let (mut a, _b) = nonblocking_pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&mut a, Token(0), Interest::READABLE)
+            .unwrap();
+        let started = Instant::now();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        let waited = started.elapsed();
+        assert!(events.is_empty());
+        assert!(
+            waited >= Duration::from_millis(25),
+            "returned after {waited:?}"
+        );
+        assert!(waited < Duration::from_secs(5), "did not block forever");
+    }
+
+    #[test]
+    fn two_sources_two_tokens() {
+        let (mut a1, mut b1) = nonblocking_pair();
+        let (mut a2, mut b2) = nonblocking_pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&mut a1, Token(11), Interest::READABLE)
+            .unwrap();
+        poll.registry()
+            .register(&mut a2, Token(22), Interest::READABLE)
+            .unwrap();
+        b1.write_all(b"1").unwrap();
+        b2.write_all(b"2").unwrap();
+        let mut events = Events::with_capacity(8);
+        let mut seen = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while seen.len() < 2 && Instant::now() < deadline {
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            for ev in &events {
+                if !seen.contains(&ev.token()) {
+                    seen.push(ev.token());
+                }
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, vec![Token(11), Token(22)]);
+    }
+}
