@@ -1,0 +1,40 @@
+//! Microbench of the calendar-queue event engine in isolation.
+//!
+//! The scenario benches (`sim_throughput`) measure the queue through a
+//! full protocol run; this target drives `gcl_sim`'s queue directly with
+//! a deterministic mixed near/far push/pop workload, so a queue-only
+//! change shows up without protocol noise. The workload is the same
+//! `queue_stress` entry point the engine's own tests checksum, at two
+//! bucket widths (δ = 1 µs: one event per slot; δ = 100 µs: slot reuse
+//! plus regular far-tier spills).
+//!
+//! CI runs this in quick mode (`GCL_BENCH_QUICK=1`, 100k events) as a
+//! smoke test; the default is 1M events per iteration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// 1M events exercises several full ring wraps at δ = 1 µs; quick mode
+/// keeps the smoke run under a second.
+fn workload_events() -> usize {
+    if std::env::var_os("GCL_BENCH_QUICK").is_some() {
+        100_000
+    } else {
+        1_000_000
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let events = workload_events();
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(10);
+    g.bench_function("push_pop_mixed/delta_1us", |b| {
+        b.iter(|| black_box(gcl_sim::queue_stress(black_box(events), 1)))
+    });
+    g.bench_function("push_pop_mixed/delta_100us", |b| {
+        b.iter(|| black_box(gcl_sim::queue_stress(black_box(events), 100)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -49,9 +49,9 @@ fn main() -> ExitCode {
     let rows = throughput_rows(quick);
     for r in &rows {
         eprintln!(
-            "  {:<22} n={:<4} events={:<8} messages={:<8} macs={:<8} hits={:<8} wall={:>10}ns  {:>12.0} ev/s",
-            r.scenario, r.n, r.events, r.messages, r.verify_macs, r.verify_hits, r.wall_ns,
-            r.events_per_sec
+            "  {:<22} n={:<4} events={:<8} messages={:<8} drops={:<8} qbytes={:<9} macs={:<8} hits={:<8} wall={:>10}ns  {:>12.0} ev/s",
+            r.scenario, r.n, r.events, r.messages, r.drops_at_enqueue, r.queue_bytes,
+            r.verify_macs, r.verify_hits, r.wall_ns, r.events_per_sec
         );
     }
 

@@ -101,6 +101,20 @@ fn shape_of(schema: &str) -> Option<Shape> {
                     field: "verify_macs",
                     better: Better::Lower,
                 },
+                // Retained event-queue memory: a jump means the slab or
+                // the calendar directories stopped recycling.
+                Metric {
+                    field: "queue_bytes",
+                    better: Better::Lower,
+                },
+                // Deterministic like verify_macs: a jump means parties
+                // are flooding dead recipients harder — protocol-level
+                // termination drift, not measurement noise. (All-zero
+                // scenarios are skipped by the positive-value guard.)
+                Metric {
+                    field: "drops_at_enqueue",
+                    better: Better::Lower,
+                },
             ],
         }),
         _ => None,
@@ -384,6 +398,44 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("verify_macs"), "{err}");
+    }
+
+    #[test]
+    fn sim_rows_gate_queue_memory_and_enqueue_drops() {
+        let doc = |bytes: u64, drops: u64| {
+            format!(
+                "{{\"schema\": \"{SIM_SCHEMA}\", \"rows\": [{{\"scenario\": \"brb2_n1024_f341\", \
+                 \"events_per_sec\": 1000000.0, \"queue_bytes\": {bytes}, \
+                 \"drops_at_enqueue\": {drops}}}]}}"
+            )
+        };
+        diff_docs(
+            &doc(500_000, 1_400_000),
+            &doc(600_000, 1_400_000),
+            DEFAULT_FACTOR,
+        )
+        .expect("small retained-memory drift passes");
+        // A slab or directory that stopped recycling is a deterministic
+        // memory blow-up, not noise.
+        let err = diff_docs(
+            &doc(500_000, 1_400_000),
+            &doc(500_000_000, 1_400_000),
+            DEFAULT_FACTOR,
+        )
+        .unwrap_err();
+        assert!(err.contains("queue_bytes"), "{err}");
+        // Drop counts are exact per scenario; a 30x jump means parties
+        // now flood dead recipients that used to be live.
+        let err = diff_docs(
+            &doc(500_000, 40_000),
+            &doc(500_000, 1_400_000),
+            DEFAULT_FACTOR,
+        )
+        .unwrap_err();
+        assert!(err.contains("drops_at_enqueue"), "{err}");
+        // Zero-drop scenarios (all-honest floods) are skipped, never
+        // divided by.
+        diff_docs(&doc(500_000, 0), &doc(500_000, 0), DEFAULT_FACTOR).expect("zeros skipped");
     }
 
     #[test]

@@ -120,6 +120,14 @@ pub struct ThroughputRow {
     pub messages: u64,
     /// Peak event-queue depth in one run.
     pub peak_queue: u64,
+    /// Bytes the event queue retained at end of run (slab chunks plus
+    /// calendar directories) — the memory the engine holds to avoid
+    /// per-event allocation.
+    pub queue_bytes: u64,
+    /// Deliveries discarded at enqueue because the recipient had already
+    /// terminated — queue traffic the run never paid for. Deterministic:
+    /// exact per scenario, like `events`.
+    pub drops_at_enqueue: u64,
     /// Wall time of the best repetition, nanoseconds.
     pub wall_ns: u64,
     /// `events / wall` of the best repetition.
@@ -138,7 +146,7 @@ pub struct ThroughputRow {
 }
 
 /// Schema tag of the `BENCH_sim.json` document.
-pub const SIM_SCHEMA: &str = "gcl-bench/sim-throughput/v1";
+pub const SIM_SCHEMA: &str = "gcl-bench/sim-throughput/v2";
 
 /// Minimum cumulative measured wall time per scenario: microsecond-scale
 /// runs repeat until this floor so a single scheduler hiccup on a noisy CI
@@ -179,6 +187,8 @@ pub fn measure(scenario: &str, spec: &ScenarioSpec, min_reps: u32) -> Throughput
     let mut events = 0;
     let mut messages = 0;
     let mut peak_queue = 0;
+    let mut queue_bytes = 0;
+    let mut drops_at_enqueue = 0;
     let mut verify_macs = 0;
     let mut verify_hits = 0;
     while reps < min_reps || (total_ns < MIN_TOTAL_NS && reps < MAX_REPS) {
@@ -194,6 +204,8 @@ pub fn measure(scenario: &str, spec: &ScenarioSpec, min_reps: u32) -> Throughput
         events = o.events_processed();
         messages = o.messages_sent();
         peak_queue = o.peak_queue_depth() as u64;
+        queue_bytes = o.queue_bytes();
+        drops_at_enqueue = o.drops_at_enqueue();
         verify_macs = probe.macs().saturating_sub(macs0);
         verify_hits = probe.hits().saturating_sub(hits0);
         best_ns = best_ns.min(ns.max(1));
@@ -207,6 +219,8 @@ pub fn measure(scenario: &str, spec: &ScenarioSpec, min_reps: u32) -> Throughput
         events,
         messages,
         peak_queue,
+        queue_bytes,
+        drops_at_enqueue,
         wall_ns: best_ns,
         events_per_sec: events as f64 * 1e9 / best_ns as f64,
         verify_macs,
@@ -239,6 +253,8 @@ pub fn render_json(rows: &[ThroughputRow], mode: &str) -> String {
             ("events", JVal::U64(r.events)),
             ("messages", JVal::U64(r.messages)),
             ("peak_queue", JVal::U64(r.peak_queue)),
+            ("queue_bytes", JVal::U64(r.queue_bytes)),
+            ("drops_at_enqueue", JVal::U64(r.drops_at_enqueue)),
             ("wall_ns", JVal::U64(r.wall_ns)),
             ("events_per_sec", JVal::F1(r.events_per_sec)),
             ("verify_macs", JVal::U64(r.verify_macs)),
@@ -281,6 +297,8 @@ pub fn parse_json(text: &str) -> Result<Vec<ThroughputRow>, String> {
                 events: num_field("events")? as u64,
                 messages: num_field("messages")? as u64,
                 peak_queue: num_field("peak_queue")? as u64,
+                queue_bytes: num_field("queue_bytes")? as u64,
+                drops_at_enqueue: num_field("drops_at_enqueue")? as u64,
                 wall_ns: num_field("wall_ns")? as u64,
                 events_per_sec: num_field("events_per_sec")?,
                 verify_macs: num_field("verify_macs")? as u64,
@@ -372,6 +390,8 @@ mod tests {
             events: 100,
             messages: 100,
             peak_queue: 10,
+            queue_bytes: 4096,
+            drops_at_enqueue: 0,
             wall_ns: 1000,
             events_per_sec: eps,
             verify_macs: 0,
@@ -399,7 +419,10 @@ mod tests {
     fn malformed_json_rejected() {
         assert!(parse_json("{").is_err());
         assert!(parse_json("{\"schema\": \"wrong\", \"rows\": []}").is_err());
-        assert!(parse_json("{\"schema\": \"gcl-bench/sim-throughput/v1\"}").is_err());
+        assert!(parse_json("{\"schema\": \"gcl-bench/sim-throughput/v2\"}").is_err());
+        // v1 documents (no queue_bytes / drops_at_enqueue) are rejected
+        // by the schema tag, not by a field-level error.
+        assert!(parse_json("{\"schema\": \"gcl-bench/sim-throughput/v1\", \"rows\": []}").is_err());
     }
 
     #[test]

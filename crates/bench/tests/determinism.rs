@@ -154,8 +154,12 @@ fn leader_crash_smr_rotation_is_deterministic_and_pinned() {
             party: PartyId::new(0),
             handled: 12,
         });
+    // events re-pinned 793 -> 619 for the enqueue-time dead-recipient
+    // drop: the 174 deliveries addressed to the crashed leader after it
+    // terminated are now discarded at enqueue instead of being popped
+    // and filtered; messages, latency, and rounds are byte-identical.
     check(
-        ("smr_50_leader_crash", 793, 742, Some(2600), Some(17)),
+        ("smr_50_leader_crash", 619, 742, Some(2600), Some(17)),
         &spec,
     );
     let cells: Vec<ScenarioSpec> = (0..4).map(|i| spec.clone().with_seed(100 + i)).collect();

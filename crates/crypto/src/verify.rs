@@ -40,9 +40,71 @@ use gcl_types::PartyId;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Deterministic multiply-rotate hasher for the verify-cache maps.
+///
+/// Every cache key embeds a SHA-256 output (a [`Digest`], or a memo key
+/// containing exact signature bytes), so the key material is already
+/// uniformly distributed and attacker-shaped input cannot engineer bucket
+/// collisions any more easily than it can engineer digest collisions.
+/// That makes SipHash's keyed collision resistance pure overhead on the
+/// per-delivery hot path; this hasher is a handful of arithmetic ops per
+/// word instead. It has no per-process random state, so bucket layout —
+/// like every cache *verdict* — is identical across runs.
+#[derive(Default)]
+pub(crate) struct CacheHasher {
+    hash: u64,
+}
+
+impl CacheHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for CacheHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type CacheHash = BuildHasherDefault<CacheHasher>;
 
 /// Default bound on cached `(signer, digest) → mac` entries per verifier.
 pub const DEFAULT_SIG_CAPACITY: usize = 1 << 16;
@@ -189,7 +251,7 @@ impl VerifyProbe {
 /// counts. Verdicts never depend on cache state at all; only speed does.
 #[derive(Debug)]
 pub(crate) struct BoundedMap<K, V> {
-    map: HashMap<K, V>,
+    map: HashMap<K, V, CacheHash>,
     order: VecDeque<K>,
     capacity: usize,
 }
@@ -197,7 +259,7 @@ pub(crate) struct BoundedMap<K, V> {
 impl<K: Eq + Hash + Clone, V> BoundedMap<K, V> {
     pub(crate) fn new(capacity: usize) -> Self {
         BoundedMap {
-            map: HashMap::new(),
+            map: HashMap::default(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
         }

@@ -186,6 +186,10 @@ pub(crate) fn outcome_from_raw(spec: &ScenarioSpec, raw: RawRun) -> Outcome {
         events_processed: raw.events_handled,
         messages_sent: raw.messages_sent,
         peak_queue_depth: raw.peak_queue,
+        // Simulator-only metrics: the wall runtimes deliver over real
+        // transports, so there is no enqueue-drop path or retained queue.
+        drops_at_enqueue: 0,
+        queue_bytes: 0,
         sched: raw.sched,
     })
 }

@@ -67,6 +67,8 @@ mod sweep;
 
 pub use backend::{Backend, Erase, ErasedMsg, ErasedSlot, MsgCodec, SimBackend};
 pub use context::{Context, Protocol, Strategy};
+#[doc(hidden)]
+pub use event::queue_stress;
 pub use event::TraceEntry;
 pub use network::{
     DelayOracle, DelayRule, FixedDelay, LinkDelay, MsgEnvelope, MsgPredicate, PartySet,

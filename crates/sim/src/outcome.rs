@@ -51,6 +51,8 @@ pub struct Outcome {
     pub(crate) events_processed: u64,
     pub(crate) messages_sent: u64,
     pub(crate) peak_queue_depth: usize,
+    pub(crate) drops_at_enqueue: u64,
+    pub(crate) queue_bytes: u64,
     pub(crate) sched: Option<SchedCounters>,
     /// `last_delivery_of_round[k]` = the latest instant at which a message
     /// tagged round `k` is (scheduled to be) delivered — Definition 10's
@@ -86,6 +88,13 @@ pub struct OutcomeParts {
     pub messages_sent: u64,
     /// High-water mark of in-flight scheduled events.
     pub peak_queue_depth: usize,
+    /// Sends discarded at enqueue because the recipient had already
+    /// terminated (simulator-only; wall backends report 0 — their dead
+    /// peers' sockets absorb traffic on the wire instead).
+    pub drops_at_enqueue: u64,
+    /// Bytes of event-queue capacity retained at the end of the run
+    /// (simulator-only; wall backends report 0).
+    pub queue_bytes: u64,
     /// Worker-pool scheduler counters, for backends that have one
     /// (`None` everywhere else).
     pub sched: Option<SchedCounters>,
@@ -104,6 +113,8 @@ impl From<OutcomeParts> for Outcome {
             events_processed: parts.events_processed,
             messages_sent: parts.messages_sent,
             peak_queue_depth: parts.peak_queue_depth,
+            drops_at_enqueue: parts.drops_at_enqueue,
+            queue_bytes: parts.queue_bytes,
             sched: parts.sched,
             last_delivery_of_round: Vec::new(),
             trace: Vec::new(),
@@ -272,6 +283,25 @@ impl Outcome {
         self.peak_queue_depth
     }
 
+    /// Point-to-point sends discarded at enqueue time because the
+    /// recipient had already terminated. These messages *were* sent (they
+    /// count in [`Outcome::messages_sent`] and in the round-boundary
+    /// bookkeeping) but never touched the event queue — with drops off
+    /// (see `SimulationBuilder::drop_dead_sends`) each would have been
+    /// parked, and those popped before the run's end counted as events.
+    pub fn drops_at_enqueue(&self) -> u64 {
+        self.drops_at_enqueue
+    }
+
+    /// Bytes of event-queue capacity retained at the end of the run —
+    /// slab chunks, calendar-slot directories and the far-future spill.
+    /// The queue's actual memory footprint, as opposed to
+    /// [`Outcome::peak_queue_depth`]'s entry count. Simulator-only; wall
+    /// backends report 0.
+    pub fn queue_bytes(&self) -> u64 {
+        self.queue_bytes
+    }
+
     /// Worker-pool scheduler counters — `Some` only for backends that
     /// multiplex parties over a fixed worker pool (see [`SchedCounters`]).
     pub fn sched_counters(&self) -> Option<SchedCounters> {
@@ -316,6 +346,8 @@ mod tests {
             events_processed: 1,
             messages_sent: 0,
             peak_queue_depth: 0,
+            drops_at_enqueue: 0,
+            queue_bytes: 0,
             sched: None,
             last_delivery_of_round: vec![GlobalTime::from_micros(10), GlobalTime::from_micros(100)],
             trace: Vec::new(),

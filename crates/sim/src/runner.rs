@@ -45,6 +45,8 @@ pub struct SimulationBuilder<M> {
     max_events: u64,
     async_fallback: Duration,
     record_trace: bool,
+    queue_delta: Duration,
+    drop_dead_sends: bool,
 }
 
 impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
@@ -61,6 +63,8 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
             max_events: 20_000_000,
             async_fallback: Duration::from_millis(1_000),
             record_trace: false,
+            queue_delta: Duration::from_micros(1),
+            drop_dead_sends: true,
         }
     }
 
@@ -129,6 +133,29 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
         self
     }
 
+    /// Hints the event queue's calendar bucket width: the characteristic
+    /// message delay δ of the run (default 1µs, matching the default
+    /// oracle). The scenario layer plumbs its spec's δ through here so a
+    /// fixed-delay n-way multicast lands in one time slot.
+    #[must_use]
+    pub fn queue_delta(mut self, delta: Duration) -> Self {
+        self.queue_delta = delta;
+        self
+    }
+
+    /// Whether sends to already-terminated recipients are discarded at
+    /// enqueue time instead of being parked, popped and filtered (default:
+    /// on). Either way the message is *sent* — it counts toward
+    /// [`Outcome::messages_sent`] and the round-boundary bookkeeping — but
+    /// with drops on it never touches the queue, and the discard is
+    /// reported in [`Outcome::drops_at_enqueue`]. Off exists for A/B
+    /// semantics tests; commits and audits are identical either way.
+    #[must_use]
+    pub fn drop_dead_sends(mut self, yes: bool) -> Self {
+        self.drop_dead_sends = yes;
+        self
+    }
+
     /// Installs a Byzantine strategy at slot `p`.
     #[must_use]
     pub fn byzantine(mut self, p: PartyId, strategy: impl Strategy<M>) -> Self {
@@ -184,6 +211,8 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
             max_events,
             async_fallback,
             record_trace,
+            queue_delta,
+            drop_dead_sends,
         } = self;
 
         let n = config.n();
@@ -196,22 +225,26 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
         }
 
         let mut net = Router {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_delta(queue_delta),
             oracle,
             link_seq: vec![0u64; n * n],
             last_delivery_of_round: Vec::new(),
             messages_sent: 0,
+            drops_at_enqueue: 0,
             timing,
             async_fallback,
             n,
             honest,
+            // Termination lives with the router so `route` can discard
+            // sends to dead recipients at enqueue time.
+            terminated: vec![false; n],
+            drop_dead_sends,
         };
         for p in config.parties() {
             net.queue.push(skew.start_of(p), EventKind::Start(p));
         }
 
         let mut started = vec![false; n];
-        let mut terminated = vec![false; n];
         let mut committed: Vec<Option<CommitRecord>> = vec![None; n];
         // None = nothing delivered yet; Some(r) = max round tag delivered.
         let mut max_round: Vec<Option<u32>> = vec![None; n];
@@ -256,7 +289,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                     msg,
                     round,
                 } => {
-                    if !started[to.as_usize()] && !terminated[to.as_usize()] {
+                    if !started[to.as_usize()] && !net.terminated[to.as_usize()] {
                         // Delivered before the recipient's protocol start:
                         // buffer by rescheduling at its start instant.
                         net.queue.push(
@@ -270,7 +303,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                         );
                         continue;
                     }
-                    if terminated[to.as_usize()] {
+                    if net.terminated[to.as_usize()] {
+                        // Parked before the recipient terminated (or drops
+                        // are off): discarded at pop, as always.
                         continue;
                     }
                     let slot = to.as_usize();
@@ -287,7 +322,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                     (to, Action::Message(from, msg))
                 }
                 EventKind::Timer { party, tag } => {
-                    if terminated[party.as_usize()] {
+                    if net.terminated[party.as_usize()] {
                         continue;
                     }
                     if record_trace {
@@ -385,8 +420,8 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
                 net.queue.push(now + delay, EventKind::Timer { party, tag });
             }
 
-            if halted && !terminated[slot] {
-                terminated[slot] = true;
+            if halted && !net.terminated[slot] {
+                net.terminated[slot] = true;
                 if net.honest[slot] {
                     honest_live -= 1;
                 }
@@ -397,13 +432,15 @@ impl<M: Clone + fmt::Debug + Send + 'static> SimulationBuilder<M> {
             config,
             honest: net.honest,
             commits: committed.into_iter().flatten().collect(),
-            terminated,
+            terminated: net.terminated,
             broadcaster,
             broadcaster_start: skew.start_of(broadcaster),
             end_time: now,
             events_processed,
             messages_sent: net.messages_sent,
             peak_queue_depth: net.queue.peak(),
+            drops_at_enqueue: net.drops_at_enqueue,
+            queue_bytes: net.queue.retained_bytes() as u64,
             sched: None,
             last_delivery_of_round: net.last_delivery_of_round,
             trace,
@@ -421,10 +458,16 @@ struct Router<M> {
     link_seq: Vec<u64>,
     last_delivery_of_round: Vec<GlobalTime>,
     messages_sent: u64,
+    /// Sends discarded at enqueue because the recipient had terminated.
+    drops_at_enqueue: u64,
     timing: TimingModel,
     async_fallback: Duration,
     n: usize,
     honest: Vec<bool>,
+    /// Per-slot termination flags — owned here so `route` can check the
+    /// recipient at enqueue time (the run loop writes them on halt).
+    terminated: Vec<bool>,
+    drop_dead_sends: bool,
 }
 
 impl<M> Router<M> {
@@ -478,7 +521,16 @@ impl<M> Router<M> {
         let honest_link = env.honest_link();
         if let Some(at) = clamp_delivery(self.timing, now, choice, honest_link, self.async_fallback)
         {
+            // Round-boundary bookkeeping sees every scheduled delivery,
+            // dropped or not — latency/round metrics are identical with
+            // drops on and off; only queue traffic changes.
             self.note_delivery(round, at);
+            if self.drop_dead_sends && self.terminated[to.as_usize()] {
+                // Dead recipient: a pop would only be filtered later.
+                // Discard now — no envelope, no parking, no pop.
+                self.drops_at_enqueue += 1;
+                return;
+            }
             self.queue.push(
                 at,
                 EventKind::Deliver {
@@ -577,6 +629,7 @@ impl<M> Context<M> for CtxImpl<'_, M> {
 mod tests {
     use super::*;
     use crate::network::{DelayRule, LinkDelay, PartySet, ScheduleOracle};
+    use crate::strategies::Crashing;
 
     /// Broadcaster multicasts its value; everyone commits on first receipt.
     struct Flood {
@@ -846,5 +899,88 @@ mod tests {
         assert_eq!(a.events_processed(), b.events_processed());
         assert_eq!(a.messages_sent(), b.messages_sent());
         assert_eq!(a.good_case_latency(), b.good_case_latency());
+    }
+
+    /// Gossips for a fixed number of timer rounds, commits on first
+    /// receipt, and never terminates — so the run ends only when the
+    /// queue drains, which makes the drop accounting below exact.
+    struct Gossip {
+        rounds_left: u32,
+        committed: bool,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = Value;
+        fn start(&mut self, ctx: &mut dyn Context<Value>) {
+            ctx.multicast(Value::new(1));
+            ctx.set_timer(Duration::from_micros(7), 0);
+        }
+        fn on_message(&mut self, _from: PartyId, v: Value, ctx: &mut dyn Context<Value>) {
+            if !self.committed {
+                self.committed = true;
+                ctx.commit(v);
+            }
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut dyn Context<Value>) {
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.multicast(Value::new(1));
+                ctx.set_timer(Duration::from_micros(7), 0);
+            }
+        }
+    }
+
+    fn gossip_with_crash(drop_dead_sends: bool) -> Outcome {
+        let cfg = Config::new(4, 1).unwrap();
+        // Party 3 handles its start plus one delivery, then crashes
+        // (terminates); the three honest gossipers keep multicasting to
+        // it for many more rounds.
+        Simulation::build(cfg)
+            .timing(TimingModel::lockstep(Duration::from_micros(10)))
+            .oracle(FixedDelay::new(Duration::from_micros(3)))
+            .drop_dead_sends(drop_dead_sends)
+            .byzantine(
+                PartyId::new(3),
+                Crashing::new(
+                    Gossip {
+                        rounds_left: 0,
+                        committed: false,
+                    },
+                    2,
+                ),
+            )
+            .spawn_honest(|_| Gossip {
+                rounds_left: 8,
+                committed: false,
+            })
+            .run()
+    }
+
+    #[test]
+    fn enqueue_drops_change_traffic_but_not_the_outcome() {
+        let on = gossip_with_crash(true);
+        let off = gossip_with_crash(false);
+
+        // The protocol-visible outcome is identical: same commits at the
+        // same instants, same latency and round metrics, same send count
+        // (dropped sends still count — only the envelope is elided).
+        assert_eq!(on.commits().len(), off.commits().len());
+        for (a, b) in on.commits().iter().zip(off.commits()) {
+            assert_eq!((a.party, a.value, a.global), (b.party, b.value, b.global));
+        }
+        assert_eq!(on.good_case_latency(), off.good_case_latency());
+        assert_eq!(on.good_case_rounds(), off.good_case_rounds());
+        assert_eq!(on.messages_sent(), off.messages_sent());
+
+        // With drops off every dead-recipient delivery is parked, popped,
+        // and discarded; with drops on it never enters the queue. Both
+        // runs drain the queue, so the event counts differ by exactly the
+        // drop count.
+        assert_eq!(off.drops_at_enqueue(), 0);
+        assert!(on.drops_at_enqueue() > 0, "crashed party must shed traffic");
+        assert_eq!(
+            off.events_processed() - on.events_processed(),
+            on.drops_at_enqueue()
+        );
     }
 }

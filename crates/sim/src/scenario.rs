@@ -554,7 +554,10 @@ impl ScenarioSpec {
         let b = Simulation::build::<M>(cfg)
             .timing(self.timing_model())
             .skew(self.skew_schedule())
-            .broadcaster(self.broadcaster);
+            .broadcaster(self.broadcaster)
+            // The spec's δ sizes the calendar queue's buckets, so one
+            // fixed-delay multicast lands in a single time slot.
+            .queue_delta(self.delta);
         match self.delays {
             DelayChoice::Fixed => b.oracle(FixedDelay::new(self.delta)),
             DelayChoice::Uniform { lo, hi } => {

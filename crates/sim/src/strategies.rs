@@ -48,9 +48,13 @@ impl<M: Clone + fmt::Debug + Send + 'static> Strategy<M> for Silent<M> {
     fn on_timer(&mut self, _tag: u64, _ctx: &mut dyn Context<M>) {}
 }
 
-/// Runs the inner strategy honestly, then crashes (goes silent forever)
-/// after handling `crash_after` events — failure injection at every
-/// protocol step.
+/// Runs the inner strategy honestly, then crashes after handling
+/// `crash_after` events — failure injection at every protocol step.
+///
+/// The crash is real: on the first event past the budget the wrapper
+/// terminates its slot (instead of merely going silent), so the runtime
+/// stops delivering to it and — on the simulator — discards further sends
+/// to it at enqueue time (`Outcome::drops_at_enqueue`).
 pub struct Crashing<S> {
     inner: S,
     crash_after: usize,
@@ -93,16 +97,22 @@ where
     fn start(&mut self, ctx: &mut dyn Context<M>) {
         if self.alive() {
             self.inner.start(ctx);
+        } else {
+            ctx.terminate();
         }
     }
     fn on_message(&mut self, from: PartyId, msg: M, ctx: &mut dyn Context<M>) {
         if self.alive() {
             self.inner.on_message(from, msg, ctx);
+        } else {
+            ctx.terminate();
         }
     }
     fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context<M>) {
         if self.alive() {
             self.inner.on_timer(tag, ctx);
+        } else {
+            ctx.terminate();
         }
     }
 }
